@@ -1,0 +1,92 @@
+// Ablation: routing on forecasts instead of stale prices.
+//
+// Fig 20 shows the cost of reacting to the previous hour's prices. An
+// operator can do better without faster market data: forecast the next
+// hour from the hour-of-week profile and the last observation. This
+// bench quantifies how much of the delay penalty a simple forecaster
+// recovers.
+
+#include "bench_common.h"
+#include "market/forecast.h"
+
+int main(int argc, char** argv) {
+  using namespace cebis;
+  const std::uint64_t seed = bench::seed_from_args(argc, argv);
+  bench::header("Ablation: forecast-based routing",
+                "24-day trace, (65%, 1.3), 1500 km: perfect info vs stale "
+                "prices vs one-hour-ahead forecasts");
+
+  const core::Fixture& fx = bench::fixture(seed);
+
+  core::Scenario s;
+  s.energy = energy::google_params();
+  s.workload = core::WorkloadKind::kTrace24Day;
+  s.enforce_p95 = false;
+  s.distance_threshold = Km{1500.0};
+
+  // Perfect (delay 0) and stale (delay 1) routing.
+  s.delay_hours = 0;
+  const double perfect = core::run_price_aware(fx, s).total_cost.value();
+  s.delay_hours = 1;
+  const double stale = core::run_price_aware(fx, s).total_cost.value();
+
+  // Forecast-based: route on one-hour-ahead forecasts (information lag
+  // baked in), bill real dollars through the secondary meter.
+  const Period window = trace_period();
+  const Period training{window.begin - 56 * 24, window.begin};
+  const market::PriceSet forecasts =
+      market::one_hour_ahead_forecasts(fx.prices, training, window);
+
+  core::EngineConfig cfg;
+  cfg.energy = s.energy;
+  cfg.enforce_p95 = false;
+  cfg.delay_hours = 0;  // the forecast set already encodes the lag
+  core::PriceAwareConfig rcfg;
+  rcfg.distance_threshold = s.distance_threshold;
+  core::SimulationEngine engine(fx.clusters, forecasts, fx.distances, cfg,
+                                &fx.prices);
+  core::PriceAwareRouter router(fx.distances, fx.clusters.size(), rcfg);
+  core::TraceWorkload workload(fx.trace, fx.allocation);
+  const double forecast_cost = engine.run(workload, router).secondary_total;
+
+  // Forecast accuracy context.
+  const market::PriceForecaster forecaster(fx.prices, training);
+  const HubId nyc = market::HubRegistry::instance().by_code("NYC");
+  const auto acc =
+      market::evaluate_forecaster(fx.prices, forecaster, nyc, window);
+
+  io::Table table({"routing information", "24-day cost ($)", "vs perfect (%)"});
+  auto row = [&table, perfect](const char* label, double cost) {
+    char c[24], d[16];
+    std::snprintf(c, sizeof(c), "%.0f", cost);
+    std::snprintf(d, sizeof(d), "%+.3f", 100.0 * (cost / perfect - 1.0));
+    table.add_row({label, c, d});
+  };
+  row("perfect (delay 0)", perfect);
+  row("stale (delay 1, the paper's setup)", stale);
+  row("one-hour-ahead forecast", forecast_cost);
+  std::printf("%s\n", table.render().c_str());
+
+  const double recovered =
+      stale > perfect
+          ? 100.0 * (stale - forecast_cost) / (stale - perfect)
+          : 0.0;
+  std::printf("forecaster MAE at NYC: %.1f $/MWh (persistence %.1f, raw "
+              "profile %.1f)\n",
+              acc.mae_forecast, acc.mae_persistence, acc.mae_profile);
+  std::printf("delay penalty recovered by forecasting: %.0f%%\n", recovered);
+  std::printf(
+      "Reading: in this market, one-hour persistence is already close to\n"
+      "optimal at the hourly scale - the hour-of-week profile adds little,\n"
+      "so forecasting recovers only a sliver of Fig 20's delay penalty.\n"
+      "Faster market data (delay 0 / 5-minute feeds) is the bigger lever,\n"
+      "matching Fig 20's initial jump.\n");
+
+  io::CsvWriter csv(bench::csv_path("ablation_forecast_routing"));
+  csv.row({"policy", "cost_usd"});
+  csv.row({"perfect", io::format_number(perfect, 2)});
+  csv.row({"stale_1h", io::format_number(stale, 2)});
+  csv.row({"forecast", io::format_number(forecast_cost, 2)});
+  std::printf("CSV: %s\n", bench::csv_path("ablation_forecast_routing").c_str());
+  return 0;
+}

@@ -1,0 +1,41 @@
+#ifndef CEBIS_BENCH_BENCH_COMMON_H
+#define CEBIS_BENCH_BENCH_COMMON_H
+
+// Shared scaffolding for the figure-reproduction benches. Every bench
+// prints the same rows/series the paper reports and writes a CSV copy
+// (cebis_<figure>.csv in the working directory) for replotting.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "core/experiment.h"
+#include "io/csv.h"
+#include "io/table.h"
+
+namespace cebis::bench {
+
+/// Default seed; override with argv[1].
+inline std::uint64_t seed_from_args(int argc, char** argv) {
+  return argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2009;
+}
+
+/// The shared experiment fixture (prices + trace + clusters), built once
+/// per process.
+inline const core::Fixture& fixture(std::uint64_t seed) {
+  static const core::Fixture fx = core::Fixture::make(seed);
+  return fx;
+}
+
+inline void header(const char* figure, const char* caption) {
+  std::printf("=== %s ===\n%s\n\n", figure, caption);
+}
+
+inline std::string csv_path(const char* name) {
+  return std::string("cebis_") + name + ".csv";
+}
+
+}  // namespace cebis::bench
+
+#endif  // CEBIS_BENCH_BENCH_COMMON_H

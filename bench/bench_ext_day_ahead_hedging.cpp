@@ -1,0 +1,131 @@
+// Extension (§7 "Existing Contracts"): how billing structure changes the
+// value of price-aware routing. Compares pure real-time exposure,
+// day-ahead hedging of predicted load (deviations settled at RT), a flat
+// contract, and negawatt bidding.
+
+#include "bench_common.h"
+#include "demand_response/negawatt_market.h"
+#include "stats/descriptive.h"
+
+int main(int argc, char** argv) {
+  using namespace cebis;
+  const std::uint64_t seed = bench::seed_from_args(argc, argv);
+  bench::header("Extension: day-ahead hedging (paper §7)",
+                "Billing structures over the 24-day window, google-like "
+                "elasticity, price-aware routing at 1500 km");
+
+  const core::Fixture& fx = bench::fixture(seed);
+  core::Scenario s;
+  s.energy = energy::google_params();
+  s.workload = core::WorkloadKind::kTrace24Day;
+  s.enforce_p95 = false;
+
+  // One routed run with per-hour energies.
+  core::EngineConfig cfg;
+  cfg.energy = s.energy;
+  cfg.enforce_p95 = false;
+  cfg.record_hourly = true;
+  core::SimulationEngine engine(fx.clusters, fx.prices, fx.distances, cfg);
+  core::PriceAwareConfig rcfg;
+  rcfg.distance_threshold = s.distance_threshold;
+  core::PriceAwareRouter router(fx.distances, fx.clusters.size(), rcfg);
+  core::TraceWorkload workload(fx.trace, fx.allocation);
+  const core::RunResult run = engine.run(workload, router);
+
+  const Period window = workload.period();
+  // Predicted per-hour energy: hour-of-week average of the realized
+  // series (the operator's demand prior).
+  std::vector<std::vector<double>> pred(
+      run.hourly_energy.size(), std::vector<double>(fx.clusters.size(), 0.0));
+  {
+    std::vector<std::vector<double>> cell_sum(
+        7 * 24, std::vector<double>(fx.clusters.size(), 0.0));
+    std::vector<int> cell_n(7 * 24, 0);
+    for (std::size_t h = 0; h < run.hourly_energy.size(); ++h) {
+      const HourIndex hour = window.begin + static_cast<HourIndex>(h);
+      const std::size_t cell =
+          static_cast<std::size_t>(weekday(hour)) * 24 +
+          static_cast<std::size_t>(hour_of_day(hour));
+      ++cell_n[cell];
+      for (std::size_t c = 0; c < fx.clusters.size(); ++c) {
+        cell_sum[cell][c] += run.hourly_energy[h][c];
+      }
+    }
+    for (std::size_t h = 0; h < pred.size(); ++h) {
+      const HourIndex hour = window.begin + static_cast<HourIndex>(h);
+      const std::size_t cell =
+          static_cast<std::size_t>(weekday(hour)) * 24 +
+          static_cast<std::size_t>(hour_of_day(hour));
+      for (std::size_t c = 0; c < fx.clusters.size(); ++c) {
+        pred[h][c] = cell_n[cell] > 0 ? cell_sum[cell][c] / cell_n[cell] : 0.0;
+      }
+    }
+  }
+
+  // Billing variants over the same physical consumption.
+  double cost_rt = 0.0;
+  double cost_hedged = 0.0;
+  double cost_flat = 0.0;
+  std::vector<double> daily_rt;
+  std::vector<double> daily_hedged;
+  double day_rt = 0.0;
+  double day_hedged = 0.0;
+  const double flat_rate = 62.0;  // a typical negotiated rate
+
+  for (std::size_t h = 0; h < run.hourly_energy.size(); ++h) {
+    const HourIndex hour = window.begin + static_cast<HourIndex>(h);
+    for (std::size_t c = 0; c < fx.clusters.size(); ++c) {
+      const double e = run.hourly_energy[h][c];
+      const double rt = fx.prices.rt_at(fx.clusters[c].hub, hour).value();
+      const double da = fx.prices.da_at(fx.clusters[c].hub, hour).value();
+      cost_rt += e * rt;
+      cost_hedged += pred[h][c] * da + (e - pred[h][c]) * rt;
+      cost_flat += e * flat_rate;
+      day_rt += e * rt;
+      day_hedged += pred[h][c] * da + (e - pred[h][c]) * rt;
+    }
+    if (hour_of_day(hour) == 23) {
+      daily_rt.push_back(day_rt);
+      daily_hedged.push_back(day_hedged);
+      day_rt = 0.0;
+      day_hedged = 0.0;
+    }
+  }
+
+  io::Table table({"billing structure", "24-day cost", "daily sigma"});
+  auto money = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "$%.0f", v);
+    return std::string(buf);
+  };
+  table.add_row({"real-time indexed", money(cost_rt),
+                 money(stats::stddev(daily_rt))});
+  table.add_row({"day-ahead hedged", money(cost_hedged),
+                 money(stats::stddev(daily_hedged))});
+  table.add_row({"flat $62/MWh", money(cost_flat), "$0"});
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Shape: hedging pays the DA premium (%.1f%% here) but cuts the daily\n"
+      "cost volatility; a flat contract removes volatility entirely and -\n"
+      "the paper's point - removes the incentive that price-aware routing\n"
+      "exploits. Negawatt bids (below) monetize flexibility even then.\n\n",
+      100.0 * (cost_hedged / cost_rt - 1.0));
+
+  demand_response::NegawattStrategy strategy;
+  const auto bids = demand_response::plan_bids(fx, s, strategy);
+  const auto settle = demand_response::settle_bids(fx, s, bids);
+  std::printf("negawatt bids: %d cleared, %.1f MWh offered, %.1f delivered, "
+              "net revenue $%.0f\n",
+              settle.bids, settle.offered_mwh, settle.delivered_mwh,
+              settle.net_revenue.value());
+
+  io::CsvWriter csv(bench::csv_path("ext_day_ahead_hedging"));
+  csv.row({"structure", "cost_usd", "daily_sigma_usd"});
+  csv.row({"real_time", io::format_number(cost_rt, 2),
+           io::format_number(stats::stddev(daily_rt), 2)});
+  csv.row({"day_ahead_hedged", io::format_number(cost_hedged, 2),
+           io::format_number(stats::stddev(daily_hedged), 2)});
+  csv.row({"flat_62", io::format_number(cost_flat, 2), "0"});
+  std::printf("CSV: %s\n", bench::csv_path("ext_day_ahead_hedging").c_str());
+  return 0;
+}

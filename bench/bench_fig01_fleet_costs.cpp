@@ -1,0 +1,40 @@
+// Fig 1: estimated annual electricity costs for large companies at
+// $60/MWh wholesale, from the paper's back-of-the-envelope model (§2.1).
+
+#include "bench_common.h"
+#include "energy/fleet_estimator.h"
+
+int main() {
+  using namespace cebis;
+  bench::header("Figure 1",
+                "Estimated annual electricity costs (servers and "
+                "infrastructure) @ $60/MWh");
+
+  io::Table table({"company", "servers", "MWh/yr", "cost/yr"});
+  io::CsvWriter csv(bench::csv_path("fig01_fleet_costs"));
+  csv.row({"company", "servers", "mwh_per_year", "usd_per_year"});
+
+  for (const auto& fleet : energy::fig1_fleets()) {
+    const double mwh = energy::annual_energy(fleet).value();
+    const double usd = energy::annual_cost(fleet, energy::kFig1Rate).value();
+    char servers[32];
+    char mwh_s[32];
+    char usd_s[32];
+    std::snprintf(servers, sizeof(servers), "%.2gM",
+                  fleet.servers / 1e6);
+    if (fleet.servers < 1e6) {
+      std::snprintf(servers, sizeof(servers), "%.0fK", fleet.servers / 1e3);
+    }
+    std::snprintf(mwh_s, sizeof(mwh_s), "%.2g x10^5", mwh / 1e5);
+    std::snprintf(usd_s, sizeof(usd_s), "$%.1fM", usd / 1e6);
+    if (usd >= 1e9) std::snprintf(usd_s, sizeof(usd_s), "$%.1fB", usd / 1e9);
+    table.add_row({std::string(fleet.name), servers, mwh_s, usd_s});
+    csv.row({std::string(fleet.name), io::format_number(fleet.servers, 0),
+             io::format_number(mwh, 0), io::format_number(usd, 0)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Paper reference: eBay ~$3.7M, Akamai ~$10M, Rackspace ~$12M,\n"
+              "Microsoft >$36M, Google >$38M, USA $4.5B (retail rates).\n");
+  std::printf("CSV: %s\n", bench::csv_path("fig01_fleet_costs").c_str());
+  return 0;
+}

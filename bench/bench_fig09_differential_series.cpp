@@ -1,0 +1,52 @@
+// Fig 9: hourly price differentials over an eight-day window for
+// PaloAlto-Richmond and Austin-Richmond (mid-August 2008, as in the
+// paper). Spikes and sign-alternating asymmetry are the features.
+
+#include "bench_common.h"
+#include "market/calibration.h"
+#include "market/market_simulator.h"
+#include "stats/descriptive.h"
+
+int main(int argc, char** argv) {
+  using namespace cebis;
+  const std::uint64_t seed = bench::seed_from_args(argc, argv);
+  bench::header("Figure 9",
+                "Hourly price differentials, 2008-08-09 .. 2008-08-23 "
+                "(PaloAlto-Richmond, Austin-Richmond)");
+
+  const market::MarketSimulator sim(seed);
+  const market::PriceSet prices = sim.generate(study_period());
+  const auto& hubs = market::HubRegistry::instance();
+
+  const Period window{hour_at(CivilDate{2008, 8, 9}),
+                      hour_at(CivilDate{2008, 8, 23})};
+  const auto pa = prices.rt[hubs.by_code("NP15").index()].slice(window);
+  const auto tx = prices.rt[hubs.by_code("ERCOT-S").index()].slice(window);
+  const auto va = prices.rt[hubs.by_code("DOM").index()].slice(window);
+
+  io::CsvWriter csv(bench::csv_path("fig09_differential_series"));
+  csv.row({"hour", "paloalto_minus_richmond", "austin_minus_richmond"});
+  int pa_pos = 0, pa_neg = 0, tx_pos = 0, tx_neg = 0;
+  double pa_extreme = 0.0, tx_extreme = 0.0;
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    const double d1 = pa[i] - va[i];
+    const double d2 = tx[i] - va[i];
+    csv.row({hour_label(window.begin + static_cast<HourIndex>(i)),
+             io::format_number(d1, 2), io::format_number(d2, 2)});
+    (d1 > 0 ? pa_pos : pa_neg) += 1;
+    (d2 > 0 ? tx_pos : tx_neg) += 1;
+    pa_extreme = std::max(pa_extreme, std::abs(d1));
+    tx_extreme = std::max(tx_extreme, std::abs(d2));
+  }
+
+  std::printf("PaloAlto-Richmond: favoured PA %d hrs / VA %d hrs, extreme "
+              "|diff| $%.0f\n",
+              pa_neg, pa_pos, pa_extreme);
+  std::printf("Austin-Richmond:   favoured TX %d hrs / VA %d hrs, extreme "
+              "|diff| $%.0f\n",
+              tx_neg, tx_pos, tx_extreme);
+  std::printf("Shape check: asymmetry flips sign within the window; spikes "
+              "stand far off the mean (paper: largest spike $1900).\n");
+  std::printf("CSV: %s\n", bench::csv_path("fig09_differential_series").c_str());
+  return 0;
+}

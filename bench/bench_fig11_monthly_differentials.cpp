@@ -1,0 +1,47 @@
+// Fig 11: PaloAlto-Virginia differential distribution month by month
+// (median and inter-quartile range) - asymmetries persist for months,
+// then reverse.
+
+#include "bench_common.h"
+#include "market/calibration.h"
+#include "market/market_simulator.h"
+#include "stats/timeseries.h"
+
+int main(int argc, char** argv) {
+  using namespace cebis;
+  const std::uint64_t seed = bench::seed_from_args(argc, argv);
+  bench::header("Figure 11",
+                "PaloAlto-Virginia differential, monthly median and IQR");
+
+  const market::MarketSimulator sim(seed);
+  const market::PriceSet prices = sim.generate(study_period());
+  const auto& hubs = market::HubRegistry::instance();
+  const auto diff = market::differential(prices, hubs, "NP15", "DOM");
+
+  const auto groups = stats::grouped_quartiles(
+      diff, [](std::size_t i) { return month_index(static_cast<HourIndex>(i)); },
+      39);
+
+  io::CsvWriter csv(bench::csv_path("fig11_monthly_differentials"));
+  csv.row({"month", "q25", "median", "q75"});
+  io::Table table({"month", "q25", "median", "q75"});
+  int sign_flips = 0;
+  double prev_median = 0.0;
+  for (const auto& g : groups) {
+    char q25[16], q50[16], q75[16];
+    std::snprintf(q25, sizeof(q25), "%.1f", g.q.q25);
+    std::snprintf(q50, sizeof(q50), "%.1f", g.q.q50);
+    std::snprintf(q75, sizeof(q75), "%.1f", g.q.q75);
+    table.add_row({month_label(g.group), q25, q50, q75});
+    csv.row({month_label(g.group), io::format_number(g.q.q25, 2),
+             io::format_number(g.q.q50, 2), io::format_number(g.q.q75, 2)});
+    if (g.group > 0 && prev_median * g.q.q50 < 0.0) ++sign_flips;
+    prev_median = g.q.q50;
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("median sign flips across 39 months: %d [paper: sustained "
+              "asymmetries that eventually reverse]\n",
+              sign_flips);
+  std::printf("CSV: %s\n", bench::csv_path("fig11_monthly_differentials").c_str());
+  return 0;
+}

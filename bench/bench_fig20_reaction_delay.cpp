@@ -1,0 +1,48 @@
+// Fig 20: impact of reaction delays on electricity cost for the
+// (65% idle, 1.3 PUE) model at a 1500 km threshold. Shape: a jump from
+// immediate to next-hour reaction, growth toward ~1-1.5%, and a local
+// minimum at 24 hours (day-ahead autocorrelation).
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace cebis;
+  const std::uint64_t seed = bench::seed_from_args(argc, argv);
+  bench::header("Figure 20",
+                "Cost increase vs price-reaction delay, (65% idle, 1.3 "
+                "PUE), 1500 km threshold, 24-day trace");
+
+  const core::Fixture& fx = bench::fixture(seed);
+
+  core::Scenario s;
+  s.energy = energy::google_params();
+  s.workload = core::WorkloadKind::kTrace24Day;
+  s.enforce_p95 = false;
+  s.distance_threshold = Km{1500.0};
+
+  s.delay_hours = 0;
+  const double fresh = core::run_price_aware(fx, s).total_cost.value();
+
+  io::Table table({"delay (h)", "cost increase (%)"});
+  io::CsvWriter csv(bench::csv_path("fig20_reaction_delay"));
+  csv.row({"delay_hours", "cost_increase_pct"});
+
+  for (int delay : {0, 1, 2, 3, 6, 9, 12, 15, 18, 21, 23, 24, 25, 27, 30}) {
+    s.delay_hours = delay;
+    const double cost = core::run_price_aware(fx, s).total_cost.value();
+    const double increase = 100.0 * (cost / fresh - 1.0);
+    char d_s[8], i_s[16];
+    std::snprintf(d_s, sizeof(d_s), "%d", delay);
+    std::snprintf(i_s, sizeof(i_s), "%.3f", increase);
+    table.add_row({d_s, i_s});
+    csv.row({std::to_string(delay), io::format_number(increase, 4)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Paper shape: visible jump between immediate and next-hour reaction\n"
+      "(the paper's simulations conservatively assume a 1-hour delay), a\n"
+      "rise toward ~1-1.5%%, and a local dip at the 24-hour mark where\n"
+      "day-over-day price correlation helps.\n");
+  std::printf("CSV: %s\n", bench::csv_path("fig20_reaction_delay").c_str());
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Microbenchmarks (google-benchmark): market and trace generation
+// throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "market/market_simulator.h"
+#include "traffic/trace_generator.h"
+
+namespace {
+
+using namespace cebis;
+
+void BM_MarketGeneration(benchmark::State& state) {
+  const market::MarketSimulator sim(2009);
+  const HourIndex begin = trace_period().begin;
+  const Period period{begin, begin + state.range(0) * 24};
+  for (auto _ : state) {
+    const market::PriceSet set = sim.generate(period);
+    benchmark::DoNotOptimize(set.rt.size());
+  }
+  state.SetItemsProcessed(state.iterations() * period.hours() * 29);
+}
+BENCHMARK(BM_MarketGeneration)->Arg(1)->Arg(24)->Unit(benchmark::kMillisecond);
+
+void BM_FullStudyGeneration(benchmark::State& state) {
+  const market::MarketSimulator sim(2009);
+  for (auto _ : state) {
+    const market::PriceSet set = sim.generate(study_period());
+    benchmark::DoNotOptimize(set.rt.size());
+  }
+  state.SetItemsProcessed(state.iterations() * study_period().hours() * 29);
+}
+BENCHMARK(BM_FullStudyGeneration)->Unit(benchmark::kMillisecond);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  const traffic::TraceGenerator gen(2009);
+  const HourIndex begin = trace_period().begin;
+  const Period period{begin, begin + state.range(0) * 24};
+  for (auto _ : state) {
+    const traffic::TrafficTrace trace = gen.generate(period);
+    benchmark::DoNotOptimize(trace.steps());
+  }
+  state.SetItemsProcessed(state.iterations() * period.hours() * 12 * 51);
+}
+BENCHMARK(BM_TraceGeneration)->Arg(1)->Arg(24)->Unit(benchmark::kMillisecond);
+
+void BM_FiveMinuteSeries(benchmark::State& state) {
+  const market::MarketSimulator sim(2009);
+  const Period period{trace_period().begin, trace_period().begin + 7 * 24};
+  const market::PriceSet set = sim.generate(period);
+  const HubId nyc = market::HubRegistry::instance().by_code("NYC");
+  for (auto _ : state) {
+    const auto fm = sim.five_minute_series(nyc, set.rt[nyc.index()]);
+    benchmark::DoNotOptimize(fm.data());
+  }
+  state.SetItemsProcessed(state.iterations() * period.hours() * 12);
+}
+BENCHMARK(BM_FiveMinuteSeries);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Microbenchmarks (google-benchmark): router and simulation throughput.
+// These are performance numbers for the library itself, not paper
+// reproductions.
+
+#include <benchmark/benchmark.h>
+
+#include "core/experiment.h"
+
+namespace {
+
+using namespace cebis;
+
+const core::Fixture& fixture() {
+  static const core::Fixture fx = core::Fixture::make(2009);
+  return fx;
+}
+
+void BM_PriceAwareRoute(benchmark::State& state) {
+  const core::Fixture& fx = fixture();
+  core::PriceAwareConfig cfg;
+  cfg.distance_threshold = Km{static_cast<double>(state.range(0))};
+  core::PriceAwareRouter router(fx.distances, fx.clusters.size(), cfg);
+
+  const std::size_t n_states = geo::StateRegistry::instance().size();
+  std::vector<double> demand(n_states, 1000.0);
+  std::vector<double> price = {54.0, 56.0, 66.5, 77.9, 40.6, 57.8, 64.0, 52.0, 51.0};
+  std::vector<double> capacity(fx.clusters.size());
+  for (std::size_t c = 0; c < fx.clusters.size(); ++c) {
+    capacity[c] = fx.clusters[c].capacity.value();
+  }
+  core::Allocation alloc(n_states, fx.clusters.size());
+  core::RoutingContext ctx;
+  ctx.demand = demand;
+  ctx.price = price;
+  ctx.capacity = capacity;
+
+  for (auto _ : state) {
+    router.route(ctx, alloc);
+    benchmark::DoNotOptimize(alloc.cluster_totals().data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n_states));
+}
+BENCHMARK(BM_PriceAwareRoute)->Arg(0)->Arg(1500)->Arg(5000);
+
+void BM_TraceSimulation24Day(benchmark::State& state) {
+  const core::Fixture& fx = fixture();
+  core::Scenario s;
+  s.energy = energy::optimistic_future_params();
+  s.workload = core::WorkloadKind::kTrace24Day;
+  s.enforce_p95 = state.range(0) != 0;
+  for (auto _ : state) {
+    const core::RunResult r = core::run_price_aware(fx, s);
+    benchmark::DoNotOptimize(r.total_cost.value());
+  }
+  state.SetItemsProcessed(state.iterations() * trace_period().hours() * 12);
+}
+BENCHMARK(BM_TraceSimulation24Day)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_Synthetic39MonthSimulation(benchmark::State& state) {
+  const core::Fixture& fx = fixture();
+  core::Scenario s;
+  s.energy = energy::optimistic_future_params();
+  s.workload = core::WorkloadKind::kSynthetic39Month;
+  s.enforce_p95 = false;
+  for (auto _ : state) {
+    const core::RunResult r = core::run_price_aware(fx, s);
+    benchmark::DoNotOptimize(r.total_cost.value());
+  }
+  state.SetItemsProcessed(state.iterations() * study_period().hours());
+}
+BENCHMARK(BM_Synthetic39MonthSimulation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Example: environmental-cost routing (paper §8).
+//
+// Swaps the router's objective from dollars to carbon (or a blend) and
+// reports the cost/carbon frontier for the 24-day workload.
+//
+// Usage: carbon_aware [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "carbon/carbon_router.h"
+#include "carbon/generation_mix.h"
+#include "io/table.h"
+
+int main(int argc, char** argv) {
+  using namespace cebis;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2009;
+
+  // Regional generation mixes drive hourly carbon intensity.
+  std::printf("regional carbon intensity at half load, average wind:\n");
+  for (market::Rto rto : market::market_rtos()) {
+    const double kg = carbon::mix_intensity(carbon::dispatch(rto, 0.5, 0.5));
+    std::printf("  %-6s %4.0f kg CO2/MWh\n",
+                std::string(market::to_string(rto)).c_str(), kg);
+  }
+
+  const core::Fixture fixture = core::Fixture::make(seed);
+  const carbon::CarbonIntensityModel intensity_model(seed);
+  const market::PriceSet intensity = intensity_model.generate(study_period());
+
+  core::Scenario scenario;
+  scenario.energy = energy::optimistic_future_params();
+  scenario.workload = core::WorkloadKind::kTrace24Day;
+  scenario.enforce_p95 = false;
+  scenario.distance_threshold = Km{2500.0};
+
+  const auto baseline =
+      carbon::run_baseline_carbon(fixture, intensity, scenario);
+  std::printf("\nAkamai-like baseline: $%.0f, %.1f t CO2\n", baseline.cost_usd,
+              baseline.carbon_kg / 1000.0);
+
+  io::Table table({"objective", "cost ($)", "CO2 (t)", "cost vs base",
+                   "CO2 vs base"});
+  for (double alpha : {1.0, 0.5, 0.0}) {
+    const auto run = carbon::run_blended(fixture, intensity, scenario, alpha);
+    const char* label = alpha == 1.0   ? "cheapest dollars"
+                        : alpha == 0.0 ? "cleanest energy"
+                                       : "50/50 blend";
+    char cost_s[24], co2_s[24], cr[16], kr[16];
+    std::snprintf(cost_s, sizeof(cost_s), "%.0f", run.cost_usd);
+    std::snprintf(co2_s, sizeof(co2_s), "%.1f", run.carbon_kg / 1000.0);
+    std::snprintf(cr, sizeof(cr), "%.3f", run.cost_usd / baseline.cost_usd);
+    std::snprintf(kr, sizeof(kr), "%.3f", run.carbon_kg / baseline.carbon_kg);
+    table.add_row({label, cost_s, co2_s, cr, kr});
+  }
+  std::printf("\n%s\n", table.render().c_str());
+  std::printf("Paper §8: the footprint varies hourly (wind, dispatch stack,\n"
+              "seasonal hydro), so carbon-aware routing has real headroom -\n"
+              "but the cheapest megawatt-hour is often the dirtiest.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Example: selling flexibility (paper §7).
+//
+// The operator enrolls its clusters in triggered demand-response
+// programs, responds to grid-stress events by suspending servers and
+// rerouting, bids negawatts into the day-ahead market, and aggregates
+// small deployments EnerNOC-style.
+//
+// Usage: demand_response [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/experiment.h"
+#include "demand_response/aggregator.h"
+#include "demand_response/dr_policy.h"
+#include "demand_response/negawatt_market.h"
+
+int main(int argc, char** argv) {
+  using namespace cebis;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2009;
+
+  const core::Fixture fixture = core::Fixture::make(seed);
+  core::Scenario scenario;
+  scenario.energy = energy::google_params();
+  scenario.workload = core::WorkloadKind::kTrace24Day;
+  scenario.enforce_p95 = false;
+
+  // --- triggered demand response ----------------------------------------
+  std::vector<HubId> hubs;
+  for (const auto& c : fixture.clusters) hubs.push_back(c.hub);
+  const auto events =
+      demand_response::generate_events(fixture.prices, hubs, trace_period());
+  std::printf("RTO load-reduction events over the 24-day window: %zu\n",
+              events.size());
+
+  demand_response::DrPolicyConfig policy;
+  policy.shed_capacity_factor = 0.25;  // suspend 75% of servers on request
+  const auto settle =
+      demand_response::simulate_participation(fixture, scenario, events, policy);
+  std::printf("  enrolled %.2f MW across nine clusters\n", settle.enrolled_mw);
+  std::printf("  delivered %.1f MWh of reductions (shortfall %.1f MWh)\n",
+              settle.delivered_mwh, settle.shortfall_mwh);
+  std::printf("  energy payments  $%8.0f\n", settle.energy_payments.value());
+  std::printf("  availability     $%8.0f\n", settle.availability_payments.value());
+  std::printf("  penalties        $%8.0f\n", settle.penalties.value());
+  std::printf("  reroute delta    $%8.0f (negative = rerouting itself saved money)\n",
+              settle.reroute_cost_delta.value());
+  std::printf("  net revenue      $%8.0f\n\n", settle.net_revenue.value());
+
+  // --- negawatt bidding ---------------------------------------------------
+  demand_response::NegawattStrategy strategy;
+  strategy.strike = UsdPerMwh{90.0};
+  strategy.offer_fraction = 0.5;
+  const auto bids = demand_response::plan_bids(fixture, scenario, strategy);
+  const auto nw = demand_response::settle_bids(fixture, scenario, bids);
+  std::printf("negawatt day-ahead bids above $%.0f/MWh: %d\n",
+              strategy.strike.value(), nw.bids);
+  std::printf("  offered %.1f MWh, delivered %.1f, bought back %.1f at RT\n",
+              nw.offered_mwh, nw.delivered_mwh, nw.shortfall_mwh);
+  std::printf("  DA revenue $%.0f, shortfall cost $%.0f, net $%.0f\n\n",
+              nw.da_revenue.value(), nw.rt_shortfall_cost.value(),
+              nw.net_revenue.value());
+
+  // --- aggregation ----------------------------------------------------------
+  demand_response::Aggregator aggregator(demand_response::AggregationTerms{});
+  const auto& registry = market::HubRegistry::instance();
+  for (const auto& c : fixture.clusters) {
+    aggregator.enroll(demand_response::Site{
+        "cdn-cluster", registry.info(c.hub).rto,
+        std::max(10.0, static_cast<double>(c.servers) * 0.25)});
+  }
+  const auto package = aggregator.package();
+  std::printf("aggregated flexibility: %.2f MW sellable -> $%.0f/month "
+              "availability revenue (sites keep $%.0f)\n",
+              package.sellable_mw,
+              package.monthly_availability_revenue.value(),
+              package.sites_cut.value());
+  std::printf("\nPaper §7: flexibility is valuable even without wholesale "
+              "price exposure - programs exist in every market studied.\n");
+  return 0;
+}

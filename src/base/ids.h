@@ -1,0 +1,58 @@
+#ifndef CEBIS_BASE_IDS_H
+#define CEBIS_BASE_IDS_H
+
+// Strong index types. Hubs, client states and server clusters are all
+// referenced by dense indices into registries; giving each its own type
+// prevents a hub index from being used to subscript a cluster table.
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace cebis {
+
+template <class Tag>
+class DenseId {
+ public:
+  constexpr DenseId() noexcept = default;
+  constexpr explicit DenseId(std::int32_t v) noexcept : v_(v) {}
+
+  [[nodiscard]] constexpr std::int32_t value() const noexcept { return v_; }
+  [[nodiscard]] constexpr std::size_t index() const noexcept {
+    return static_cast<std::size_t>(v_);
+  }
+  [[nodiscard]] constexpr bool valid() const noexcept { return v_ >= 0; }
+
+  friend constexpr auto operator<=>(const DenseId&, const DenseId&) = default;
+
+  static constexpr DenseId invalid() noexcept { return DenseId{-1}; }
+
+ private:
+  std::int32_t v_ = -1;
+};
+
+struct HubTag {};
+struct StateTag {};
+struct ClusterTag {};
+struct CityTag {};
+
+/// Electricity market hub (one price series per hub).
+using HubId = DenseId<HubTag>;
+/// US state / client origin region.
+using StateId = DenseId<StateTag>;
+/// Server cluster (a group of co-located server cities billed at one hub).
+using ClusterId = DenseId<ClusterTag>;
+/// Server city (Akamai public cluster location before hub grouping).
+using CityId = DenseId<CityTag>;
+
+}  // namespace cebis
+
+template <class Tag>
+struct std::hash<cebis::DenseId<Tag>> {
+  std::size_t operator()(const cebis::DenseId<Tag>& id) const noexcept {
+    return std::hash<std::int32_t>{}(id.value());
+  }
+};
+
+#endif  // CEBIS_BASE_IDS_H

@@ -1,0 +1,121 @@
+#ifndef CEBIS_BASE_SIMTIME_H
+#define CEBIS_BASE_SIMTIME_H
+
+// Simulation calendar.
+//
+// The paper's study period is January 2006 through March 2009 (39 months
+// of hourly prices, >28k samples per hub) and the Akamai trace window is
+// 24 days around the turn of 2008/2009. All simulation time is expressed
+// as integer hours since the epoch 2006-01-01 00:00. Local times (for
+// diurnal demand/price shapes) are derived with per-location fixed UTC
+// offsets; daylight-saving shifts are ignored (a documented
+// simplification - they move diurnal shapes by one hour for part of the
+// year and do not affect any of the reproduced statistics).
+
+#include <cstdint>
+#include <string>
+
+namespace cebis {
+
+/// Hours since 2006-01-01 00:00 (the study epoch).
+using HourIndex = std::int64_t;
+
+/// Proleptic Gregorian calendar date.
+struct CivilDate {
+  int year = 2006;
+  int month = 1;  ///< 1..12
+  int day = 1;    ///< 1..31
+
+  friend constexpr auto operator<=>(const CivilDate&, const CivilDate&) = default;
+};
+
+/// Days since 1970-01-01 for a civil date (Howard Hinnant's algorithm).
+[[nodiscard]] std::int64_t days_from_civil(const CivilDate& d) noexcept;
+
+/// Inverse of days_from_civil.
+[[nodiscard]] CivilDate civil_from_days(std::int64_t days) noexcept;
+
+/// Day of week, 0 = Sunday .. 6 = Saturday.
+enum class Weekday : int {
+  kSunday = 0,
+  kMonday = 1,
+  kTuesday = 2,
+  kWednesday = 3,
+  kThursday = 4,
+  kFriday = 5,
+  kSaturday = 6,
+};
+
+[[nodiscard]] std::string to_string(Weekday d);
+
+/// The epoch as days since 1970-01-01 (2006-01-01).
+[[nodiscard]] std::int64_t epoch_days() noexcept;
+
+/// Hour index for midnight (00:00) of a civil date.
+[[nodiscard]] HourIndex hour_at(const CivilDate& d) noexcept;
+[[nodiscard]] HourIndex hour_at(const CivilDate& d, int hour_of_day) noexcept;
+
+/// Civil date containing the given hour.
+[[nodiscard]] CivilDate date_of(HourIndex h) noexcept;
+
+/// Hour-of-day in 0..23 at the epoch reference (UTC-like wall clock).
+[[nodiscard]] int hour_of_day(HourIndex h) noexcept;
+
+/// Hour-of-day in 0..23 after applying a fixed UTC offset in hours
+/// (e.g. -5 for Eastern, -8 for Pacific).
+[[nodiscard]] int local_hour_of_day(HourIndex h, int utc_offset_hours) noexcept;
+
+/// Day index since epoch (hour / 24).
+[[nodiscard]] std::int64_t day_index(HourIndex h) noexcept;
+
+/// Day of week of the given hour, optionally shifted to a local zone.
+[[nodiscard]] Weekday weekday(HourIndex h) noexcept;
+[[nodiscard]] Weekday local_weekday(HourIndex h, int utc_offset_hours) noexcept;
+
+[[nodiscard]] bool is_weekend(Weekday d) noexcept;
+
+/// Month index since epoch: 0 = Jan 2006, 38 = Mar 2009.
+[[nodiscard]] int month_index(HourIndex h) noexcept;
+
+/// First hour of the given month index (0 = Jan 2006).
+[[nodiscard]] HourIndex month_begin(int month_idx) noexcept;
+
+/// One-past-the-last hour of the given month index.
+[[nodiscard]] HourIndex month_end(int month_idx) noexcept;
+
+/// "2008-12" style label for a month index.
+[[nodiscard]] std::string month_label(int month_idx);
+
+/// "2008-12-17 05:00" style label for an hour.
+[[nodiscard]] std::string hour_label(HourIndex h);
+
+/// Half-open hour range [begin, end).
+struct Period {
+  HourIndex begin = 0;
+  HourIndex end = 0;
+
+  [[nodiscard]] constexpr std::int64_t hours() const noexcept { return end - begin; }
+  [[nodiscard]] constexpr bool contains(HourIndex h) const noexcept {
+    return h >= begin && h < end;
+  }
+};
+
+/// The full 39-month study period: Jan 2006 .. Mar 2009 (28464 hours).
+[[nodiscard]] Period study_period() noexcept;
+
+/// The 24-day Akamai trace window (2008-12-17 .. 2009-01-10).
+[[nodiscard]] Period trace_period() noexcept;
+
+/// Number of 5-minute steps in a period.
+[[nodiscard]] constexpr std::int64_t five_min_steps(const Period& p) noexcept {
+  return p.hours() * 12;
+}
+
+/// Hour containing a 5-minute step offset from a period start.
+[[nodiscard]] constexpr HourIndex hour_of_step(const Period& p, std::int64_t step) noexcept {
+  return p.begin + step / 12;
+}
+
+}  // namespace cebis
+
+#endif  // CEBIS_BASE_SIMTIME_H

@@ -1,0 +1,39 @@
+#include "billing/contracts.h"
+
+#include <stdexcept>
+
+namespace cebis::billing {
+
+FlatRateContract::FlatRateContract(UsdPerMwh rate) : rate_(rate) {
+  if (rate.value() < 0.0) throw std::invalid_argument("FlatRateContract: negative rate");
+}
+
+Usd FlatRateContract::cost(MegawattHours energy, HourIndex /*hour*/,
+                           UsdPerMwh /*spot*/) const {
+  return rate_ * energy;
+}
+
+WholesaleIndexedContract::WholesaleIndexedContract(UsdPerMwh adder) : adder_(adder) {}
+
+Usd WholesaleIndexedContract::cost(MegawattHours energy, HourIndex /*hour*/,
+                                   UsdPerMwh spot) const {
+  return (spot + adder_) * energy;
+}
+
+ProvisionedPowerContract::ProvisionedPowerContract(Watts provisioned,
+                                                   Usd per_kw_month)
+    : provisioned_(provisioned), per_kw_month_(per_kw_month) {
+  if (provisioned.value() < 0.0) {
+    throw std::invalid_argument("ProvisionedPowerContract: negative capacity");
+  }
+}
+
+Usd ProvisionedPowerContract::cost(MegawattHours /*energy*/, HourIndex /*hour*/,
+                                   UsdPerMwh /*spot*/) const {
+  // Monthly charge amortized to one hour (30.44-day month).
+  constexpr double kHoursPerMonth = 30.44 * 24.0;
+  const double kw = provisioned_.value() / 1000.0;
+  return Usd{kw * per_kw_month_.value() / kHoursPerMonth};
+}
+
+}  // namespace cebis::billing

@@ -1,0 +1,87 @@
+#ifndef CEBIS_BILLING_CONTRACTS_H
+#define CEBIS_BILLING_CONTRACTS_H
+
+// Electricity billing structures (paper §7 "Actual Electricity Bills").
+//
+// The paper's analysis assumes wholesale-indexed billing (assumption 2
+// in §2.2); §7 discusses why that is increasingly realistic (e.g.
+// Commonwealth Edison's hourly Real-Time Pricing program) and contrasts
+// it with what co-location tenants actually sign: provisioned-power
+// contracts billed per rack regardless of consumption. These types let
+// the simulator quantify the difference.
+
+#include <memory>
+#include <string_view>
+
+#include "base/simtime.h"
+#include "base/units.h"
+
+namespace cebis::billing {
+
+class Contract {
+ public:
+  virtual ~Contract() = default;
+
+  /// Cost of consuming `energy` during `hour` when the local wholesale
+  /// price is `spot`.
+  [[nodiscard]] virtual Usd cost(MegawattHours energy, HourIndex hour,
+                                 UsdPerMwh spot) const = 0;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// True if consumption decisions change the bill hour by hour (the
+  /// property price-aware routing needs).
+  [[nodiscard]] virtual bool consumption_sensitive() const = 0;
+};
+
+/// Fixed price per MWh, regardless of the spot market.
+class FlatRateContract final : public Contract {
+ public:
+  explicit FlatRateContract(UsdPerMwh rate);
+
+  [[nodiscard]] Usd cost(MegawattHours energy, HourIndex hour,
+                         UsdPerMwh spot) const override;
+  [[nodiscard]] std::string_view name() const override { return "flat-rate"; }
+  [[nodiscard]] bool consumption_sensitive() const override { return true; }
+
+ private:
+  UsdPerMwh rate_;
+};
+
+/// Billing indexed to the hourly wholesale price (the paper's model),
+/// with an optional retail adder per MWh.
+class WholesaleIndexedContract final : public Contract {
+ public:
+  explicit WholesaleIndexedContract(UsdPerMwh adder = UsdPerMwh{0.0});
+
+  [[nodiscard]] Usd cost(MegawattHours energy, HourIndex hour,
+                         UsdPerMwh spot) const override;
+  [[nodiscard]] std::string_view name() const override { return "wholesale-indexed"; }
+  [[nodiscard]] bool consumption_sensitive() const override { return true; }
+
+ private:
+  UsdPerMwh adder_;
+};
+
+/// Co-location billing: a fixed monthly charge per provisioned kW,
+/// independent of actual consumption (paper §7: "a company like Akamai
+/// pays for provisioned power, and not for actual power used").
+class ProvisionedPowerContract final : public Contract {
+ public:
+  ProvisionedPowerContract(Watts provisioned, Usd per_kw_month);
+
+  /// Returns the provisioned charge amortized over the hours billed; the
+  /// energy argument is ignored by construction.
+  [[nodiscard]] Usd cost(MegawattHours energy, HourIndex hour,
+                         UsdPerMwh spot) const override;
+  [[nodiscard]] std::string_view name() const override { return "provisioned-power"; }
+  [[nodiscard]] bool consumption_sensitive() const override { return false; }
+
+ private:
+  Watts provisioned_;
+  Usd per_kw_month_;
+};
+
+}  // namespace cebis::billing
+
+#endif  // CEBIS_BILLING_CONTRACTS_H

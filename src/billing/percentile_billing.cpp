@@ -1,0 +1,62 @@
+#include "billing/percentile_billing.h"
+
+#include <stdexcept>
+
+#include "stats/percentile.h"
+
+namespace cebis::billing {
+
+double billed_rate_p95(std::span<const double> samples) {
+  return stats::p95(samples);
+}
+
+BurstBudget95::BurstBudget95(double reference, double percentile)
+    : reference_(reference), burst_quota_(1.0 - percentile / 100.0) {
+  if (reference < 0.0) throw std::invalid_argument("BurstBudget95: negative reference");
+  if (percentile <= 0.0 || percentile >= 100.0) {
+    throw std::invalid_argument("BurstBudget95: percentile outside (0,100)");
+  }
+}
+
+bool BurstBudget95::can_burst() const noexcept {
+  // Bursting now is safe iff the exceedance count stays within quota
+  // after this interval.
+  const double allowed =
+      burst_quota_ * static_cast<double>(intervals_ + 1);
+  return static_cast<double>(bursts_ + 1) <= allowed;
+}
+
+void BurstBudget95::record(double load) {
+  ++intervals_;
+  if (load > reference_ * (1.0 + 1e-9)) ++bursts_;
+}
+
+double BurstBudget95::burst_fraction() const noexcept {
+  if (intervals_ == 0) return 0.0;
+  return static_cast<double>(bursts_) / static_cast<double>(intervals_);
+}
+
+FleetBurstBudgets::FleetBurstBudgets(std::span<const double> references,
+                                     double percentile) {
+  budgets_.reserve(references.size());
+  for (double r : references) budgets_.emplace_back(r, percentile);
+}
+
+BurstBudget95& FleetBurstBudgets::at(std::size_t cluster) {
+  if (cluster >= budgets_.size()) throw std::out_of_range("FleetBurstBudgets::at");
+  return budgets_[cluster];
+}
+
+const BurstBudget95& FleetBurstBudgets::at(std::size_t cluster) const {
+  if (cluster >= budgets_.size()) throw std::out_of_range("FleetBurstBudgets::at");
+  return budgets_[cluster];
+}
+
+void FleetBurstBudgets::record_all(std::span<const double> loads) {
+  if (loads.size() != budgets_.size()) {
+    throw std::invalid_argument("FleetBurstBudgets::record_all: size mismatch");
+  }
+  for (std::size_t i = 0; i < loads.size(); ++i) budgets_[i].record(loads[i]);
+}
+
+}  // namespace cebis::billing

@@ -1,0 +1,89 @@
+#include "carbon/carbon_intensity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "carbon/generation_mix.h"
+#include "market/price_model.h"
+#include "stats/rng.h"
+
+namespace cebis::carbon {
+
+CarbonIntensityModel::CarbonIntensityModel(const market::HubRegistry& hubs,
+                                           IntensityModelParams params,
+                                           std::uint64_t seed)
+    : hubs_(hubs), params_(params), seed_(seed) {}
+
+market::PriceSet CarbonIntensityModel::generate(const Period& period) const {
+  const Period study = study_period();
+  if (period.begin < study.begin) {
+    throw std::invalid_argument("CarbonIntensityModel: period before study epoch");
+  }
+
+  market::PriceSet out;
+  out.period = period;
+  out.rt.resize(hubs_.size());
+  out.da.resize(hubs_.size());
+
+  // One wind process per RTO (wind output is regionally correlated).
+  std::vector<double> wind(market::kRtoCount, 0.5);
+  std::vector<stats::Rng> rng;
+  for (int r = 0; r < market::kRtoCount; ++r) {
+    rng.push_back(stats::Rng(seed_).split(static_cast<std::uint64_t>(r)));
+    wind[static_cast<std::size_t>(r)] =
+        0.5 + rng.back().normal(0.0, params_.wind_sigma);
+  }
+  const double inno =
+      params_.wind_sigma *
+      std::sqrt(std::max(0.0, 1.0 - params_.wind_phi * params_.wind_phi));
+
+  std::vector<std::vector<double>> series(hubs_.size());
+  for (HubId id : hubs_.hourly_hubs()) {
+    series[id.index()].reserve(static_cast<std::size_t>(period.hours()));
+  }
+
+  for (HourIndex t = study.begin; t < period.end; ++t) {
+    for (int r = 0; r < market::kRtoCount; ++r) {
+      auto& w = wind[static_cast<std::size_t>(r)];
+      w = 0.5 + params_.wind_phi * (w - 0.5) +
+          rng[static_cast<std::size_t>(r)].normal(0.0, inno);
+    }
+    if (!period.contains(t)) continue;
+
+    for (HubId id : hubs_.hourly_hubs()) {
+      const market::HubInfo& hub = hubs_.info(id);
+      // Load level from the regional diurnal demand shape (prices and
+      // demand peak together).
+      const int local = local_hour_of_day(t, hub.utc_offset_hours);
+      const bool weekend = is_weekend(local_weekday(t, hub.utc_offset_hours));
+      const double diurnal = market::diurnal_multiplier(local, weekend);
+      // Map the multiplier range (~0.65..1.3) onto load level [0,1].
+      const double load = std::clamp((diurnal - 0.65) / 0.65, 0.0, 1.0);
+
+      double wind_avail =
+          std::clamp(wind[static_cast<std::size_t>(hub.rto)], 0.0, 1.0);
+      FuelMix mix = dispatch(hub.rto, load, wind_avail);
+      if (params_.seasonal_hydro) {
+        // Spring runoff: hydro displaces gas in proportion to the
+        // regional hydro share and the seasonal curve.
+        const double hydro_boost =
+            (market::hydro_seasonal_curve(month_index(t)) < 0.9) ? 0.05 : 0.0;
+        const auto gas = static_cast<std::size_t>(Fuel::kGas);
+        const auto hydro = static_cast<std::size_t>(Fuel::kHydro);
+        const double shift = std::min(mix[gas], hydro_boost);
+        mix[gas] -= shift;
+        mix[hydro] += shift;
+      }
+      series[id.index()].push_back(mix_intensity(mix));
+    }
+  }
+
+  for (HubId id : hubs_.hourly_hubs()) {
+    out.rt[id.index()] =
+        market::HourlySeries(period, std::move(series[id.index()]));
+  }
+  return out;
+}
+
+}  // namespace cebis::carbon

@@ -1,0 +1,48 @@
+#ifndef CEBIS_CARBON_CARBON_INTENSITY_H
+#define CEBIS_CARBON_CARBON_INTENSITY_H
+
+// Hourly carbon intensity series per hub, assembled from the regional
+// dispatch model plus a stochastic wind process. Packaged as a
+// market::PriceSet (values in kg CO2 / MWh) so the simulation engine can
+// route or meter by intensity exactly the way it routes by price - the
+// §8 extension reuses the entire §6 machinery.
+
+#include <cstdint>
+
+#include "market/hub.h"
+#include "market/price_series.h"
+
+namespace cebis::carbon {
+
+struct IntensityModelParams {
+  /// AR(1) wind availability (hourly): mean 0.5, clamped to [0,1].
+  double wind_phi = 0.95;
+  double wind_sigma = 0.22;
+  /// Seasonal hydro scaling applied to the hydro share (spring runoff
+  /// lowers intensity in hydro regions).
+  bool seasonal_hydro = true;
+};
+
+class CarbonIntensityModel {
+ public:
+  CarbonIntensityModel(const market::HubRegistry& hubs, IntensityModelParams params,
+                       std::uint64_t seed);
+
+  explicit CarbonIntensityModel(std::uint64_t seed)
+      : CarbonIntensityModel(market::HubRegistry::instance(),
+                             IntensityModelParams{}, seed) {}
+
+  /// Hourly intensities (kg CO2/MWh) for every hourly hub, in PriceSet
+  /// form. Deterministic given the seed; window-invariant like the
+  /// market simulator.
+  [[nodiscard]] market::PriceSet generate(const Period& period) const;
+
+ private:
+  const market::HubRegistry& hubs_;
+  IntensityModelParams params_;
+  std::uint64_t seed_;
+};
+
+}  // namespace cebis::carbon
+
+#endif  // CEBIS_CARBON_CARBON_INTENSITY_H

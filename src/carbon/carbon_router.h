@@ -1,0 +1,54 @@
+#ifndef CEBIS_CARBON_CARBON_ROUTER_H
+#define CEBIS_CARBON_CARBON_ROUTER_H
+
+// §8 "Environmental Cost": route by environmental impact instead of (or
+// blended with) dollars. Reuses the full §6 simulation machinery by
+// synthesizing the routing objective as a per-hub hourly series.
+
+#include "carbon/carbon_intensity.h"
+#include "core/experiment.h"
+
+namespace cebis::carbon {
+
+/// Outcome of one objective choice.
+struct CarbonRunSummary {
+  double cost_usd = 0.0;
+  double carbon_kg = 0.0;
+  double mean_distance_km = 0.0;
+};
+
+/// Cost-vs-carbon trade-off point: route by the blended objective
+/// alpha * normalized_price + (1 - alpha) * normalized_intensity.
+/// alpha = 1 is the paper's §6 optimizer; alpha = 0 is pure carbon.
+struct TradeOffPoint {
+  double alpha = 1.0;
+  CarbonRunSummary optimizer;
+};
+
+/// Blend two per-hub series into a routing objective. Both inputs are
+/// normalized by their fleet-wide means so the blend weight is
+/// dimensionless.
+[[nodiscard]] market::PriceSet blend_objective(const market::PriceSet& prices,
+                                               const market::PriceSet& intensity,
+                                               double alpha);
+
+/// Runs the price-aware router against the blended objective and meters
+/// both dollars and kilograms. `scenario.enforce_p95` etc. apply.
+[[nodiscard]] CarbonRunSummary run_blended(const core::Fixture& fixture,
+                                           const market::PriceSet& intensity,
+                                           const core::Scenario& scenario,
+                                           double alpha);
+
+/// Baseline (Akamai-like) metering of both dollars and kilograms.
+[[nodiscard]] CarbonRunSummary run_baseline_carbon(const core::Fixture& fixture,
+                                                   const market::PriceSet& intensity,
+                                                   const core::Scenario& scenario);
+
+/// Sweep alpha over [0,1] to trace the §8 trade-off curve.
+[[nodiscard]] std::vector<TradeOffPoint> trade_off_curve(
+    const core::Fixture& fixture, const market::PriceSet& intensity,
+    const core::Scenario& scenario, int points = 5);
+
+}  // namespace cebis::carbon
+
+#endif  // CEBIS_CARBON_CARBON_ROUTER_H

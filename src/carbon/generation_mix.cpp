@@ -1,0 +1,95 @@
+#include "carbon/generation_mix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cebis::carbon {
+
+std::string_view to_string(Fuel f) noexcept {
+  switch (f) {
+    case Fuel::kCoal: return "coal";
+    case Fuel::kGas: return "gas";
+    case Fuel::kNuclear: return "nuclear";
+    case Fuel::kHydro: return "hydro";
+    case Fuel::kWind: return "wind";
+    case Fuel::kOther: return "other";
+  }
+  return "?";
+}
+
+double emission_factor(Fuel f) noexcept {
+  // kg CO2 / MWh, lifecycle estimates of the era.
+  switch (f) {
+    case Fuel::kCoal: return 950.0;
+    case Fuel::kGas: return 450.0;
+    case Fuel::kNuclear: return 12.0;
+    case Fuel::kHydro: return 24.0;
+    case Fuel::kWind: return 11.0;
+    case Fuel::kOther: return 600.0;  // oil peakers etc.
+  }
+  return 0.0;
+}
+
+FuelMix base_mix(market::Rto rto) noexcept {
+  using market::Rto;
+  // shares: coal, gas, nuclear, hydro, wind, other
+  switch (rto) {
+    case Rto::kErcot: return {0.34, 0.48, 0.10, 0.01, 0.05, 0.02};
+    case Rto::kCaiso: return {0.08, 0.45, 0.15, 0.20, 0.05, 0.07};
+    case Rto::kPjm: return {0.52, 0.16, 0.26, 0.02, 0.01, 0.03};
+    case Rto::kMiso: return {0.62, 0.12, 0.18, 0.02, 0.04, 0.02};
+    case Rto::kNyiso: return {0.14, 0.38, 0.26, 0.16, 0.01, 0.05};
+    case Rto::kIsoNe: return {0.14, 0.42, 0.28, 0.07, 0.01, 0.08};
+    case Rto::kNonMarket: return {0.06, 0.12, 0.04, 0.74, 0.03, 0.01};
+  }
+  return {0, 0, 0, 0, 0, 0};
+}
+
+FuelMix dispatch(market::Rto rto, double load_level, double wind_availability) {
+  const double load = std::clamp(load_level, 0.0, 1.0);
+  const double wind_avail = std::clamp(wind_availability, 0.0, 1.0);
+  const FuelMix base = base_mix(rto);
+
+  // Inflexible resources generate a constant absolute amount; the
+  // marginal resource (gas, plus a sliver of "other" peakers at the very
+  // top) fills the gap between trough and peak demand. Work in absolute
+  // units where peak demand = 1 and trough = 0.55.
+  constexpr double kTrough = 0.55;
+  const double demand = kTrough + (1.0 - kTrough) * load;
+
+  FuelMix abs{};
+  const double coal = base[0] * 0.90;      // base-load, mild ramping
+  const double nuclear = base[2];          // flat
+  const double hydro = base[3] * (0.8 + 0.2 * load);  // some load-following
+  const double wind = base[4] * 2.0 * wind_avail;     // varies 0..2x average
+  abs[static_cast<int>(Fuel::kCoal)] = coal;
+  abs[static_cast<int>(Fuel::kNuclear)] = nuclear;
+  abs[static_cast<int>(Fuel::kHydro)] = hydro;
+  abs[static_cast<int>(Fuel::kWind)] = wind;
+
+  const double inflexible = coal + nuclear + hydro + wind;
+  double gap = std::max(0.0, demand - inflexible);
+  // Peakers ("other") enter only near the top of the stack.
+  const double peaker = load > 0.85 ? gap * 0.15 * (load - 0.85) / 0.15 : 0.0;
+  abs[static_cast<int>(Fuel::kOther)] = peaker;
+  abs[static_cast<int>(Fuel::kGas)] = std::max(0.0, gap - peaker);
+
+  double total = 0.0;
+  for (double v : abs) total += v;
+  FuelMix mix{};
+  if (total > 0.0) {
+    for (int i = 0; i < kFuelCount; ++i) mix[static_cast<std::size_t>(i)] =
+        abs[static_cast<std::size_t>(i)] / total;
+  }
+  return mix;
+}
+
+double mix_intensity(const FuelMix& mix) noexcept {
+  double kg = 0.0;
+  for (int i = 0; i < kFuelCount; ++i) {
+    kg += mix[static_cast<std::size_t>(i)] * emission_factor(static_cast<Fuel>(i));
+  }
+  return kg;
+}
+
+}  // namespace cebis::carbon

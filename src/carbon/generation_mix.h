@@ -1,0 +1,53 @@
+#ifndef CEBIS_CARBON_GENERATION_MIX_H
+#define CEBIS_CARBON_GENERATION_MIX_H
+
+// Regional generation dispatch model backing the §8 "Environmental Cost"
+// extension. Each RTO has a dispatch stack: base-load resources (nuclear,
+// coal, hydro) run continuously; gas units are the marginal resource and
+// scale with the load level; wind varies stochastically. The hourly fuel
+// mix gives an hourly carbon intensity that varies on exactly the time
+// scales the paper describes (seasonal water, weekly fuel, hourly wind).
+
+#include <array>
+#include <span>
+#include <string_view>
+
+#include "base/simtime.h"
+#include "market/rto.h"
+
+namespace cebis::carbon {
+
+enum class Fuel : int {
+  kCoal = 0,
+  kGas = 1,
+  kNuclear = 2,
+  kHydro = 3,
+  kWind = 4,
+  kOther = 5,
+};
+inline constexpr int kFuelCount = 6;
+
+[[nodiscard]] std::string_view to_string(Fuel f) noexcept;
+
+/// Lifecycle emission factor per fuel, kg CO2 per MWh delivered.
+[[nodiscard]] double emission_factor(Fuel f) noexcept;
+
+/// Generation shares (sum to 1) of each fuel.
+using FuelMix = std::array<double, kFuelCount>;
+
+/// Long-run (annual average) mix per region; 2006-2009 era shares (e.g.
+/// ERCOT heavily gas, MISO/PJM coal-heavy, Northwest hydro-dominated).
+[[nodiscard]] FuelMix base_mix(market::Rto rto) noexcept;
+
+/// Dispatch the stack for a given load level in [0,1] (0 = overnight
+/// trough, 1 = regional peak) and a wind availability factor in [0,1]:
+/// base-load shares shrink as marginal gas ramps in, wind displaces gas.
+[[nodiscard]] FuelMix dispatch(market::Rto rto, double load_level,
+                               double wind_availability);
+
+/// Carbon intensity of a mix, kg CO2 / MWh.
+[[nodiscard]] double mix_intensity(const FuelMix& mix) noexcept;
+
+}  // namespace cebis::carbon
+
+#endif  // CEBIS_CARBON_GENERATION_MIX_H

@@ -1,0 +1,78 @@
+#include "core/baseline_routers.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cebis::core {
+
+AkamaiLikeRouter::AkamaiLikeRouter(const traffic::BaselineAllocation& alloc)
+    : alloc_(alloc) {}
+
+void AkamaiLikeRouter::route(const RoutingContext& ctx, Allocation& out) {
+  out.clear();
+  if (ctx.demand.size() != alloc_.state_count()) {
+    throw std::invalid_argument("AkamaiLikeRouter::route: state count mismatch");
+  }
+  for (std::size_t s = 0; s < ctx.demand.size(); ++s) {
+    const double d = ctx.demand[s];
+    if (d <= 0.0) continue;
+    const StateId state{static_cast<std::int32_t>(s)};
+    for (std::size_t k = 0; k < traffic::kClusterCount; ++k) {
+      const double w = alloc_.cluster_weight(state, k);
+      if (w > 0.0) out.add(s, k, d * w);
+    }
+  }
+}
+
+StaticCheapestRouter::StaticCheapestRouter(std::size_t target_cluster)
+    : target_(target_cluster) {}
+
+void StaticCheapestRouter::route(const RoutingContext& ctx, Allocation& out) {
+  out.clear();
+  if (target_ >= ctx.capacity.size()) {
+    throw std::invalid_argument("StaticCheapestRouter::route: bad target");
+  }
+  for (std::size_t s = 0; s < ctx.demand.size(); ++s) {
+    if (ctx.demand[s] > 0.0) out.add(s, target_, ctx.demand[s]);
+  }
+}
+
+ClosestRouter::ClosestRouter(const geo::DistanceModel& distances,
+                             std::size_t cluster_count)
+    : cluster_count_(cluster_count) {
+  if (cluster_count_ == 0 || cluster_count_ > distances.site_count()) {
+    throw std::invalid_argument("ClosestRouter: bad cluster count");
+  }
+  by_distance_.reserve(distances.state_count());
+  for (std::size_t s = 0; s < distances.state_count(); ++s) {
+    const StateId state{static_cast<std::int32_t>(s)};
+    std::vector<std::size_t> order(cluster_count_);
+    for (std::size_t c = 0; c < cluster_count_; ++c) order[c] = c;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return distances.distance(state, a) < distances.distance(state, b);
+    });
+    by_distance_.push_back(std::move(order));
+  }
+}
+
+void ClosestRouter::route(const RoutingContext& ctx, Allocation& out) {
+  out.clear();
+  if (ctx.demand.size() != by_distance_.size()) {
+    throw std::invalid_argument("ClosestRouter::route: state count mismatch");
+  }
+  for (std::size_t s = 0; s < ctx.demand.size(); ++s) {
+    double remaining = ctx.demand[s];
+    if (remaining <= 0.0) continue;
+    for (std::size_t c : by_distance_[s]) {
+      if (remaining <= 0.0) break;
+      const double room = ctx.limit(c) - out.cluster_total(c);
+      if (room <= 0.0) continue;
+      const double take = std::min(remaining, room);
+      out.add(s, c, take);
+      remaining -= take;
+    }
+    if (remaining > 0.0) out.add(s, by_distance_[s].front(), remaining);
+  }
+}
+
+}  // namespace cebis::core

@@ -1,0 +1,56 @@
+#ifndef CEBIS_CORE_BASELINE_ROUTERS_H
+#define CEBIS_CORE_BASELINE_ROUTERS_H
+
+// The comparison routers from the paper's simulations (§6):
+//  - AkamaiLikeRouter: replays the baseline allocation's static
+//    state->cluster weights ("Akamai's original allocation").
+//  - StaticCheapestRouter: everything to one designated cluster (the
+//    "move all servers to the cheapest market" static solution, §6.3).
+//    Use with consolidate_clusters() so servers move too.
+//  - ClosestRouter: pure proximity (the distance-optimal scheme; also
+//    the Theta=0 degenerate case of the price optimizer).
+
+#include "core/routing.h"
+#include "traffic/akamai_allocation.h"
+
+namespace cebis::core {
+
+class AkamaiLikeRouter final : public Router {
+ public:
+  explicit AkamaiLikeRouter(const traffic::BaselineAllocation& alloc);
+
+  void route(const RoutingContext& ctx, Allocation& out) override;
+  [[nodiscard]] std::string_view name() const override { return "akamai-like"; }
+
+ private:
+  const traffic::BaselineAllocation& alloc_;
+};
+
+class StaticCheapestRouter final : public Router {
+ public:
+  explicit StaticCheapestRouter(std::size_t target_cluster);
+
+  void route(const RoutingContext& ctx, Allocation& out) override;
+  [[nodiscard]] std::string_view name() const override { return "static-cheapest"; }
+
+  [[nodiscard]] std::size_t target() const noexcept { return target_; }
+
+ private:
+  std::size_t target_;
+};
+
+class ClosestRouter final : public Router {
+ public:
+  ClosestRouter(const geo::DistanceModel& distances, std::size_t cluster_count);
+
+  void route(const RoutingContext& ctx, Allocation& out) override;
+  [[nodiscard]] std::string_view name() const override { return "closest"; }
+
+ private:
+  std::size_t cluster_count_;
+  std::vector<std::vector<std::size_t>> by_distance_;  // per state
+};
+
+}  // namespace cebis::core
+
+#endif  // CEBIS_CORE_BASELINE_ROUTERS_H

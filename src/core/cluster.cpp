@@ -1,0 +1,60 @@
+#include "core/cluster.h"
+
+#include <stdexcept>
+
+#include "market/hub.h"
+
+namespace cebis::core {
+
+std::vector<Cluster> build_clusters(const traffic::ClusterLoads& baseline_loads,
+                                    const traffic::ProfileConfig& config) {
+  const auto& cities = traffic::ServerCityRegistry::instance();
+  const auto& hubs = market::HubRegistry::instance();
+  const std::vector<traffic::ClusterProfile> profiles =
+      traffic::build_cluster_profiles(baseline_loads, config);
+
+  std::vector<Cluster> out;
+  out.reserve(profiles.size());
+  for (std::size_t k = 0; k < profiles.size(); ++k) {
+    Cluster c;
+    c.id = ClusterId{static_cast<std::int32_t>(k)};
+    c.hub = cities.cluster_hub(k);
+    c.label = cities.cluster_label(k);
+    c.location = hubs.info(c.hub).location;
+    c.servers = profiles[k].servers;
+    c.capacity = profiles[k].capacity;
+    c.p95_reference = profiles[k].p95;
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<Cluster> consolidate_clusters(const std::vector<Cluster>& clusters,
+                                          std::size_t target) {
+  if (target >= clusters.size()) {
+    throw std::out_of_range("consolidate_clusters: bad target");
+  }
+  int total_servers = 0;
+  double total_capacity = 0.0;
+  double total_p95 = 0.0;
+  for (const auto& c : clusters) {
+    total_servers += c.servers;
+    total_capacity += c.capacity.value();
+    total_p95 += c.p95_reference.value();
+  }
+  std::vector<Cluster> out = clusters;
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    if (k == target) {
+      out[k].servers = total_servers;
+      out[k].capacity = HitsPerSec{total_capacity};
+      out[k].p95_reference = HitsPerSec{total_p95};
+    } else {
+      out[k].servers = 0;
+      out[k].capacity = HitsPerSec{0.0};
+      out[k].p95_reference = HitsPerSec{0.0};
+    }
+  }
+  return out;
+}
+
+}  // namespace cebis::core

@@ -1,0 +1,126 @@
+#include "core/experiment.h"
+
+#include <stdexcept>
+
+#include "stats/descriptive.h"
+
+namespace cebis::core {
+
+namespace {
+
+std::vector<geo::LatLon> cluster_locations(const std::vector<Cluster>& clusters) {
+  std::vector<geo::LatLon> out;
+  out.reserve(clusters.size());
+  for (const auto& c : clusters) out.push_back(c.location);
+  return out;
+}
+
+std::unique_ptr<Workload> make_workload(const Fixture& f, WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kTrace24Day:
+      return std::make_unique<TraceWorkload>(f.trace, f.allocation);
+    case WorkloadKind::kSynthetic39Month: {
+      // Leave a 48h front margin inside the priced study period so
+      // delayed routing (hour - delay) stays covered.
+      const Period study = study_period();
+      return std::make_unique<SyntheticWorkload39>(
+          f.synthetic, f.allocation, Period{study.begin + 48, study.end});
+    }
+  }
+  throw std::invalid_argument("make_workload: bad kind");
+}
+
+EngineConfig engine_config(const Scenario& s) {
+  EngineConfig cfg;
+  cfg.energy = s.energy;
+  cfg.delay_hours = s.delay_hours;
+  cfg.enforce_p95 = s.enforce_p95;
+  return cfg;
+}
+
+}  // namespace
+
+Fixture Fixture::make(std::uint64_t seed) {
+  market::MarketSimulator market_sim(seed);
+  traffic::TraceGenerator trace_gen(seed + 1);
+
+  // The engine reads prices at hour - delay; pad the front so delays up
+  // to 48h stay inside the generated period.
+  Period priced = study_period();
+
+  market::PriceSet prices = market_sim.generate(priced);
+  traffic::TrafficTrace trace = trace_gen.generate(trace_period());
+  traffic::BaselineAllocation allocation(seed + 2);
+  traffic::ClusterLoads loads = traffic::baseline_cluster_loads(trace, allocation);
+  std::vector<Cluster> clusters = build_clusters(loads);
+  geo::DistanceModel distances(geo::StateRegistry::instance().all(),
+                               cluster_locations(clusters));
+  traffic::SyntheticWorkload synthetic(trace);
+
+  return Fixture{seed,
+                 std::move(prices),
+                 std::move(trace),
+                 std::move(allocation),
+                 std::move(loads),
+                 std::move(clusters),
+                 std::move(distances),
+                 std::move(synthetic)};
+}
+
+std::size_t Fixture::cheapest_cluster() const {
+  std::size_t best = 0;
+  double best_mean = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    const double mean =
+        stats::mean(prices.rt.at(clusters[c].hub.index()).values());
+    if (mean < best_mean) {
+      best_mean = mean;
+      best = c;
+    }
+  }
+  return best;
+}
+
+RunResult run_baseline(const Fixture& f, const Scenario& s) {
+  // The baseline allocation ignores prices/limits, so constraints off.
+  EngineConfig cfg = engine_config(s);
+  cfg.enforce_p95 = false;
+  SimulationEngine engine(f.clusters, f.prices, f.distances, cfg);
+  AkamaiLikeRouter router(f.allocation);
+  return engine.run(*make_workload(f, s.workload), router);
+}
+
+RunResult run_price_aware(const Fixture& f, const Scenario& s) {
+  SimulationEngine engine(f.clusters, f.prices, f.distances, engine_config(s));
+  PriceAwareConfig cfg;
+  cfg.distance_threshold = s.distance_threshold;
+  cfg.price_threshold = s.price_threshold;
+  // Constrained runs fall back to the baseline pipeline when candidate
+  // clusters are exhausted (see PriceAwareRouter docs).
+  const traffic::BaselineAllocation* fallback =
+      s.enforce_p95 ? &f.allocation : nullptr;
+  PriceAwareRouter router(f.distances, f.clusters.size(), cfg, fallback);
+  return engine.run(*make_workload(f, s.workload), router);
+}
+
+RunResult run_closest(const Fixture& f, const Scenario& s) {
+  SimulationEngine engine(f.clusters, f.prices, f.distances, engine_config(s));
+  ClosestRouter router(f.distances, f.clusters.size());
+  return engine.run(*make_workload(f, s.workload), router);
+}
+
+RunResult run_static_cheapest(const Fixture& f, const Scenario& s) {
+  const std::size_t target = f.cheapest_cluster();
+  EngineConfig cfg = engine_config(s);
+  cfg.enforce_p95 = false;  // servers are relocated; 95/5 baselines moot
+  SimulationEngine engine(consolidate_clusters(f.clusters, target), f.prices,
+                          f.distances, cfg);
+  StaticCheapestRouter router(target);
+  return engine.run(*make_workload(f, s.workload), router);
+}
+
+SavingsReport price_aware_savings(const Fixture& f, const Scenario& s) {
+  return compare(run_baseline(f, s), run_price_aware(f, s));
+}
+
+}  // namespace cebis::core

@@ -1,0 +1,74 @@
+#ifndef CEBIS_CORE_EXPERIMENT_H
+#define CEBIS_CORE_EXPERIMENT_H
+
+// One-stop experiment fixture and scenario runners. Benches and
+// integration tests build a Fixture once (prices for the study period,
+// the 24-day trace, the baseline allocation, clusters and distance
+// model) and then run scenarios against it.
+
+#include <cstdint>
+#include <memory>
+
+#include "core/baseline_routers.h"
+#include "core/price_aware_router.h"
+#include "core/savings.h"
+#include "core/simulation.h"
+#include "market/market_simulator.h"
+#include "traffic/trace_generator.h"
+
+namespace cebis::core {
+
+struct Fixture {
+  std::uint64_t seed = 2009;
+
+  market::PriceSet prices;  ///< full study period, all hourly hubs
+  traffic::TrafficTrace trace;
+  traffic::BaselineAllocation allocation;
+  traffic::ClusterLoads baseline_loads;
+  std::vector<Cluster> clusters;
+  geo::DistanceModel distances;  ///< states x clusters
+  traffic::SyntheticWorkload synthetic;
+
+  /// Builds everything deterministically from one seed. Generates the
+  /// full 39-month price history (so 24-day and 39-month scenarios see
+  /// identical hours) and the 24-day trace.
+  [[nodiscard]] static Fixture make(std::uint64_t seed = 2009);
+
+  /// Index of the cluster whose hub has the lowest mean RT price over
+  /// the study period (the static relocation target of §6.3).
+  [[nodiscard]] std::size_t cheapest_cluster() const;
+};
+
+enum class WorkloadKind {
+  kTrace24Day,       ///< 5-minute trace, 24 days (paper §6.2)
+  kSynthetic39Month, ///< hourly synthetic workload, Jan 2006 - Mar 2009 (§6.3)
+};
+
+struct Scenario {
+  energy::EnergyModelParams energy;
+  Km distance_threshold{1500.0};
+  UsdPerMwh price_threshold{5.0};
+  bool enforce_p95 = true;
+  int delay_hours = 1;
+  WorkloadKind workload = WorkloadKind::kTrace24Day;
+};
+
+/// Baseline (Akamai-like) run: same energy model and workload, static
+/// allocation, no constraints needed (it defines them).
+[[nodiscard]] RunResult run_baseline(const Fixture& f, const Scenario& s);
+
+/// The price-conscious optimizer run.
+[[nodiscard]] RunResult run_price_aware(const Fixture& f, const Scenario& s);
+
+/// Closest-cluster (distance-optimal) run.
+[[nodiscard]] RunResult run_closest(const Fixture& f, const Scenario& s);
+
+/// Static solution: all servers and traffic moved to the cheapest hub.
+[[nodiscard]] RunResult run_static_cheapest(const Fixture& f, const Scenario& s);
+
+/// Convenience: baseline vs price-aware savings for a scenario.
+[[nodiscard]] SavingsReport price_aware_savings(const Fixture& f, const Scenario& s);
+
+}  // namespace cebis::core
+
+#endif  // CEBIS_CORE_EXPERIMENT_H

@@ -1,0 +1,85 @@
+#include "core/joint_router.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace cebis::core {
+
+JointObjectiveRouter::JointObjectiveRouter(const geo::DistanceModel& distances,
+                                           std::size_t cluster_count,
+                                           JointObjectiveConfig config)
+    : config_(config), cluster_count_(cluster_count) {
+  if (cluster_count_ == 0 || cluster_count_ > distances.site_count()) {
+    throw std::invalid_argument("JointObjectiveRouter: bad cluster count");
+  }
+  if (config_.lambda_usd_per_mwh_km < 0.0 || config_.free_km.value() < 0.0) {
+    throw std::invalid_argument("JointObjectiveRouter: negative penalty config");
+  }
+  distance_km_.reserve(distances.state_count());
+  by_distance_.reserve(distances.state_count());
+  for (std::size_t s = 0; s < distances.state_count(); ++s) {
+    const StateId state{static_cast<std::int32_t>(s)};
+    std::vector<double> row(cluster_count_);
+    for (std::size_t c = 0; c < cluster_count_; ++c) {
+      row[c] = distances.distance(state, c).value();
+    }
+    std::vector<std::size_t> order(cluster_count_);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&row](std::size_t a, std::size_t b) { return row[a] < row[b]; });
+    distance_km_.push_back(std::move(row));
+    by_distance_.push_back(std::move(order));
+  }
+}
+
+void JointObjectiveRouter::route(const RoutingContext& ctx, Allocation& out) {
+  if (ctx.demand.size() != distance_km_.size() ||
+      ctx.price.size() != cluster_count_ || ctx.capacity.size() != cluster_count_) {
+    throw std::invalid_argument("JointObjectiveRouter::route: context mismatch");
+  }
+  out.clear();
+
+  for (std::size_t s = 0; s < distance_km_.size(); ++s) {
+    double remaining = ctx.demand[s];
+    if (remaining <= 0.0) continue;
+
+    objective_.resize(cluster_count_);
+    for (std::size_t c = 0; c < cluster_count_; ++c) {
+      const double excess =
+          std::max(0.0, distance_km_[s][c] - config_.free_km.value());
+      objective_[c] = ctx.price[c] + config_.lambda_usd_per_mwh_km * excess;
+    }
+    order_.resize(cluster_count_);
+    std::iota(order_.begin(), order_.end(), std::size_t{0});
+    std::sort(order_.begin(), order_.end(), [this](std::size_t a, std::size_t b) {
+      return objective_[a] < objective_[b];
+    });
+
+    // Greedy fill in objective order under the interval limits, then
+    // capacity only, finally overload the closest cluster.
+    for (std::size_t c : order_) {
+      if (remaining <= 0.0) break;
+      const double room = ctx.limit(c) - out.cluster_total(c);
+      if (room <= 0.0) continue;
+      const double take = std::min(remaining, room);
+      out.add(s, c, take);
+      remaining -= take;
+    }
+    if (remaining > 0.0) {
+      for (std::size_t c : order_) {
+        if (remaining <= 0.0) break;
+        const double room = ctx.capacity[c] - out.cluster_total(c);
+        if (room <= 0.0) continue;
+        const double take = std::min(remaining, room);
+        out.add(s, c, take);
+        remaining -= take;
+      }
+    }
+    if (remaining > 0.0) {
+      out.add(s, by_distance_[s].front(), remaining);
+    }
+  }
+}
+
+}  // namespace cebis::core

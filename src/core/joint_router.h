@@ -1,0 +1,59 @@
+#ifndef CEBIS_CORE_JOINT_ROUTER_H
+#define CEBIS_CORE_JOINT_ROUTER_H
+
+// Joint optimization (paper §8 "Implementing Joint Optimization"):
+// "Existing systems already have frameworks in place that engineer
+// traffic to optimize for bandwidth costs, performance, and reliability.
+// Dynamic energy costs represent another input that should be integrated
+// into such frameworks."
+//
+// Where the paper's evaluation optimizer treats distance as a hard
+// constraint (a radial threshold), an integrated framework would trade
+// the two off smoothly. JointObjectiveRouter assigns each client to the
+// cluster minimizing
+//
+//     price[c]  +  lambda * max(0, distance(s, c) - free_km)
+//
+// with lambda in $/MWh per km: lambda -> 0 recovers the pure price
+// optimizer, lambda -> infinity recovers closest-cluster routing, and
+// the sweep in between traces a smooth cost-vs-performance frontier
+// (bench_ablation_joint_objective compares it against the hard
+// threshold's frontier).
+
+#include "core/routing.h"
+
+namespace cebis::core {
+
+struct JointObjectiveConfig {
+  /// Distance penalty, $/MWh per kilometre beyond the free radius.
+  double lambda_usd_per_mwh_km = 0.01;
+  /// Distance that incurs no penalty (clients must be served somewhere
+  /// nearby anyway).
+  Km free_km{100.0};
+};
+
+class JointObjectiveRouter final : public Router {
+ public:
+  JointObjectiveRouter(const geo::DistanceModel& distances,
+                       std::size_t cluster_count, JointObjectiveConfig config);
+
+  void route(const RoutingContext& ctx, Allocation& out) override;
+
+  [[nodiscard]] std::string_view name() const override { return "joint-objective"; }
+
+  [[nodiscard]] const JointObjectiveConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  JointObjectiveConfig config_;
+  std::size_t cluster_count_;
+  std::vector<std::vector<double>> distance_km_;       // [state][cluster]
+  std::vector<std::vector<std::size_t>> by_distance_;  // [state] cluster order
+  std::vector<std::size_t> order_;                     // scratch
+  std::vector<double> objective_;                      // scratch
+};
+
+}  // namespace cebis::core
+
+#endif  // CEBIS_CORE_JOINT_ROUTER_H

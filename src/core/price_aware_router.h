@@ -1,0 +1,75 @@
+#ifndef CEBIS_CORE_PRICE_AWARE_ROUTER_H
+#define CEBIS_CORE_PRICE_AWARE_ROUTER_H
+
+// The paper's distance-constrained electricity price optimizer (§6.1):
+//
+//   "Given a client, the price-conscious optimizer maps it to a cluster
+//    with the lowest price, only considering clusters within some
+//    maximum radial geographic distance. For clients that do not have
+//    any clusters within that maximum distance, the routing scheme
+//    finds the closest cluster and considers any other nearby clusters
+//    (< 50km). If the selected cluster is nearing its capacity (or the
+//    95/5 boundary), the optimizer iteratively finds another good
+//    cluster."
+//
+// Two knobs modulate behaviour: the distance threshold (0 degenerates to
+// closest-cluster routing; continent-scale gives the pure price
+// optimizer) and the price threshold (differentials below $5/MWh are
+// ignored).
+
+#include <vector>
+
+#include "core/routing.h"
+#include "traffic/akamai_allocation.h"
+
+namespace cebis::core {
+
+struct PriceAwareConfig {
+  Km distance_threshold{1500.0};
+  UsdPerMwh price_threshold{5.0};
+  /// Extra radius around the closest cluster when nothing is inside the
+  /// distance threshold.
+  Km nearby_slack{50.0};
+};
+
+class PriceAwareRouter final : public Router {
+ public:
+  /// `distances` must be a states x clusters model (same cluster order
+  /// as the RoutingContext arrays). If `fallback` is provided, demand
+  /// that cannot be placed within the candidate set under the interval
+  /// limits is routed per the baseline weights instead of spilling to
+  /// distant clusters - this models bolting the price optimizer onto the
+  /// end of an existing traffic-engineering pipeline (paper §1), and is
+  /// what keeps the 95/5-constrained runs from *increasing*
+  /// client-server distances beyond the baseline's.
+  PriceAwareRouter(const geo::DistanceModel& distances,
+                   std::size_t cluster_count, PriceAwareConfig config,
+                   const traffic::BaselineAllocation* fallback = nullptr);
+
+  void route(const RoutingContext& ctx, Allocation& out) override;
+
+  [[nodiscard]] std::string_view name() const override { return "price-aware"; }
+
+  [[nodiscard]] const PriceAwareConfig& config() const noexcept { return config_; }
+
+ private:
+  PriceAwareConfig config_;
+  std::size_t cluster_count_;
+  const traffic::BaselineAllocation* fallback_ = nullptr;
+
+  // Per-state cluster ids sorted by distance, with the parallel
+  // distances, and how many of them fall inside the threshold.
+  struct StateCandidates {
+    std::vector<std::size_t> by_distance;
+    std::vector<double> distance_km;
+    std::size_t within_threshold = 0;
+  };
+  std::vector<StateCandidates> candidates_;
+
+  // Scratch buffer reused across route() calls.
+  std::vector<std::size_t> order_;
+};
+
+}  // namespace cebis::core
+
+#endif  // CEBIS_CORE_PRICE_AWARE_ROUTER_H

@@ -1,0 +1,42 @@
+#include "core/routing.h"
+
+#include <stdexcept>
+
+namespace cebis::core {
+
+Allocation::Allocation(std::size_t states, std::size_t clusters)
+    : states_(states), clusters_(clusters) {
+  if (states == 0 || clusters == 0) {
+    throw std::invalid_argument("Allocation: empty dimensions");
+  }
+  hits_.assign(states * clusters, 0.0);
+  totals_.assign(clusters, 0.0);
+}
+
+void Allocation::clear() {
+  std::fill(hits_.begin(), hits_.end(), 0.0);
+  std::fill(totals_.begin(), totals_.end(), 0.0);
+}
+
+void Allocation::add(std::size_t state, std::size_t cluster, double hits) {
+  if (state >= states_ || cluster >= clusters_) {
+    throw std::out_of_range("Allocation::add");
+  }
+  if (hits < 0.0) throw std::invalid_argument("Allocation::add: negative hits");
+  hits_[state * clusters_ + cluster] += hits;
+  totals_[cluster] += hits;
+}
+
+double Allocation::hits(std::size_t state, std::size_t cluster) const {
+  if (state >= states_ || cluster >= clusters_) {
+    throw std::out_of_range("Allocation::hits");
+  }
+  return hits_[state * clusters_ + cluster];
+}
+
+double Allocation::cluster_total(std::size_t cluster) const {
+  if (cluster >= clusters_) throw std::out_of_range("Allocation::cluster_total");
+  return totals_[cluster];
+}
+
+}  // namespace cebis::core

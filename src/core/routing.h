@@ -1,0 +1,78 @@
+#ifndef CEBIS_CORE_ROUTING_H
+#define CEBIS_CORE_ROUTING_H
+
+// Request-routing interfaces. A Router maps one interval's per-state
+// demand onto clusters, given (possibly stale) prices and the capacity /
+// 95-5 limits in force. Routers are called once per 5-minute step (trace
+// runs) or per hour (synthetic runs).
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "base/ids.h"
+#include "core/cluster.h"
+#include "geo/distance_model.h"
+
+namespace cebis::core {
+
+/// One interval's assignment of state demand to clusters.
+class Allocation {
+ public:
+  Allocation(std::size_t states, std::size_t clusters);
+
+  void clear();
+  void add(std::size_t state, std::size_t cluster, double hits);
+
+  [[nodiscard]] double hits(std::size_t state, std::size_t cluster) const;
+  [[nodiscard]] double cluster_total(std::size_t cluster) const;
+  [[nodiscard]] std::span<const double> cluster_totals() const noexcept {
+    return totals_;
+  }
+  [[nodiscard]] std::size_t states() const noexcept { return states_; }
+  [[nodiscard]] std::size_t clusters() const noexcept { return clusters_; }
+
+ private:
+  std::size_t states_;
+  std::size_t clusters_;
+  std::vector<double> hits_;    // [state][cluster]
+  std::vector<double> totals_;  // [cluster]
+};
+
+/// Read-only inputs for one routing interval.
+struct RoutingContext {
+  /// Demand per state (subset traffic, hits/s).
+  std::span<const double> demand;
+  /// Routing price per cluster ($/MWh); stale by the configured delay.
+  std::span<const double> price;
+  /// Hard serving limit per cluster (hits/s).
+  std::span<const double> capacity;
+  /// 95/5 reference per cluster; empty when the constraint is relaxed.
+  std::span<const double> p95_limit;
+  /// Per-cluster burst permission for this interval (parallel to
+  /// p95_limit; ignored when p95_limit is empty).
+  std::span<const std::uint8_t> can_burst;
+
+  /// Effective load limit for a cluster this interval.
+  [[nodiscard]] double limit(std::size_t cluster) const {
+    const double cap = capacity[cluster];
+    if (p95_limit.empty()) return cap;
+    if (!can_burst.empty() && can_burst[cluster] != 0) return cap;
+    return std::min(cap, p95_limit[cluster]);
+  }
+};
+
+class Router {
+ public:
+  virtual ~Router() = default;
+
+  /// Routes the interval's demand; `out` is cleared first.
+  virtual void route(const RoutingContext& ctx, Allocation& out) = 0;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+}  // namespace cebis::core
+
+#endif  // CEBIS_CORE_ROUTING_H

@@ -1,0 +1,29 @@
+#include "core/savings.h"
+
+#include <stdexcept>
+
+namespace cebis::core {
+
+SavingsReport compare(const RunResult& baseline, const RunResult& optimized) {
+  if (baseline.cluster_cost.size() != optimized.cluster_cost.size()) {
+    throw std::invalid_argument("compare: cluster count mismatch");
+  }
+  if (baseline.total_cost.value() <= 0.0) {
+    throw std::invalid_argument("compare: baseline cost must be positive");
+  }
+  SavingsReport r;
+  r.normalized_cost = optimized.total_cost.value() / baseline.total_cost.value();
+  r.savings_percent = 100.0 * (1.0 - r.normalized_cost);
+  r.per_cluster_delta_percent.reserve(baseline.cluster_cost.size());
+  for (std::size_t c = 0; c < baseline.cluster_cost.size(); ++c) {
+    r.per_cluster_delta_percent.push_back(
+        100.0 * (optimized.cluster_cost[c] - baseline.cluster_cost[c]) /
+        baseline.total_cost.value());
+  }
+  r.baseline_mean_km = baseline.mean_distance_km;
+  r.optimized_mean_km = optimized.mean_distance_km;
+  r.optimized_p99_km = optimized.p99_distance_km;
+  return r;
+}
+
+}  // namespace cebis::core

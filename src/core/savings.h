@@ -1,0 +1,32 @@
+#ifndef CEBIS_CORE_SAVINGS_H
+#define CEBIS_CORE_SAVINGS_H
+
+// Comparison of simulation runs: normalized cost, percentage savings,
+// and the per-cluster cost deltas behind Fig 19.
+
+#include <vector>
+
+#include "core/simulation.h"
+
+namespace cebis::core {
+
+struct SavingsReport {
+  /// optimized cost / baseline cost (Fig 16/18 y-axis).
+  double normalized_cost = 1.0;
+  /// 100 * (1 - normalized_cost) (Fig 15 y-axis).
+  double savings_percent = 0.0;
+  /// Per-cluster (optimized - baseline) cost as a percentage of the
+  /// baseline *total* (Fig 19 y-axis; sums to -savings_percent).
+  std::vector<double> per_cluster_delta_percent;
+  /// Distance deltas for context.
+  double baseline_mean_km = 0.0;
+  double optimized_mean_km = 0.0;
+  double optimized_p99_km = 0.0;
+};
+
+[[nodiscard]] SavingsReport compare(const RunResult& baseline,
+                                    const RunResult& optimized);
+
+}  // namespace cebis::core
+
+#endif  // CEBIS_CORE_SAVINGS_H

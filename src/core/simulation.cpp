@@ -1,0 +1,226 @@
+#include "core/simulation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "billing/percentile_billing.h"
+#include "stats/percentile.h"
+
+namespace cebis::core {
+
+namespace {
+
+/// Traffic-weighted distance statistics via a fixed-width histogram
+/// (5 km bins to 6000 km): exact mean, percentile to bin resolution.
+class DistanceStats {
+ public:
+  DistanceStats() : bins_(1200, 0.0) {}
+
+  void add(double km, double weight) {
+    sum_ += km * weight;
+    total_ += weight;
+    const auto b = std::min(bins_.size() - 1,
+                            static_cast<std::size_t>(std::max(0.0, km) / 5.0));
+    bins_[b] += weight;
+  }
+
+  [[nodiscard]] double mean() const { return total_ > 0.0 ? sum_ / total_ : 0.0; }
+
+  [[nodiscard]] double percentile(double p) const {
+    if (total_ <= 0.0) return 0.0;
+    const double target = p / 100.0 * total_;
+    double cum = 0.0;
+    for (std::size_t b = 0; b < bins_.size(); ++b) {
+      cum += bins_[b];
+      if (cum >= target) return (static_cast<double>(b) + 0.5) * 5.0;
+    }
+    return 6000.0;
+  }
+
+ private:
+  std::vector<double> bins_;
+  double sum_ = 0.0;
+  double total_ = 0.0;
+};
+
+}  // namespace
+
+SimulationEngine::SimulationEngine(std::vector<Cluster> clusters,
+                                   const market::PriceSet& prices,
+                                   const geo::DistanceModel& distances,
+                                   EngineConfig config,
+                                   const market::PriceSet* secondary)
+    : clusters_(std::move(clusters)),
+      prices_(prices),
+      distances_(distances),
+      config_(config),
+      secondary_(secondary) {
+  if (clusters_.empty()) throw std::invalid_argument("SimulationEngine: no clusters");
+  if (config_.delay_hours < 0) {
+    throw std::invalid_argument("SimulationEngine: negative delay");
+  }
+  if (distances_.site_count() < clusters_.size()) {
+    throw std::invalid_argument("SimulationEngine: distance model too small");
+  }
+}
+
+RunResult SimulationEngine::run(const Workload& workload, Router& router) const {
+  const Period period = workload.period();
+  const Period priced{period.begin - config_.delay_hours, period.end};
+  for (const Cluster& c : clusters_) {
+    if (!prices_.period.contains(priced.begin) ||
+        prices_.rt.at(c.hub.index()).empty()) {
+      throw std::invalid_argument(
+          "SimulationEngine::run: price set does not cover workload (incl. delay)");
+    }
+  }
+
+  const std::size_t n_clusters = clusters_.size();
+  const std::size_t n_states = workload.state_count();
+  const int sph = workload.steps_per_hour();
+  const Hours dt{1.0 / sph};
+  const energy::ClusterEnergyModel model(config_.energy);
+
+  // Routing context buffers.
+  std::vector<double> demand(n_states, 0.0);
+  std::vector<double> price(n_clusters, 0.0);
+  std::vector<double> capacity(n_clusters, 0.0);
+  std::vector<double> cap_factor(n_clusters, 1.0);
+  std::vector<double> p95_limit;
+  std::vector<std::uint8_t> can_burst;
+  for (std::size_t c = 0; c < n_clusters; ++c) {
+    capacity[c] = clusters_[c].capacity.value();
+  }
+  if (config_.enforce_p95) {
+    p95_limit.resize(n_clusters);
+    can_burst.assign(n_clusters, 1);
+    for (std::size_t c = 0; c < n_clusters; ++c) {
+      p95_limit[c] = clusters_[c].p95_reference.value();
+    }
+  }
+  std::vector<double> p95_refs = p95_limit;
+  billing::FleetBurstBudgets budgets(p95_refs.empty() ? std::vector<double>(n_clusters, 0.0)
+                                                      : p95_refs);
+
+  Allocation alloc(n_states, n_clusters);
+  RunResult result;
+  result.cluster_cost.assign(n_clusters, 0.0);
+  result.cluster_energy.assign(n_clusters, 0.0);
+  result.cluster_secondary.assign(n_clusters, 0.0);
+  DistanceStats dist_stats;
+  std::vector<std::vector<double>> load_history(n_clusters);
+  for (auto& v : load_history) v.reserve(static_cast<std::size_t>(workload.steps()));
+
+  if (config_.record_hourly) {
+    result.hourly_energy.assign(static_cast<std::size_t>(period.hours()),
+                                std::vector<double>(n_clusters, 0.0));
+  }
+
+  HourIndex cached_hour = period.begin - 1;
+  for (std::int64_t step = 0; step < workload.steps(); ++step) {
+    const HourIndex hour = period.begin + step / sph;
+
+    if (hour != cached_hour) {
+      cached_hour = hour;
+      for (std::size_t c = 0; c < n_clusters; ++c) {
+        price[c] =
+            prices_.rt_at(clusters_[c].hub, hour - config_.delay_hours).value();
+        double factor = 1.0;
+        if (config_.capacity_factor) {
+          factor = std::clamp(config_.capacity_factor(c, hour), 0.0, 1.0);
+        }
+        // A factor below 1 models suspended servers (demand response):
+        // both the serving capacity and the powered server count shrink.
+        cap_factor[c] = factor;
+        capacity[c] = clusters_[c].capacity.value() * factor;
+      }
+    }
+    if (config_.enforce_p95) {
+      for (std::size_t c = 0; c < n_clusters; ++c) {
+        can_burst[c] = budgets.at(c).can_burst() ? 1 : 0;
+      }
+    }
+
+    workload.demand(step, demand);
+
+    RoutingContext ctx;
+    ctx.demand = demand;
+    ctx.price = price;
+    ctx.capacity = capacity;
+    if (config_.enforce_p95) {
+      ctx.p95_limit = p95_limit;
+      ctx.can_burst = can_burst;
+    }
+    router.route(ctx, alloc);
+
+    // --- accounting ----------------------------------------------------
+    bool overflowed = false;
+    for (std::size_t c = 0; c < n_clusters; ++c) {
+      const Cluster& cluster = clusters_[c];
+      const double load = alloc.cluster_total(c);
+      load_history[c].push_back(load);
+      const double active_servers =
+          static_cast<double>(cluster.servers) * cap_factor[c];
+      if (active_servers <= 0.0 || cluster.capacity.value() <= 0.0) {
+        if (load > 0.0) overflowed = true;
+        continue;
+      }
+      const double u = load / (cluster.capacity.value() * cap_factor[c]);
+      if (u > 1.0 + 1e-9) overflowed = true;
+      // The model is linear in n; scale the one-server energy by the
+      // (possibly fractional) active server count. A pue_of hook swaps
+      // in the hour's effective PUE (weather-dependent free cooling).
+      double per_server_mwh;
+      if (config_.pue_of) {
+        energy::EnergyModelParams p = config_.energy;
+        p.pue = std::max(1.0, config_.pue_of(c, hour));
+        per_server_mwh = energy::ClusterEnergyModel(p).energy(u, 1, dt).value();
+      } else {
+        per_server_mwh = model.energy(u, 1, dt).value();
+      }
+      const MegawattHours e = MegawattHours{per_server_mwh * active_servers};
+      if (config_.record_hourly) {
+        result.hourly_energy[static_cast<std::size_t>(hour - period.begin)][c] +=
+            e.value();
+      }
+      // Billing uses the concurrent price, not the stale routing price.
+      const UsdPerMwh bill_price = prices_.rt_at(cluster.hub, hour);
+      const Usd cost = bill_price * e;
+      result.cluster_energy[c] += e.value();
+      result.cluster_cost[c] += cost.value();
+      result.total_energy += e;
+      result.total_cost += cost;
+      if (secondary_ != nullptr) {
+        const double rate = secondary_->rt_at(cluster.hub, hour).value();
+        result.cluster_secondary[c] += rate * e.value();
+        result.secondary_total += rate * e.value();
+      }
+    }
+    if (overflowed) ++result.overflow_steps;
+    if (config_.enforce_p95) budgets.record_all(alloc.cluster_totals());
+
+    // Distance metrics, weighted by assigned traffic.
+    for (std::size_t s = 0; s < n_states; ++s) {
+      if (demand[s] <= 0.0) continue;
+      const StateId state{static_cast<std::int32_t>(s)};
+      for (std::size_t c = 0; c < n_clusters; ++c) {
+        const double h = alloc.hits(s, c);
+        if (h > 0.0) {
+          dist_stats.add(distances_.distance(state, c).value(), h * dt.value());
+        }
+      }
+      result.hit_hours += demand[s] * dt.value();
+    }
+  }
+
+  result.mean_distance_km = dist_stats.mean();
+  result.p99_distance_km = dist_stats.percentile(99.0);
+  result.realized_p95.resize(n_clusters);
+  for (std::size_t c = 0; c < n_clusters; ++c) {
+    result.realized_p95[c] = stats::p95(load_history[c]);
+  }
+  return result;
+}
+
+}  // namespace cebis::core

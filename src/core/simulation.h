@@ -1,0 +1,107 @@
+#ifndef CEBIS_CORE_SIMULATION_H
+#define CEBIS_CORE_SIMULATION_H
+
+// The discrete-time simulator (paper §6.1): steps through the workload,
+// lets a routing module with a global view allocate traffic, models each
+// cluster's energy with the §5.1 power model, and bills the energy at
+// the observed hourly market prices.
+//
+// Routing uses prices stale by `delay_hours` (the paper conservatively
+// assumes the system reacts to the previous hour's prices); billing
+// always uses the concurrent price.
+
+#include <functional>
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/routing.h"
+#include "core/workload.h"
+#include "energy/energy_model.h"
+#include "geo/distance_model.h"
+#include "market/price_series.h"
+
+namespace cebis::core {
+
+struct EngineConfig {
+  energy::EnergyModelParams energy;
+  int delay_hours = 1;      ///< routing reacts to the price of hour t-delay
+  bool enforce_p95 = true;  ///< apply the 95/5 constraints to the router
+
+  /// Optional per-interval capacity multiplier in [0,1] (cluster index,
+  /// hour). Used by the demand-response extension to shed load at a
+  /// location: the router sees the reduced capacity and reroutes.
+  std::function<double(std::size_t, HourIndex)> capacity_factor;
+
+  /// Optional per-interval effective PUE (cluster index, hour),
+  /// overriding energy.pue. Used by the weather extension: free cooling
+  /// lowers the PUE when the ambient temperature allows it.
+  std::function<double(std::size_t, HourIndex)> pue_of;
+
+  /// Record per-hour, per-cluster energy into RunResult::hourly_energy
+  /// (needed for demand-response settlement).
+  bool record_hourly = false;
+};
+
+/// Aggregated outcome of one simulation run.
+struct RunResult {
+  Usd total_cost;
+  MegawattHours total_energy;
+  std::vector<double> cluster_cost;    // USD per cluster
+  std::vector<double> cluster_energy;  // MWh per cluster
+
+  /// Traffic-weighted client-server distance statistics (Fig 17).
+  double mean_distance_km = 0.0;
+  double p99_distance_km = 0.0;
+
+  /// Realized per-cluster 95th percentile hit rates (95/5 audit).
+  std::vector<double> realized_p95;
+
+  /// Total traffic served (hit-hours; invariant across routers).
+  double hit_hours = 0.0;
+
+  /// Intervals where demand exceeded every limit and a cluster was
+  /// overloaded past capacity (should be zero in healthy setups).
+  std::int64_t overflow_steps = 0;
+
+  /// Secondary metering (see SimulationEngine constructor): the same
+  /// energy billed against a second per-hub series - e.g. carbon
+  /// intensity, giving kg CO2 while total_cost stays in dollars.
+  double secondary_total = 0.0;
+  std::vector<double> cluster_secondary;
+
+  /// Per-hour, per-cluster energy in MWh ([hour][cluster], hour relative
+  /// to the workload period); filled when EngineConfig::record_hourly.
+  std::vector<std::vector<double>> hourly_energy;
+};
+
+class SimulationEngine {
+ public:
+  /// `prices.period` must cover [workload.begin - delay, workload.end).
+  /// `distances` is the states x clusters model used for the Fig 17
+  /// distance metrics.
+  /// `secondary`, if given, is a second per-hub hourly series (same
+  /// layout as `prices`) metered into RunResult::secondary_total without
+  /// influencing routing. Used by the carbon extension to meter
+  /// emissions next to dollars (or, with the roles swapped, dollars next
+  /// to emissions).
+  SimulationEngine(std::vector<Cluster> clusters, const market::PriceSet& prices,
+                   const geo::DistanceModel& distances, EngineConfig config,
+                   const market::PriceSet* secondary = nullptr);
+
+  [[nodiscard]] RunResult run(const Workload& workload, Router& router) const;
+
+  [[nodiscard]] const std::vector<Cluster>& clusters() const noexcept {
+    return clusters_;
+  }
+
+ private:
+  std::vector<Cluster> clusters_;
+  const market::PriceSet& prices_;
+  const geo::DistanceModel& distances_;
+  EngineConfig config_;
+  const market::PriceSet* secondary_ = nullptr;
+};
+
+}  // namespace cebis::core
+
+#endif  // CEBIS_CORE_SIMULATION_H

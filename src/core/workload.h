@@ -1,0 +1,74 @@
+#ifndef CEBIS_CORE_WORKLOAD_H
+#define CEBIS_CORE_WORKLOAD_H
+
+// Demand sources for the simulation engine. Both feed the router the
+// "9-region subset" demand: each state's traffic share that lands on
+// clusters with electricity market data (paper §6.1).
+
+#include <span>
+#include <vector>
+
+#include "base/simtime.h"
+#include "traffic/akamai_allocation.h"
+#include "traffic/trace.h"
+#include "traffic/workload_stats.h"
+
+namespace cebis::core {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  [[nodiscard]] virtual Period period() const = 0;
+  /// 12 for 5-minute traces, 1 for the hourly synthetic workload.
+  [[nodiscard]] virtual int steps_per_hour() const = 0;
+  [[nodiscard]] std::int64_t steps() const {
+    return period().hours() * steps_per_hour();
+  }
+  [[nodiscard]] virtual std::size_t state_count() const = 0;
+
+  /// Fills `out` (size state_count) with the subset demand at `step`.
+  virtual void demand(std::int64_t step, std::span<double> out) const = 0;
+};
+
+/// The 24-day 5-minute trace workload.
+class TraceWorkload final : public Workload {
+ public:
+  TraceWorkload(const traffic::TrafficTrace& trace,
+                const traffic::BaselineAllocation& alloc);
+
+  [[nodiscard]] Period period() const override { return trace_.period(); }
+  [[nodiscard]] int steps_per_hour() const override { return traffic::kStepsPerHour; }
+  [[nodiscard]] std::size_t state_count() const override {
+    return trace_.state_count();
+  }
+  void demand(std::int64_t step, std::span<double> out) const override;
+
+ private:
+  const traffic::TrafficTrace& trace_;
+  std::vector<double> subset_fraction_;
+};
+
+/// The synthetic hour-of-week workload replayed over an arbitrary
+/// period (paper §6.3: 39 months of prices).
+class SyntheticWorkload39 final : public Workload {
+ public:
+  SyntheticWorkload39(const traffic::SyntheticWorkload& synth,
+                      const traffic::BaselineAllocation& alloc, Period period);
+
+  [[nodiscard]] Period period() const override { return period_; }
+  [[nodiscard]] int steps_per_hour() const override { return 1; }
+  [[nodiscard]] std::size_t state_count() const override {
+    return synth_.state_count();
+  }
+  void demand(std::int64_t step, std::span<double> out) const override;
+
+ private:
+  const traffic::SyntheticWorkload& synth_;
+  Period period_;
+  std::vector<double> subset_fraction_;
+};
+
+}  // namespace cebis::core
+
+#endif  // CEBIS_CORE_WORKLOAD_H

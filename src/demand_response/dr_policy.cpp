@@ -1,0 +1,115 @@
+#include "demand_response/dr_policy.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+namespace cebis::demand_response {
+
+namespace {
+
+std::unique_ptr<core::Workload> make_workload(const core::Fixture& f,
+                                              core::WorkloadKind kind) {
+  if (kind == core::WorkloadKind::kTrace24Day) {
+    return std::make_unique<core::TraceWorkload>(f.trace, f.allocation);
+  }
+  const cebis::Period study = study_period();
+  return std::make_unique<core::SyntheticWorkload39>(
+      f.synthetic, f.allocation, cebis::Period{study.begin + 48, study.end});
+}
+
+}  // namespace
+
+DrSettlement simulate_participation(const core::Fixture& fixture,
+                                    const core::Scenario& scenario,
+                                    std::span<const DrEvent> events,
+                                    const DrPolicyConfig& config) {
+  if (config.shed_capacity_factor < 0.0 || config.shed_capacity_factor > 1.0) {
+    throw std::invalid_argument("simulate_participation: bad shed factor");
+  }
+
+  core::EngineConfig cfg;
+  cfg.energy = scenario.energy;
+  cfg.delay_hours = scenario.delay_hours;
+  cfg.enforce_p95 = scenario.enforce_p95;
+  cfg.record_hourly = true;
+
+  core::PriceAwareConfig rcfg;
+  rcfg.distance_threshold = scenario.distance_threshold;
+  rcfg.price_threshold = scenario.price_threshold;
+  const traffic::BaselineAllocation* fallback =
+      scenario.enforce_p95 ? &fixture.allocation : nullptr;
+
+  const auto workload = make_workload(fixture, scenario.workload);
+
+  // Run A: no demand response.
+  core::RunResult run_a;
+  {
+    core::SimulationEngine engine(fixture.clusters, fixture.prices,
+                                  fixture.distances, cfg);
+    core::PriceAwareRouter router(fixture.distances, fixture.clusters.size(), rcfg,
+                                  fallback);
+    run_a = engine.run(*workload, router);
+  }
+
+  // Run B: events shed servers at the affected clusters.
+  cfg.capacity_factor = [&events, &config](std::size_t cluster, HourIndex hour) {
+    for (const DrEvent& e : events) {
+      if (e.cluster == cluster && e.active(hour)) {
+        return config.shed_capacity_factor;
+      }
+    }
+    return 1.0;
+  };
+  core::RunResult run_b;
+  {
+    core::SimulationEngine engine(fixture.clusters, fixture.prices,
+                                  fixture.distances, cfg);
+    core::PriceAwareRouter router(fixture.distances, fixture.clusters.size(), rcfg,
+                                  fallback);
+    run_b = engine.run(*workload, router);
+  }
+
+  // --- settlement ---------------------------------------------------------
+  const Period window = workload->period();
+  const auto hours = static_cast<double>(window.hours());
+  const DrTerms& terms = config.terms;
+
+  DrSettlement s;
+  s.events = static_cast<int>(events.size());
+
+  // Enrolled MW per cluster: baseline average power.
+  std::vector<double> enrolled_mw(fixture.clusters.size(), 0.0);
+  for (std::size_t c = 0; c < fixture.clusters.size(); ++c) {
+    enrolled_mw[c] = run_a.cluster_energy[c] / hours;
+    s.enrolled_mw += enrolled_mw[c];
+  }
+
+  for (const DrEvent& e : events) {
+    double delivered = 0.0;
+    for (int h = 0; h < e.duration_hours; ++h) {
+      const HourIndex hour = e.start + h;
+      if (!window.contains(hour)) continue;
+      const auto idx = static_cast<std::size_t>(hour - window.begin);
+      delivered +=
+          run_a.hourly_energy[idx][e.cluster] - run_b.hourly_energy[idx][e.cluster];
+    }
+    delivered = std::max(0.0, delivered);
+    const double committed = terms.required_reduction * enrolled_mw[e.cluster] *
+                             static_cast<double>(e.duration_hours);
+    s.delivered_mwh += delivered;
+    s.shortfall_mwh += std::max(0.0, committed - delivered);
+  }
+
+  s.energy_payments = Usd{s.delivered_mwh * terms.per_mwh_reduced.value()};
+  s.penalties = Usd{s.shortfall_mwh * terms.penalty_per_mwh_shortfall.value()};
+  const double months = hours / 730.0;
+  s.availability_payments =
+      Usd{s.enrolled_mw * months * terms.availability_per_mw_month.value()};
+  s.reroute_cost_delta = run_b.total_cost - run_a.total_cost;
+  s.net_revenue = s.energy_payments + s.availability_payments - s.penalties -
+                  s.reroute_cost_delta;
+  return s;
+}
+
+}  // namespace cebis::demand_response

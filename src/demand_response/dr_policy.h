@@ -1,0 +1,45 @@
+#ifndef CEBIS_DEMAND_RESPONSE_DR_POLICY_H
+#define CEBIS_DEMAND_RESPONSE_DR_POLICY_H
+
+// Operator-side demand response (paper §7): when the RTO calls an event
+// at a location, the operator sheds load there by suspending servers and
+// rerouting requests elsewhere - exactly the mechanism the routing
+// system already has. This module runs the simulation twice (with and
+// without shedding) and settles the program: delivered reductions,
+// payments, penalties, and the extra energy cost of serving rerouted
+// traffic at other sites.
+
+#include "core/experiment.h"
+#include "demand_response/dr_program.h"
+
+namespace cebis::demand_response {
+
+struct DrSettlement {
+  int events = 0;
+  double enrolled_mw = 0.0;        ///< average power enrolled across clusters
+  double delivered_mwh = 0.0;      ///< total reduction delivered
+  double shortfall_mwh = 0.0;      ///< committed but not delivered
+  Usd energy_payments;             ///< per-MWh-reduced revenue
+  Usd availability_payments;       ///< capacity payments over the window
+  Usd penalties;
+  Usd reroute_cost_delta;          ///< change in the electric bill from rerouting
+  Usd net_revenue;                 ///< payments - penalties - cost delta
+};
+
+struct DrPolicyConfig {
+  DrTerms terms;
+  /// Fraction of a cluster's capacity kept during an event (the rest is
+  /// shed; servers suspended).
+  double shed_capacity_factor = 0.25;
+};
+
+/// Simulates participation: baseline run (price-aware routing, no DR)
+/// versus a run where each event suspends (1 - shed_capacity_factor) of
+/// the cluster's servers and the router routes around it.
+[[nodiscard]] DrSettlement simulate_participation(
+    const core::Fixture& fixture, const core::Scenario& scenario,
+    std::span<const DrEvent> events, const DrPolicyConfig& config = {});
+
+}  // namespace cebis::demand_response
+
+#endif  // CEBIS_DEMAND_RESPONSE_DR_POLICY_H

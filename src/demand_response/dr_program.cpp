@@ -1,0 +1,51 @@
+#include "demand_response/dr_program.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stats/percentile.h"
+
+namespace cebis::demand_response {
+
+std::vector<DrEvent> generate_events(const market::PriceSet& prices,
+                                     std::span<const HubId> cluster_hubs,
+                                     const Period& window,
+                                     const EventGeneratorParams& params) {
+  if (params.trigger_percentile <= 0.0 || params.trigger_percentile >= 100.0) {
+    throw std::invalid_argument("generate_events: bad trigger percentile");
+  }
+  if (params.min_duration_hours < 1 ||
+      params.max_duration_hours < params.min_duration_hours) {
+    throw std::invalid_argument("generate_events: bad duration bounds");
+  }
+
+  std::vector<DrEvent> events;
+  for (std::size_t k = 0; k < cluster_hubs.size(); ++k) {
+    const auto& series = prices.rt.at(cluster_hubs[k].index());
+    const auto values = series.slice(window);
+    const double threshold =
+        stats::percentile(values, params.trigger_percentile);
+
+    HourIndex cooldown_until = window.begin;
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(values.size()); ++i) {
+      const HourIndex h = window.begin + i;
+      if (h < cooldown_until) continue;
+      if (values[static_cast<std::size_t>(i)] < threshold) continue;
+      // Event starts here; runs while prices stay elevated, bounded by
+      // the duration limits.
+      int duration = params.min_duration_hours;
+      while (duration < params.max_duration_hours &&
+             i + duration < static_cast<std::int64_t>(values.size()) &&
+             values[static_cast<std::size_t>(i + duration)] >= threshold * 0.8) {
+        ++duration;
+      }
+      events.push_back(DrEvent{k, h, duration});
+      cooldown_until = h + duration + params.cooldown_hours;
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const DrEvent& a, const DrEvent& b) { return a.start < b.start; });
+  return events;
+}
+
+}  // namespace cebis::demand_response

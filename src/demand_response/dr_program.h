@@ -1,0 +1,59 @@
+#ifndef CEBIS_DEMAND_RESPONSE_DR_PROGRAM_H
+#define CEBIS_DEMAND_RESPONSE_DR_PROGRAM_H
+
+// Triggered demand-response programs (paper §7 "Selling Flexibility").
+//
+// RTOs send load-reduction requests when grid stress is high; enrolled
+// consumers that shed load are compensated per MWh reduced plus an
+// availability payment, and penalized for shortfalls. Grid stress
+// correlates with price spikes, so events are derived from the hub's
+// price series: hours where the real-time price exceeds a high
+// percentile threshold trigger events (with a cooldown so events are
+// episodic, and advance notice as the paper describes).
+
+#include <cstdint>
+#include <vector>
+
+#include "base/ids.h"
+#include "base/simtime.h"
+#include "base/units.h"
+#include "market/price_series.h"
+
+namespace cebis::demand_response {
+
+struct DrTerms {
+  Usd per_mwh_reduced{120.0};       ///< energy payment for delivered reduction
+  Usd availability_per_mw_month{4000.0};  ///< capacity payment for enrollment
+  Usd penalty_per_mwh_shortfall{200.0};
+  int notice_hours = 2;             ///< advance notice before the event
+  double required_reduction = 0.50; ///< fraction of enrolled MW to shed
+};
+
+struct DrEvent {
+  std::size_t cluster = 0;  ///< cluster asked to reduce
+  HourIndex start = 0;
+  int duration_hours = 1;
+
+  [[nodiscard]] bool active(HourIndex h) const noexcept {
+    return h >= start && h < start + duration_hours;
+  }
+};
+
+struct EventGeneratorParams {
+  /// Price percentile that marks grid stress (per cluster hub).
+  double trigger_percentile = 99.0;
+  /// Minimum gap between events at one cluster.
+  int cooldown_hours = 24;
+  int min_duration_hours = 1;
+  int max_duration_hours = 4;
+};
+
+/// Derives DR events for each cluster hub from its price series over
+/// `window`. Deterministic (no RNG: events are where the prices are).
+[[nodiscard]] std::vector<DrEvent> generate_events(
+    const market::PriceSet& prices, std::span<const HubId> cluster_hubs,
+    const Period& window, const EventGeneratorParams& params = {});
+
+}  // namespace cebis::demand_response
+
+#endif  // CEBIS_DEMAND_RESPONSE_DR_PROGRAM_H

@@ -1,0 +1,127 @@
+#include "demand_response/negawatt_market.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "energy/energy_model.h"
+
+namespace cebis::demand_response {
+
+namespace {
+
+std::unique_ptr<core::Workload> make_workload(const core::Fixture& f,
+                                              core::WorkloadKind kind) {
+  if (kind == core::WorkloadKind::kTrace24Day) {
+    return std::make_unique<core::TraceWorkload>(f.trace, f.allocation);
+  }
+  const cebis::Period study = study_period();
+  return std::make_unique<core::SyntheticWorkload39>(
+      f.synthetic, f.allocation, cebis::Period{study.begin + 48, study.end});
+}
+
+}  // namespace
+
+std::vector<NegawattBid> plan_bids(const core::Fixture& fixture,
+                                   const core::Scenario& scenario,
+                                   const NegawattStrategy& strategy) {
+  const auto workload = make_workload(fixture, scenario.workload);
+  const Period window = workload->period();
+  const energy::ClusterEnergyModel model(scenario.energy);
+  const std::size_t n_states = fixture.synthetic.state_count();
+
+  std::vector<NegawattBid> bids;
+  for (HourIndex h = window.begin; h < window.end; ++h) {
+    // Predicted per-cluster load from the hour-of-week profile routed
+    // with the baseline weights (the operator's best prior).
+    std::vector<double> load(fixture.clusters.size(), 0.0);
+    for (std::size_t s = 0; s < n_states; ++s) {
+      const StateId state{static_cast<std::int32_t>(s)};
+      const double d = fixture.synthetic.demand(state, h).value() *
+                       fixture.allocation.subset_fraction(state);
+      if (d <= 0.0) continue;
+      for (std::size_t c = 0; c < fixture.clusters.size(); ++c) {
+        const double w = fixture.allocation.cluster_weight(state, c);
+        if (w > 0.0) load[c] += d * w;
+      }
+    }
+    for (std::size_t c = 0; c < fixture.clusters.size(); ++c) {
+      const auto& cluster = fixture.clusters[c];
+      if (cluster.servers == 0) continue;
+      const double da = fixture.prices.da_at(cluster.hub, h).value();
+      if (da < strategy.strike.value()) continue;
+      const double u = std::min(1.0, load[c] / cluster.capacity.value());
+      const double variable_w = model.power(u, cluster.servers).value() -
+                                model.power(0.0, cluster.servers).value();
+      const double offer_mw = strategy.offer_fraction * variable_w / 1e6;
+      if (offer_mw <= 0.0) continue;
+      bids.push_back(NegawattBid{c, h, offer_mw, da});
+    }
+  }
+  return bids;
+}
+
+NegawattSettlement settle_bids(const core::Fixture& fixture,
+                               const core::Scenario& scenario,
+                               std::span<const NegawattBid> bids,
+                               double shed_capacity_factor) {
+  core::EngineConfig cfg;
+  cfg.energy = scenario.energy;
+  cfg.delay_hours = scenario.delay_hours;
+  cfg.enforce_p95 = scenario.enforce_p95;
+  cfg.record_hourly = true;
+
+  core::PriceAwareConfig rcfg;
+  rcfg.distance_threshold = scenario.distance_threshold;
+  rcfg.price_threshold = scenario.price_threshold;
+  const traffic::BaselineAllocation* fallback =
+      scenario.enforce_p95 ? &fixture.allocation : nullptr;
+  const auto workload = make_workload(fixture, scenario.workload);
+
+  core::RunResult run_a;
+  {
+    core::SimulationEngine engine(fixture.clusters, fixture.prices,
+                                  fixture.distances, cfg);
+    core::PriceAwareRouter router(fixture.distances, fixture.clusters.size(), rcfg,
+                                  fallback);
+    run_a = engine.run(*workload, router);
+  }
+  cfg.capacity_factor = [&bids, shed_capacity_factor](std::size_t cluster,
+                                                      HourIndex hour) {
+    for (const NegawattBid& b : bids) {
+      if (b.cluster == cluster && b.hour == hour) return shed_capacity_factor;
+    }
+    return 1.0;
+  };
+  core::RunResult run_b;
+  {
+    core::SimulationEngine engine(fixture.clusters, fixture.prices,
+                                  fixture.distances, cfg);
+    core::PriceAwareRouter router(fixture.distances, fixture.clusters.size(), rcfg,
+                                  fallback);
+    run_b = engine.run(*workload, router);
+  }
+
+  const Period window = workload->period();
+  NegawattSettlement s;
+  s.bids = static_cast<int>(bids.size());
+  for (const NegawattBid& b : bids) {
+    if (!window.contains(b.hour)) continue;
+    const auto idx = static_cast<std::size_t>(b.hour - window.begin);
+    const double delivered = std::max(
+        0.0, run_a.hourly_energy[idx][b.cluster] - run_b.hourly_energy[idx][b.cluster]);
+    const double credited = std::min(delivered, b.mw);
+    const double shortfall = std::max(0.0, b.mw - delivered);
+    s.offered_mwh += b.mw;
+    s.delivered_mwh += credited;
+    s.shortfall_mwh += shortfall;
+    s.da_revenue += Usd{credited * b.da_price};
+    const double rt =
+        fixture.prices.rt_at(fixture.clusters[b.cluster].hub, b.hour).value();
+    s.rt_shortfall_cost += Usd{shortfall * rt};
+  }
+  s.net_revenue = s.da_revenue - s.rt_shortfall_cost -
+                  (run_b.total_cost - run_a.total_cost);
+  return s;
+}
+
+}  // namespace cebis::demand_response

@@ -1,0 +1,62 @@
+#ifndef CEBIS_DEMAND_RESPONSE_NEGAWATT_MARKET_H
+#define CEBIS_DEMAND_RESPONSE_NEGAWATT_MARKET_H
+
+// Negawatt bidding (paper §7): "Some RTOs allow energy users to bid
+// negawatts (negative demand, or load reductions) into the day-ahead
+// market auction."
+//
+// The operator, knowing its hour-of-week demand profile, offers load
+// reductions for next-day hours where the day-ahead price clears above a
+// strike. Delivery is measured against the real-time meter; shortfalls
+// settle at the (usually higher) real-time price. The paper's open
+// question - "How do operators construct bids if they don't know
+// next-day client demand?" - is modelled by bidding a conservative
+// fraction of the predicted load.
+
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace cebis::demand_response {
+
+struct NegawattBid {
+  std::size_t cluster = 0;
+  HourIndex hour = 0;
+  double mw = 0.0;          ///< offered reduction
+  double da_price = 0.0;    ///< clearing day-ahead price
+};
+
+struct NegawattStrategy {
+  /// Offer reductions only for hours with DA price above this level.
+  UsdPerMwh strike{90.0};
+  /// Fraction of the predicted variable power offered (conservative
+  /// because next-day demand is uncertain).
+  double offer_fraction = 0.5;
+};
+
+struct NegawattSettlement {
+  int bids = 0;
+  double offered_mwh = 0.0;
+  double delivered_mwh = 0.0;
+  double shortfall_mwh = 0.0;
+  Usd da_revenue;          ///< cleared bids paid at DA prices
+  Usd rt_shortfall_cost;   ///< shortfall bought back at RT prices
+  Usd net_revenue;
+};
+
+/// Plans next-day bids over the scenario window using the synthetic
+/// hour-of-week demand profile as the predictor.
+[[nodiscard]] std::vector<NegawattBid> plan_bids(const core::Fixture& fixture,
+                                                 const core::Scenario& scenario,
+                                                 const NegawattStrategy& strategy);
+
+/// Executes the bids (shedding at bid hours) and settles DA revenue vs
+/// RT shortfall.
+[[nodiscard]] NegawattSettlement settle_bids(const core::Fixture& fixture,
+                                             const core::Scenario& scenario,
+                                             std::span<const NegawattBid> bids,
+                                             double shed_capacity_factor = 0.25);
+
+}  // namespace cebis::demand_response
+
+#endif  // CEBIS_DEMAND_RESPONSE_NEGAWATT_MARKET_H

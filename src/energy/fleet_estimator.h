@@ -1,0 +1,48 @@
+#ifndef CEBIS_ENERGY_FLEET_ESTIMATOR_H
+#define CEBIS_ENERGY_FLEET_ESTIMATOR_H
+
+// The paper's Fig 1 back-of-the-envelope fleet electricity estimator
+// (§2.1, footnote 3):
+//
+//   Energy/year [Wh] ~= n * (P_idle + (P_peak - P_idle) * U
+//                            + (PUE - 1) * P_peak) * 365 * 24
+//
+// with n the server count, U the average utilization, and billing at a
+// wholesale rate (the paper uses $60/MWh).
+
+#include <span>
+#include <string_view>
+
+#include "base/units.h"
+
+namespace cebis::energy {
+
+struct FleetParams {
+  std::string_view name;
+  double servers = 0.0;
+  double peak_watts = 250.0;
+  double idle_fraction = 0.70;  ///< paper: idle draws 60-75% of peak
+  double pue = 2.0;             ///< paper: average PUE 2.0 (EPA report)
+  double utilization = 0.30;    ///< paper: average utilization ~30%
+};
+
+/// Average per-server power under the Fig 1 formula.
+[[nodiscard]] Watts average_server_power(const FleetParams& fleet);
+
+/// Annual fleet energy.
+[[nodiscard]] MegawattHours annual_energy(const FleetParams& fleet);
+
+/// Annual electricity cost at the given wholesale rate.
+[[nodiscard]] Usd annual_cost(const FleetParams& fleet, UsdPerMwh rate);
+
+/// The wholesale rate used throughout Fig 1.
+inline constexpr UsdPerMwh kFig1Rate{60.0};
+
+/// The companies in Fig 1 with the paper's assumptions: eBay (16K),
+/// Akamai (40K), Rackspace (50K), Microsoft (200K), Google (500K at
+/// 140 W / PUE 1.3), and the 2006 US server fleet (10.9M, EPA).
+[[nodiscard]] std::span<const FleetParams> fig1_fleets() noexcept;
+
+}  // namespace cebis::energy
+
+#endif  // CEBIS_ENERGY_FLEET_ESTIMATOR_H

@@ -1,0 +1,21 @@
+#include "geo/latlon.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace cebis::geo {
+
+Km haversine(const LatLon& a, const LatLon& b) noexcept {
+  constexpr double kEarthRadiusKm = 6371.0;
+  constexpr double kDegToRad = std::numbers::pi / 180.0;
+  const double lat1 = a.lat_deg * kDegToRad;
+  const double lat2 = b.lat_deg * kDegToRad;
+  const double dlat = (b.lat_deg - a.lat_deg) * kDegToRad;
+  const double dlon = (b.lon_deg - a.lon_deg) * kDegToRad;
+  const double s1 = std::sin(dlat / 2.0);
+  const double s2 = std::sin(dlon / 2.0);
+  const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  return Km{2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)))};
+}
+
+}  // namespace cebis::geo

@@ -1,0 +1,25 @@
+#ifndef CEBIS_GEO_LATLON_H
+#define CEBIS_GEO_LATLON_H
+
+// Geographic primitives. The paper uses geographic distance as a coarse
+// proxy for network performance (§4 "Client-Server Distances"); all
+// distance thresholds in the router and all Fig 16-18 x-axes are
+// great-circle kilometres computed here.
+
+#include "base/units.h"
+
+namespace cebis::geo {
+
+struct LatLon {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+
+  friend constexpr bool operator==(const LatLon&, const LatLon&) = default;
+};
+
+/// Great-circle distance (haversine, mean Earth radius 6371 km).
+[[nodiscard]] Km haversine(const LatLon& a, const LatLon& b) noexcept;
+
+}  // namespace cebis::geo
+
+#endif  // CEBIS_GEO_LATLON_H

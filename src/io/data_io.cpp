@@ -1,0 +1,254 @@
+#include "io/data_io.h"
+
+#include <charconv>
+#include <limits>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "geo/us_states.h"
+#include "market/hub.h"
+
+namespace cebis::io {
+
+namespace {
+
+std::vector<std::string> split_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      cells.push_back(line.substr(start));
+      break;
+    }
+    cells.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return cells;
+}
+
+double parse_double(const std::string& cell, const char* what) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(cell, &used);
+    if (used != cell.size()) throw std::invalid_argument(cell);
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error(std::string("data_io: bad number in ") + what +
+                             ": '" + cell + "'");
+  }
+}
+
+std::int64_t parse_int(const std::string& cell, const char* what) {
+  std::int64_t v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(cell.data(), cell.data() + cell.size(), v);
+  if (ec != std::errc() || ptr != cell.data() + cell.size()) {
+    throw std::runtime_error(std::string("data_io: bad integer in ") + what +
+                             ": '" + cell + "'");
+  }
+  return v;
+}
+
+std::ifstream open_for_read(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("data_io: cannot open " + path);
+  return in;
+}
+
+}  // namespace
+
+void write_price_set_csv(const market::PriceSet& prices, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("data_io: cannot open " + path);
+  out.precision(std::numeric_limits<double>::max_digits10);  // exact round trip
+  const auto& hubs = market::HubRegistry::instance();
+
+  out << "hour_index,hour_label";
+  for (HubId id : hubs.hourly_hubs()) {
+    const auto code = hubs.info(id).code;
+    out << ',' << code << "_rt," << code << "_da";
+  }
+  out << '\n';
+
+  for (HourIndex h = prices.period.begin; h < prices.period.end; ++h) {
+    out << h << ',' << hour_label(h);
+    for (HubId id : hubs.hourly_hubs()) {
+      out << ',' << prices.rt_at(id, h).value() << ','
+          << prices.da_at(id, h).value();
+    }
+    out << '\n';
+  }
+}
+
+market::PriceSet read_price_set_csv(const std::string& path) {
+  std::ifstream in = open_for_read(path);
+  const auto& hubs = market::HubRegistry::instance();
+
+  std::string line;
+  if (!std::getline(in, line)) throw std::runtime_error("data_io: empty file");
+  const std::vector<std::string> header = split_line(line);
+  if (header.size() < 3 || header[0] != "hour_index") {
+    throw std::runtime_error("data_io: not a price-set CSV: " + path);
+  }
+
+  // Column -> (hub, is_rt) map.
+  struct Column {
+    HubId hub;
+    bool is_rt = true;
+  };
+  std::vector<Column> columns;
+  for (std::size_t i = 2; i < header.size(); ++i) {
+    const std::string& name = header[i];
+    const std::size_t underscore = name.rfind('_');
+    if (underscore == std::string::npos) {
+      throw std::runtime_error("data_io: bad price column: " + name);
+    }
+    const std::string code = name.substr(0, underscore);
+    const std::string kind = name.substr(underscore + 1);
+    const HubId hub = hubs.by_code(code);
+    if (!hub.valid() || (kind != "rt" && kind != "da")) {
+      throw std::runtime_error("data_io: unknown price column: " + name);
+    }
+    columns.push_back(Column{hub, kind == "rt"});
+  }
+
+  std::vector<std::vector<double>> rt(hubs.size());
+  std::vector<std::vector<double>> da(hubs.size());
+  HourIndex first = 0;
+  HourIndex expected = 0;
+  bool have_first = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> cells = split_line(line);
+    if (cells.size() != header.size()) {
+      throw std::runtime_error("data_io: ragged row in " + path);
+    }
+    const HourIndex h = parse_int(cells[0], "hour_index");
+    if (!have_first) {
+      first = h;
+      expected = h;
+      have_first = true;
+    }
+    if (h != expected) {
+      throw std::runtime_error("data_io: non-contiguous hours in " + path);
+    }
+    ++expected;
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+      const double v = parse_double(cells[i + 2], "price");
+      auto& dst = columns[i].is_rt ? rt[columns[i].hub.index()]
+                                   : da[columns[i].hub.index()];
+      dst.push_back(v);
+    }
+  }
+  if (!have_first) throw std::runtime_error("data_io: no data rows in " + path);
+
+  const Period period{first, expected};
+  market::PriceSet set;
+  set.period = period;
+  set.rt.resize(hubs.size());
+  set.da.resize(hubs.size());
+  for (std::size_t hub = 0; hub < hubs.size(); ++hub) {
+    if (!rt[hub].empty()) {
+      set.rt[hub] = market::HourlySeries(period, std::move(rt[hub]));
+    }
+    if (!da[hub].empty()) {
+      set.da[hub] = market::HourlySeries(period, std::move(da[hub]));
+    }
+  }
+  return set;
+}
+
+void write_trace_csv(const traffic::TrafficTrace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("data_io: cannot open " + path);
+  out.precision(std::numeric_limits<double>::max_digits10);  // exact round trip
+  const auto& states = geo::StateRegistry::instance();
+  if (trace.state_count() != states.size()) {
+    throw std::invalid_argument("write_trace_csv: trace does not use the registry");
+  }
+
+  out << "step,hour_label";
+  for (const auto& st : states.all()) out << ',' << st.code;
+  out << ",world_europe,world_apac,world_rest\n";
+
+  out << trace.period().begin << ",PERIOD_BEGIN_HOUR";
+  for (std::size_t s = 0; s < states.size() + 3; ++s) out << ",0";
+  out << '\n';
+
+  for (std::int64_t step = 0; step < trace.steps(); ++step) {
+    out << step << ',' << hour_label(trace.hour_of(step));
+    const auto row = trace.state_row(step);
+    for (double v : row) out << ',' << v;
+    out << ',' << trace.world(step, traffic::WorldRegion::kEurope).value() << ','
+        << trace.world(step, traffic::WorldRegion::kAsiaPacific).value() << ','
+        << trace.world(step, traffic::WorldRegion::kRestOfWorld).value() << '\n';
+  }
+}
+
+traffic::TrafficTrace read_trace_csv(const std::string& path) {
+  std::ifstream in = open_for_read(path);
+  const auto& states = geo::StateRegistry::instance();
+
+  std::string line;
+  if (!std::getline(in, line)) throw std::runtime_error("data_io: empty file");
+  const std::vector<std::string> header = split_line(line);
+  if (header.size() != 2 + states.size() + 3 || header[0] != "step") {
+    throw std::runtime_error("data_io: not a trace CSV: " + path);
+  }
+  std::vector<StateId> column_state;
+  for (std::size_t i = 2; i < 2 + states.size(); ++i) {
+    const StateId id = states.by_code(header[i]);
+    if (!id.valid()) {
+      throw std::runtime_error("data_io: unknown state column: " + header[i]);
+    }
+    column_state.push_back(id);
+  }
+
+  // Sentinel row with the period start.
+  if (!std::getline(in, line)) throw std::runtime_error("data_io: missing sentinel");
+  const std::vector<std::string> sentinel = split_line(line);
+  if (sentinel.size() < 2 || sentinel[1] != "PERIOD_BEGIN_HOUR") {
+    throw std::runtime_error("data_io: missing PERIOD_BEGIN_HOUR sentinel");
+  }
+  const HourIndex begin = parse_int(sentinel[0], "period begin");
+
+  // Buffer rows, then size the trace.
+  std::vector<std::vector<std::string>> rows;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    rows.push_back(split_line(line));
+    if (rows.back().size() != header.size()) {
+      throw std::runtime_error("data_io: ragged row in " + path);
+    }
+  }
+  if (rows.empty() || rows.size() % (traffic::kStepsPerHour) != 0) {
+    throw std::runtime_error("data_io: trace rows must cover whole hours");
+  }
+  const auto hours =
+      static_cast<std::int64_t>(rows.size()) / traffic::kStepsPerHour;
+  traffic::TrafficTrace trace(Period{begin, begin + hours}, states.size());
+
+  for (std::int64_t step = 0; step < trace.steps(); ++step) {
+    const auto& cells = rows[static_cast<std::size_t>(step)];
+    if (parse_int(cells[0], "step") != step) {
+      throw std::runtime_error("data_io: steps out of order in " + path);
+    }
+    for (std::size_t i = 0; i < column_state.size(); ++i) {
+      trace.set_hits(step, column_state[i],
+                     HitsPerSec{parse_double(cells[i + 2], "hits")});
+    }
+    const std::size_t w = 2 + column_state.size();
+    trace.set_world(step, traffic::WorldRegion::kEurope,
+                    HitsPerSec{parse_double(cells[w], "world")});
+    trace.set_world(step, traffic::WorldRegion::kAsiaPacific,
+                    HitsPerSec{parse_double(cells[w + 1], "world")});
+    trace.set_world(step, traffic::WorldRegion::kRestOfWorld,
+                    HitsPerSec{parse_double(cells[w + 2], "world")});
+  }
+  return trace;
+}
+
+}  // namespace cebis::io

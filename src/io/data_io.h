@@ -1,0 +1,42 @@
+#ifndef CEBIS_IO_DATA_IO_H
+#define CEBIS_IO_DATA_IO_H
+
+// Data-set import/export.
+//
+// The synthetic substrates stand in for the paper's proprietary inputs,
+// but the simulation stack itself is data-agnostic: these functions
+// round-trip price sets and traffic traces through CSV so an operator
+// with *real* RTO price archives (or real CDN telemetry) can run every
+// experiment on them instead.
+//
+// Formats (wide, one row per hour / per 5-minute step, header first):
+//   prices:  hour_index,hour_label,<CODE>_rt,<CODE>_da,...   (hourly hubs)
+//   traces:  step,hour_label,<STATE>...,world_europe,world_apac,world_rest
+// Fields never contain commas, so no quoting is used.
+
+#include <string>
+
+#include "market/price_series.h"
+#include "traffic/trace.h"
+
+namespace cebis::io {
+
+/// Writes the hourly RT/DA series of every hourly hub.
+void write_price_set_csv(const market::PriceSet& prices, const std::string& path);
+
+/// Reads a price set written by write_price_set_csv (or assembled from
+/// real data in the same format). Hub columns are matched by code
+/// against the registry; unknown columns throw.
+[[nodiscard]] market::PriceSet read_price_set_csv(const std::string& path);
+
+/// Writes a traffic trace (per-state 5-minute hit rates + world
+/// aggregates).
+void write_trace_csv(const traffic::TrafficTrace& trace, const std::string& path);
+
+/// Reads a trace written by write_trace_csv. State columns are matched
+/// by USPS code against the registry.
+[[nodiscard]] traffic::TrafficTrace read_trace_csv(const std::string& path);
+
+}  // namespace cebis::io
+
+#endif  // CEBIS_IO_DATA_IO_H

@@ -1,0 +1,27 @@
+#ifndef CEBIS_IO_TABLE_H
+#define CEBIS_IO_TABLE_H
+
+// Aligned console tables for the bench reports.
+
+#include <string>
+#include <vector>
+
+namespace cebis::io {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with padded columns; numeric-looking cells right-aligned.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cebis::io
+
+#endif  // CEBIS_IO_TABLE_H

@@ -1,0 +1,126 @@
+#include "market/calibration.h"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "geo/latlon.h"
+#include "stats/correlation.h"
+
+namespace cebis::market {
+
+std::span<const Fig6Target> fig6_targets() noexcept {
+  static constexpr std::array<Fig6Target, 6> kTargets = {{
+      {"CHI", "Chicago, IL", 40.6, 26.9, 4.6},
+      {"CINERGY", "Indianapolis, IN", 44.0, 28.3, 5.8},
+      {"NP15", "Palo Alto, CA", 54.0, 34.2, 11.9},
+      {"DOM", "Richmond, VA", 57.8, 39.2, 6.6},
+      {"MA-BOS", "Boston, MA", 66.5, 25.8, 5.7},
+      {"NYC", "New York, NY", 77.9, 40.26, 7.9},
+  }};
+  return kTargets;
+}
+
+std::span<const Fig7Target> fig7_targets() noexcept {
+  static constexpr std::array<Fig7Target, 2> kTargets = {{
+      {"NP15", 37.2, 17.8, 0.78, 0.89},
+      {"CHI", 22.5, 33.3, 0.82, 0.96},
+  }};
+  return kTargets;
+}
+
+std::span<const Fig5Target> fig5_targets() noexcept {
+  static constexpr std::array<Fig5Target, 5> kTargets = {{
+      {0, 28.5, std::numeric_limits<double>::quiet_NaN()},  // 5-min row
+      {1, 24.8, 20.0},
+      {3, 21.9, 19.4},
+      {12, 18.1, 17.1},
+      {24, 15.6, 16.0},
+  }};
+  return kTargets;
+}
+
+std::span<const Fig10Target> fig10_targets() noexcept {
+  static constexpr std::array<Fig10Target, 5> kTargets = {{
+      {"NP15", "DOM", "PaloAlto - Virginia", 0.0, 55.7, 10.0},
+      {"ERCOT-S", "DOM", "Austin - Virginia", 0.9, 87.7, 466.0},
+      {"MA-BOS", "NYC", "Boston - NYC", -12.3, 52.5, 146.0},
+      {"CHI", "DOM", "Chicago - Virginia", -17.2, 31.3, 20.0},
+      {"CHI", "IL", "Chicago - Peoria", -4.2, 32.0, 32.0},
+  }};
+  return kTargets;
+}
+
+namespace {
+
+[[nodiscard]] HubId require_hub(const HubRegistry& hubs, std::string_view code) {
+  const HubId id = hubs.by_code(code);
+  if (!id.valid()) {
+    throw std::invalid_argument("calibration: unknown hub code: " + std::string(code));
+  }
+  return id;
+}
+
+}  // namespace
+
+stats::Summary measure_hub(const PriceSet& prices, const HubRegistry& hubs,
+                           std::string_view hub_code, double trim_each_tail) {
+  const HubId id = require_hub(hubs, hub_code);
+  return stats::summarize_trimmed(prices.rt.at(id.index()).values(), trim_each_tail);
+}
+
+ChangeStats measure_changes(const PriceSet& prices, const HubRegistry& hubs,
+                            std::string_view hub_code) {
+  const HubId id = require_hub(hubs, hub_code);
+  const std::vector<double> diffs =
+      stats::first_differences(prices.rt.at(id.index()).values());
+  ChangeStats out;
+  out.summary = stats::summarize(diffs);
+  out.frac_within_20 = stats::fraction_within(diffs, 0.0, 20.0);
+  out.frac_within_40 = stats::fraction_within(diffs, 0.0, 40.0);
+  return out;
+}
+
+std::vector<double> differential(const PriceSet& prices, const HubRegistry& hubs,
+                                 std::string_view hub_a, std::string_view hub_b) {
+  const HubId a = require_hub(hubs, hub_a);
+  const HubId b = require_hub(hubs, hub_b);
+  const auto va = prices.rt.at(a.index()).values();
+  const auto vb = prices.rt.at(b.index()).values();
+  std::vector<double> out;
+  out.reserve(va.size());
+  for (std::size_t i = 0; i < va.size(); ++i) out.push_back(va[i] - vb[i]);
+  return out;
+}
+
+std::vector<PairCorrelation> pairwise_correlations(const PriceSet& prices,
+                                                   const HubRegistry& hubs,
+                                                   bool with_mi) {
+  const auto hourly = hubs.hourly_hubs();
+  std::vector<PairCorrelation> out;
+  out.reserve(hourly.size() * (hourly.size() - 1) / 2);
+  for (std::size_t i = 0; i < hourly.size(); ++i) {
+    for (std::size_t j = i + 1; j < hourly.size(); ++j) {
+      const HubInfo& a = hubs.info(hourly[i]);
+      const HubInfo& b = hubs.info(hourly[j]);
+      PairCorrelation pc;
+      pc.hub_a = a.code;
+      pc.hub_b = b.code;
+      pc.distance_km = geo::haversine(a.location, b.location).value();
+      pc.correlation = stats::pearson(prices.rt.at(hourly[i].index()).values(),
+                                      prices.rt.at(hourly[j].index()).values());
+      if (with_mi) {
+        pc.mutual_information =
+            stats::mutual_information(prices.rt.at(hourly[i].index()).values(),
+                                      prices.rt.at(hourly[j].index()).values());
+      }
+      pc.same_rto = a.rto == b.rto;
+      pc.rto_a = a.rto;
+      pc.rto_b = b.rto;
+      out.push_back(pc);
+    }
+  }
+  return out;
+}
+
+}  // namespace cebis::market

@@ -1,0 +1,107 @@
+#ifndef CEBIS_MARKET_CALIBRATION_H
+#define CEBIS_MARKET_CALIBRATION_H
+
+// Published statistics from the paper that the synthetic market is
+// calibrated against, plus the measurement helpers the calibration tests
+// and benches share. Keeping the paper's numbers in one place makes the
+// "paper vs measured" comparison in EXPERIMENTS.md mechanical.
+
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "market/market_simulator.h"
+#include "market/price_series.h"
+#include "stats/descriptive.h"
+
+namespace cebis::market {
+
+/// Fig 6: RT hourly price statistics, Jan 2006 - Mar 2009, 1%-trimmed.
+struct Fig6Target {
+  std::string_view hub_code;
+  std::string_view location;
+  double mean;
+  double stddev;
+  double kurtosis;
+};
+
+[[nodiscard]] std::span<const Fig6Target> fig6_targets() noexcept;
+
+/// Fig 7: hour-to-hour change distributions.
+struct Fig7Target {
+  std::string_view hub_code;
+  double sigma;             ///< std-dev of hourly change
+  double kurtosis;          ///< raw kurtosis of hourly change
+  double frac_within_20;    ///< mass within +/- $20
+  double frac_within_40;    ///< mass within +/- $40
+};
+
+[[nodiscard]] std::span<const Fig7Target> fig7_targets() noexcept;
+
+/// Fig 5: std-dev of window-averaged NYC prices, Q1 2009.
+struct Fig5Target {
+  int window_hours;       ///< 0 denotes the 5-minute series
+  double rt_sigma;        ///< real-time market
+  double da_sigma;        ///< day-ahead market (NaN for 5-min row)
+};
+
+[[nodiscard]] std::span<const Fig5Target> fig5_targets() noexcept;
+
+/// Fig 10: price differential distributions for five location pairs.
+struct Fig10Target {
+  std::string_view hub_a;
+  std::string_view hub_b;
+  std::string_view label;
+  double mean;
+  double stddev;
+  double kurtosis;
+};
+
+[[nodiscard]] std::span<const Fig10Target> fig10_targets() noexcept;
+
+// --- measurement helpers -------------------------------------------------
+
+/// Trimmed summary of a hub's RT series (Fig 6 methodology).
+[[nodiscard]] stats::Summary measure_hub(const PriceSet& prices, const HubRegistry& hubs,
+                                         std::string_view hub_code,
+                                         double trim_each_tail = 0.005);
+
+/// Summary of hour-to-hour changes plus the +/-$20 / +/-$40 mass.
+struct ChangeStats {
+  stats::Summary summary;
+  double frac_within_20 = 0.0;
+  double frac_within_40 = 0.0;
+};
+
+[[nodiscard]] ChangeStats measure_changes(const PriceSet& prices,
+                                          const HubRegistry& hubs,
+                                          std::string_view hub_code);
+
+/// Differential series a - b for two hubs over the price set's period.
+[[nodiscard]] std::vector<double> differential(const PriceSet& prices,
+                                               const HubRegistry& hubs,
+                                               std::string_view hub_a,
+                                               std::string_view hub_b);
+
+/// Pairwise correlation/distance records backing Fig 8.
+struct PairCorrelation {
+  std::string_view hub_a;
+  std::string_view hub_b;
+  double distance_km = 0.0;
+  double correlation = 0.0;
+  double mutual_information = 0.0;
+  bool same_rto = false;
+  Rto rto_a = Rto::kNonMarket;
+  Rto rto_b = Rto::kNonMarket;
+};
+
+/// All hourly-hub pairs (29 hubs -> 406 pairs, as in Fig 8). Mutual
+/// information is computed only when `with_mi` is set (it is the slow
+/// part).
+[[nodiscard]] std::vector<PairCorrelation> pairwise_correlations(
+    const PriceSet& prices, const HubRegistry& hubs, bool with_mi = false);
+
+}  // namespace cebis::market
+
+#endif  // CEBIS_MARKET_CALIBRATION_H

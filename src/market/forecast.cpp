@@ -1,0 +1,116 @@
+#include "market/forecast.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "market/hub.h"
+
+namespace cebis::market {
+
+PriceForecaster::PriceForecaster(const PriceSet& history, Period training,
+                                 ForecastParams params)
+    : history_(history), params_(params), hub_count_(history.rt.size()) {
+  if (training.begin < history.period.begin || training.end > history.period.end ||
+      training.hours() < 7 * 24) {
+    throw std::invalid_argument(
+        "PriceForecaster: training window must lie inside the history and "
+        "cover at least one week");
+  }
+  if (params_.profile_weight < 0.0 || params_.profile_weight > 1.0) {
+    throw std::invalid_argument("PriceForecaster: profile_weight outside [0,1]");
+  }
+
+  profile_.assign(hub_count_ * 7 * 24, 0.0);
+  std::vector<double> counts(7 * 24, 0.0);
+  for (HourIndex t = training.begin; t < training.end; ++t) {
+    const std::size_t cell = static_cast<std::size_t>(weekday(t)) * 24 +
+                             static_cast<std::size_t>(hour_of_day(t));
+    counts[cell] += 1.0;
+    for (std::size_t h = 0; h < hub_count_; ++h) {
+      if (history_.rt[h].empty()) continue;
+      profile_[h * 7 * 24 + cell] += history_.rt[h].at(t);
+    }
+  }
+  for (std::size_t h = 0; h < hub_count_; ++h) {
+    for (std::size_t cell = 0; cell < 7 * 24; ++cell) {
+      if (counts[cell] > 0.0) profile_[h * 7 * 24 + cell] /= counts[cell];
+    }
+  }
+}
+
+double PriceForecaster::profile(HubId hub, HourIndex hour) const {
+  if (!hub.valid() || hub.index() >= hub_count_) {
+    throw std::out_of_range("PriceForecaster::profile: bad hub");
+  }
+  const std::size_t cell = static_cast<std::size_t>(weekday(hour)) * 24 +
+                           static_cast<std::size_t>(hour_of_day(hour));
+  return profile_[hub.index() * 7 * 24 + cell];
+}
+
+double PriceForecaster::forecast(HubId hub, HourIndex target,
+                                 HourIndex info_hour) const {
+  if (info_hour >= target) {
+    throw std::invalid_argument("PriceForecaster::forecast: info_hour >= target");
+  }
+  const double last = history_.rt_at(hub, info_hour).value();
+  const double profile_now = profile(hub, info_hour);
+  const double profile_target = profile(hub, target);
+  double level = 1.0;
+  if (profile_now > 1e-6) {
+    level = std::clamp(last / profile_now, params_.min_level, params_.max_level);
+  }
+  const double profile_part = profile_target * level;
+  return params_.profile_weight * profile_part +
+         (1.0 - params_.profile_weight) * last;
+}
+
+PriceSet one_hour_ahead_forecasts(const PriceSet& actual, Period training,
+                                  Period out, ForecastParams params) {
+  if (out.begin <= actual.period.begin || out.end > actual.period.end) {
+    throw std::invalid_argument(
+        "one_hour_ahead_forecasts: out must sit inside the history, with "
+        "room for the one-hour information lag");
+  }
+  const PriceForecaster forecaster(actual, training, params);
+  PriceSet result;
+  result.period = out;
+  result.rt.resize(actual.rt.size());
+  result.da.resize(actual.rt.size());
+  for (std::size_t h = 0; h < actual.rt.size(); ++h) {
+    if (actual.rt[h].empty()) continue;
+    const HubId hub{static_cast<std::int32_t>(h)};
+    std::vector<double> values;
+    values.reserve(static_cast<std::size_t>(out.hours()));
+    for (HourIndex t = out.begin; t < out.end; ++t) {
+      values.push_back(forecaster.forecast(hub, t, t - 1));
+    }
+    result.rt[h] = HourlySeries(out, std::move(values));
+  }
+  return result;
+}
+
+ForecastAccuracy evaluate_forecaster(const PriceSet& actual,
+                                     const PriceForecaster& forecaster, HubId hub,
+                                     Period eval) {
+  if (eval.begin <= actual.period.begin || eval.end > actual.period.end) {
+    throw std::invalid_argument("evaluate_forecaster: eval outside history");
+  }
+  ForecastAccuracy acc;
+  std::int64_t n = 0;
+  for (HourIndex t = eval.begin; t < eval.end; ++t) {
+    const double truth = actual.rt_at(hub, t).value();
+    acc.mae_forecast += std::abs(forecaster.forecast(hub, t, t - 1) - truth);
+    acc.mae_persistence += std::abs(actual.rt_at(hub, t - 1).value() - truth);
+    acc.mae_profile += std::abs(forecaster.profile(hub, t) - truth);
+    ++n;
+  }
+  if (n > 0) {
+    acc.mae_forecast /= static_cast<double>(n);
+    acc.mae_persistence /= static_cast<double>(n);
+    acc.mae_profile /= static_cast<double>(n);
+  }
+  return acc;
+}
+
+}  // namespace cebis::market

@@ -1,0 +1,72 @@
+#ifndef CEBIS_MARKET_FORECAST_H
+#define CEBIS_MARKET_FORECAST_H
+
+// Short-horizon price forecasting.
+//
+// The paper routes on the previous hour's prices and asks (§7) how
+// operators should anticipate conditions ("How do operators construct
+// bids for the day-ahead auctions if they don't know next-day client
+// demand?"). This module provides the natural first-order forecaster -
+// an hour-of-week profile recalibrated by the most recent observation -
+// and the evaluation plumbing to compare routing on forecasts against
+// routing on stale prices (see bench_ablation_forecast_routing).
+
+#include "market/price_series.h"
+
+namespace cebis::market {
+
+struct ForecastParams {
+  /// Weight on the level-adjusted hour-of-week profile; the remainder is
+  /// pure persistence (last observed price).
+  double profile_weight = 0.7;
+  /// Clamp on the recent-level ratio so one spike does not distort the
+  /// whole profile.
+  double min_level = 0.3;
+  double max_level = 3.0;
+};
+
+class PriceForecaster {
+ public:
+  /// Learns per-hub hour-of-week profiles from `history` restricted to
+  /// `training` (which must lie inside the history period).
+  PriceForecaster(const PriceSet& history, Period training,
+                  ForecastParams params = {});
+
+  /// Forecast for `target` given information through `info_hour`
+  /// (info_hour < target). Combines the hour-of-week profile, scaled by
+  /// the recent price level, with persistence.
+  [[nodiscard]] double forecast(HubId hub, HourIndex target,
+                                HourIndex info_hour) const;
+
+  /// Profile value (hour-of-week mean) for a hub at an hour.
+  [[nodiscard]] double profile(HubId hub, HourIndex hour) const;
+
+ private:
+  const PriceSet& history_;
+  ForecastParams params_;
+  std::size_t hub_count_;
+  std::vector<double> profile_;  // [hub][dow*24+hod]
+};
+
+/// One-hour-ahead forecast series over `out`: entry for hour h is the
+/// forecast for h made with information through h-1. Packaged as a
+/// PriceSet so the simulation engine can route on it directly.
+[[nodiscard]] PriceSet one_hour_ahead_forecasts(const PriceSet& actual,
+                                                Period training, Period out,
+                                                ForecastParams params = {});
+
+/// Mean absolute error of one-hour-ahead forecasts vs persistence
+/// (previous hour) and vs the raw profile, per hub, over `eval`.
+struct ForecastAccuracy {
+  double mae_forecast = 0.0;
+  double mae_persistence = 0.0;
+  double mae_profile = 0.0;
+};
+
+[[nodiscard]] ForecastAccuracy evaluate_forecaster(const PriceSet& actual,
+                                                   const PriceForecaster& forecaster,
+                                                   HubId hub, Period eval);
+
+}  // namespace cebis::market
+
+#endif  // CEBIS_MARKET_FORECAST_H

@@ -1,0 +1,111 @@
+#include "market/hub.h"
+
+#include <stdexcept>
+
+namespace cebis::market {
+
+HubRegistry::HubRegistry() {
+  // 29 hourly hubs + Portland (daily-only). Base prices for the six hubs
+  // in the paper's Fig 6 are the published 39-month trimmed means; the
+  // remaining hubs get plausible levels consistent with their region
+  // (New England / NYC high, Midwest low, Texas/California middle).
+  // vol_scale / spike_scale differentiate tail weight: Fig 6 shows
+  // Palo Alto and NYC with much fatter tails (kurtosis 11.9 / 7.9) than
+  // Chicago (4.6).
+  // add(code, city, state, rto, loc, utc, base, vol, spike, spike_rate,
+  //     beta_slow, beta_fast)
+  auto add = [this](std::string_view code, std::string_view city,
+                    std::string_view state, Rto rto, geo::LatLon loc, int utc,
+                    double base, double vol, double spike, double spike_rate = 1.0,
+                    double beta_slow = 1.0, double beta_fast = 1.0,
+                    bool hourly = true) {
+    hubs_.push_back(HubInfo{code, city, state, rto, loc, utc, hourly, base, vol,
+                            spike, spike_rate, beta_slow, beta_fast});
+  };
+
+  // --- ISONE (New England) ---
+  add("MA-BOS", "Boston, MA", "MA", Rto::kIsoNe, {42.36, -71.06}, -5, 66.5, 1.00, 1.25, 1.3, 0.78, 0.75);
+  add("ME", "Portland, ME", "ME", Rto::kIsoNe, {43.66, -70.26}, -5, 60.0, 0.95, 0.85, 1.0, 0.85, 0.80);
+  add("CT", "Hartford, CT", "CT", Rto::kIsoNe, {41.76, -72.67}, -5, 68.0, 1.00, 1.00, 1.0, 0.80, 0.78);
+  add("NH", "Manchester, NH", "NH", Rto::kIsoNe, {42.99, -71.45}, -5, 63.5, 0.95, 0.90, 1.0, 0.85, 0.80);
+  add("RI", "Providence, RI", "RI", Rto::kIsoNe, {41.82, -71.41}, -5, 65.0, 0.95, 0.95, 1.0, 0.82, 0.78);
+
+  // --- NYISO (New York) ---
+  add("NYC", "New York, NY", "NY", Rto::kNyiso, {40.71, -74.01}, -5, 77.9, 1.15, 1.55, 1.5, 1.00, 1.05);
+  add("CAPITL", "Albany, NY", "NY", Rto::kNyiso, {42.65, -73.75}, -5, 70.0, 1.05, 1.10, 1.1, 0.95, 0.95);
+  add("WEST", "Buffalo, NY", "NY", Rto::kNyiso, {42.89, -78.88}, -5, 55.0, 1.00, 0.95, 1.0, 1.00, 1.00);
+  add("HUDVL", "Poughkeepsie, NY", "NY", Rto::kNyiso, {41.70, -73.92}, -5, 72.0, 1.05, 1.20, 1.2, 0.95, 1.00);
+  add("LONGIL", "Long Island, NY", "NY", Rto::kNyiso, {40.79, -73.13}, -5, 82.0, 1.15, 1.60, 1.5, 1.00, 1.10);
+  add("CENTRL", "Syracuse, NY", "NY", Rto::kNyiso, {43.05, -76.15}, -5, 58.0, 1.00, 0.95, 1.0, 1.00, 1.00);
+
+  // --- PJM (Eastern; Chicago sits in PJM's footprint) ---
+  add("CHI", "Chicago, IL", "IL", Rto::kPjm, {41.88, -87.63}, -6, 40.6, 0.80, 0.90, 1.0, 1.50, 1.70);
+  add("DOM", "Richmond, VA", "VA", Rto::kPjm, {37.54, -77.44}, -5, 57.8, 1.10, 1.70, 1.4, 1.40, 1.60);
+  add("NJ", "Newark, NJ", "NJ", Rto::kPjm, {40.74, -74.17}, -5, 64.0, 1.00, 1.05, 1.0, 1.10, 1.20);
+  add("PEPCO", "Washington, DC", "DC", Rto::kPjm, {38.91, -77.04}, -5, 62.0, 1.00, 1.05, 1.0, 1.10, 1.20);
+  add("BGE", "Baltimore, MD", "MD", Rto::kPjm, {39.29, -76.61}, -5, 61.0, 1.00, 1.00, 1.0, 1.10, 1.20);
+  add("PENELEC", "Pittsburgh, PA", "PA", Rto::kPjm, {40.44, -80.00}, -5, 48.0, 0.90, 0.80, 1.0, 1.20, 1.35);
+  add("PHILA", "Philadelphia, PA", "PA", Rto::kPjm, {39.95, -75.17}, -5, 60.0, 1.00, 1.00, 1.0, 1.10, 1.20);
+
+  // --- MISO (Midwest) ---
+  add("IL", "Peoria, IL", "IL", Rto::kMiso, {40.69, -89.59}, -6, 42.0, 0.90, 0.85, 1.0, 1.30, 1.50);
+  add("MN", "Minneapolis, MN", "MN", Rto::kMiso, {44.98, -93.27}, -6, 38.0, 0.85, 0.75, 1.0, 1.25, 1.40);
+  add("CINERGY", "Indianapolis, IN", "IN", Rto::kMiso, {39.77, -86.16}, -5, 44.0, 0.90, 1.10, 1.2, 1.30, 1.50);
+  add("MICH", "Detroit, MI", "MI", Rto::kMiso, {42.33, -83.05}, -5, 47.0, 0.90, 0.90, 1.0, 1.20, 1.35);
+  add("WUMS", "Milwaukee, WI", "WI", Rto::kMiso, {43.04, -87.91}, -6, 45.0, 0.90, 0.85, 1.0, 1.20, 1.35);
+
+  // --- CAISO (California) ---
+  add("NP15", "Palo Alto, CA", "CA", Rto::kCaiso, {37.44, -122.14}, -8, 54.0, 1.00, 1.35, 2.4, 0.90, 1.35);
+  add("SP15", "Los Angeles, CA", "CA", Rto::kCaiso, {34.05, -118.24}, -8, 56.0, 1.00, 1.30, 2.3, 0.90, 1.32);
+
+  // --- ERCOT (Texas) ---
+  add("ERCOT-N", "Dallas, TX", "TX", Rto::kErcot, {32.78, -96.80}, -6, 52.0, 1.05, 2.00, 1.5, 1.00, 1.30);
+  add("ERCOT-S", "Austin, TX", "TX", Rto::kErcot, {30.27, -97.74}, -6, 51.0, 1.05, 2.00, 1.5, 1.00, 1.30);
+  add("ERCOT-H", "Houston, TX", "TX", Rto::kErcot, {29.76, -95.37}, -6, 55.0, 1.05, 2.10, 1.5, 1.00, 1.35);
+  add("ERCOT-W", "Abilene, TX", "TX", Rto::kErcot, {32.45, -99.73}, -6, 45.0, 1.10, 1.90, 1.5, 1.05, 1.40);
+
+  // --- Northwest: daily day-ahead peak prices only (paper footnote 6) ---
+  add("MID-C", "Portland, OR", "OR", Rto::kNonMarket, {45.52, -122.68}, -8, 42.0,
+      0.55, 0.40, 1.0, 1.0, 1.0, /*hourly=*/false);
+
+  by_rto_.resize(kRtoCount);
+  for (std::size_t i = 0; i < hubs_.size(); ++i) {
+    const HubId id{static_cast<std::int32_t>(i)};
+    if (hubs_[i].hourly_market) {
+      hourly_.push_back(id);
+      by_rto_[static_cast<std::size_t>(hubs_[i].rto)].push_back(id);
+    }
+  }
+
+  // Nine Akamai traffic hubs, in the paper's Fig 19 order:
+  // CA1 CA2 MA NY IL VA NJ TX1 TX2.
+  for (std::string_view code :
+       {"NP15", "SP15", "MA-BOS", "NYC", "CHI", "DOM", "NJ", "ERCOT-N", "ERCOT-S"}) {
+    traffic_.push_back(by_code(code));
+  }
+}
+
+const HubRegistry& HubRegistry::instance() {
+  static const HubRegistry registry;
+  return registry;
+}
+
+const HubInfo& HubRegistry::info(HubId id) const {
+  if (!id.valid() || id.index() >= hubs_.size()) {
+    throw std::out_of_range("HubRegistry::info: bad id");
+  }
+  return hubs_[id.index()];
+}
+
+HubId HubRegistry::by_code(std::string_view code) const noexcept {
+  for (std::size_t i = 0; i < hubs_.size(); ++i) {
+    if (hubs_[i].code == code) return HubId{static_cast<std::int32_t>(i)};
+  }
+  return HubId::invalid();
+}
+
+std::span<const HubId> HubRegistry::hubs_in(Rto rto) const {
+  return by_rto_.at(static_cast<std::size_t>(rto));
+}
+
+}  // namespace cebis::market

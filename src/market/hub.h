@@ -1,0 +1,85 @@
+#ifndef CEBIS_MARKET_HUB_H
+#define CEBIS_MARKET_HUB_H
+
+// Market hub registry.
+//
+// The paper uses hourly real-time prices for 29 US hubs (Jan 2006 -
+// Mar 2009) across six RTOs, plus the Northwest (Portland / MID-C) which
+// lacks an hourly wholesale market and only appears in the daily
+// day-ahead-peak plot (Fig 3). We mirror that: 29 hourly hubs + one
+// daily-only hub, each with location, timezone, parent RTO, and the
+// price-model parameters that differentiate hubs (base price level,
+// volatility and spike scale).
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "base/ids.h"
+#include "geo/latlon.h"
+#include "market/rto.h"
+
+namespace cebis::market {
+
+struct HubInfo {
+  std::string_view code;   ///< market identifier, e.g. "NP15"
+  std::string_view city;   ///< human location, e.g. "Palo Alto, CA"
+  std::string_view state;  ///< USPS state code of the hub's location
+  Rto rto = Rto::kNonMarket;
+  geo::LatLon location;
+  int utc_offset_hours = -5;
+  bool hourly_market = true;  ///< false only for the Northwest hub
+
+  // Price-model hub parameters (see market/price_model.h). base_price is
+  // the long-run mean in $/MWh; the six hubs from the paper's Fig 6 use
+  // the published means (Chicago 40.6 ... NYC 77.9).
+  double base_price = 50.0;
+  double vol_scale = 1.0;        ///< multiplies local-factor and micro sigma
+  double spike_scale = 1.0;      ///< multiplies spike magnitude
+  double spike_rate_scale = 1.0; ///< multiplies per-hub spike onset rate
+  // Exposures to the shared factors. beta_slow loads the national +
+  // slow-regional factors (multi-day regimes), beta_fast the
+  // fast-regional + local + micro components (hour-to-hour swings).
+  // They reproduce the per-hub sigma/mean spread of Fig 6: Chicago and
+  // Richmond are proportionally much more volatile than Boston.
+  double beta_slow = 1.0;
+  double beta_fast = 1.0;
+};
+
+class HubRegistry {
+ public:
+  [[nodiscard]] static const HubRegistry& instance();
+
+  [[nodiscard]] std::span<const HubInfo> all() const noexcept { return hubs_; }
+  [[nodiscard]] std::size_t size() const noexcept { return hubs_.size(); }
+
+  [[nodiscard]] const HubInfo& info(HubId id) const;
+
+  [[nodiscard]] HubId by_code(std::string_view code) const noexcept;
+
+  /// Ids of the 29 hubs with hourly real-time markets.
+  [[nodiscard]] std::span<const HubId> hourly_hubs() const noexcept {
+    return hourly_;
+  }
+
+  /// Ids of hubs belonging to one RTO (hourly hubs only).
+  [[nodiscard]] std::span<const HubId> hubs_in(Rto rto) const;
+
+  /// The nine hubs that host Akamai public clusters in the paper's
+  /// simulations (Fig 19 labels: CA1 CA2 MA NY IL VA NJ TX1 TX2).
+  [[nodiscard]] std::span<const HubId> traffic_hubs() const noexcept {
+    return traffic_;
+  }
+
+ private:
+  HubRegistry();
+
+  std::vector<HubInfo> hubs_;
+  std::vector<HubId> hourly_;
+  std::vector<std::vector<HubId>> by_rto_;
+  std::vector<HubId> traffic_;
+};
+
+}  // namespace cebis::market
+
+#endif  // CEBIS_MARKET_HUB_H

@@ -1,0 +1,71 @@
+#ifndef CEBIS_MARKET_MARKET_SIMULATOR_H
+#define CEBIS_MARKET_MARKET_SIMULATOR_H
+
+// Wholesale electricity market simulator.
+//
+// Produces the three market views the paper analyzes (§2.2, §3):
+//  - hourly real-time prices for the 29 hourly hubs (the routing input),
+//  - hourly day-ahead prices (smoother, based on previous-day factors),
+//  - five-minute real-time prices derived from the hourly series (Fig 4/5),
+// plus daily day-ahead peak averages for any hub including the
+// non-market Northwest (Fig 3).
+//
+// Generation is deterministic given the seed, and prices for an hour do
+// not depend on the requested window: generate() always evolves the
+// factor processes from the study epoch, so a 24-day slice agrees with
+// the same hours inside a 39-month run.
+
+#include <cstdint>
+#include <vector>
+
+#include "base/simtime.h"
+#include "market/hub.h"
+#include "market/price_model.h"
+#include "market/price_series.h"
+#include "stats/matrix.h"
+#include "stats/rng.h"
+
+namespace cebis::market {
+
+class MarketSimulator {
+ public:
+  MarketSimulator(const HubRegistry& hubs, PriceModelParams params,
+                  std::uint64_t seed);
+
+  /// Convenience: default registry + default parameters.
+  explicit MarketSimulator(std::uint64_t seed)
+      : MarketSimulator(HubRegistry::instance(), PriceModelParams::defaults(),
+                        seed) {}
+
+  /// Hourly RT + DA prices for every hourly hub over `period`. The
+  /// period must start at or after the study epoch (Jan 2006).
+  [[nodiscard]] PriceSet generate(const Period& period) const;
+
+  /// Five-minute real-time series for one hub, 12 samples per hour of
+  /// `hourly` (paper Fig 4's "Real-time 5-min" curve).
+  [[nodiscard]] std::vector<double> five_minute_series(HubId hub,
+                                                       const HourlySeries& hourly) const;
+
+  /// Daily day-ahead *peak* averages (Fig 3). Works for hourly hubs (via
+  /// their DA series) and for the daily-only Northwest hub (dedicated
+  /// low-volatility hydro process).
+  [[nodiscard]] DailySeries daily_day_ahead_peak(const PriceSet& prices,
+                                                 HubId hub) const;
+
+  [[nodiscard]] const HubRegistry& hubs() const noexcept { return hubs_; }
+  [[nodiscard]] const PriceModelParams& params() const noexcept { return params_; }
+
+ private:
+  const HubRegistry& hubs_;
+  PriceModelParams params_;
+  std::uint64_t seed_;
+
+  // Per-RTO Cholesky factors of the spatial innovation kernel, indexed
+  // by RTO; rto_members_ gives the hub ids in factor order.
+  std::vector<stats::Matrix> rto_chol_;
+  std::vector<std::vector<HubId>> rto_members_;
+};
+
+}  // namespace cebis::market
+
+#endif  // CEBIS_MARKET_MARKET_SIMULATOR_H

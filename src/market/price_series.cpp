@@ -1,0 +1,67 @@
+#include "market/price_series.h"
+
+#include <stdexcept>
+
+namespace cebis::market {
+
+HourlySeries::HourlySeries(Period period, std::vector<double> values)
+    : period_(period), values_(std::move(values)) {
+  if (static_cast<std::int64_t>(values_.size()) != period_.hours()) {
+    throw std::invalid_argument("HourlySeries: size does not match period");
+  }
+}
+
+double HourlySeries::at(HourIndex h) const {
+  if (!period_.contains(h)) throw std::out_of_range("HourlySeries::at: hour outside period");
+  return values_[static_cast<std::size_t>(h - period_.begin)];
+}
+
+std::span<const double> HourlySeries::slice(const Period& p) const {
+  if (p.begin < period_.begin || p.end > period_.end || p.begin > p.end) {
+    throw std::out_of_range("HourlySeries::slice: period not contained");
+  }
+  return std::span<const double>(values_).subspan(
+      static_cast<std::size_t>(p.begin - period_.begin),
+      static_cast<std::size_t>(p.hours()));
+}
+
+std::vector<double> HourlySeries::daily_averages() const {
+  std::vector<double> out;
+  const std::int64_t days = period_.hours() / 24;
+  out.reserve(static_cast<std::size_t>(days));
+  for (std::int64_t d = 0; d < days; ++d) {
+    double s = 0.0;
+    for (int h = 0; h < 24; ++h) {
+      s += values_[static_cast<std::size_t>(d * 24 + h)];
+    }
+    out.push_back(s / 24.0);
+  }
+  return out;
+}
+
+std::vector<double> HourlySeries::daily_peak_averages(int utc_offset_hours,
+                                                      int first_hour,
+                                                      int last_hour) const {
+  if (first_hour < 0 || last_hour > 23 || first_hour > last_hour) {
+    throw std::invalid_argument("daily_peak_averages: bad hour range");
+  }
+  std::vector<double> out;
+  const std::int64_t days = period_.hours() / 24;
+  out.reserve(static_cast<std::size_t>(days));
+  for (std::int64_t d = 0; d < days; ++d) {
+    double s = 0.0;
+    int n = 0;
+    for (int h = 0; h < 24; ++h) {
+      const HourIndex abs_hour = period_.begin + d * 24 + h;
+      const int local = local_hour_of_day(abs_hour, utc_offset_hours);
+      if (local >= first_hour && local <= last_hour) {
+        s += values_[static_cast<std::size_t>(d * 24 + h)];
+        ++n;
+      }
+    }
+    out.push_back(n > 0 ? s / n : 0.0);
+  }
+  return out;
+}
+
+}  // namespace cebis::market

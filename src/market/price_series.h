@@ -1,0 +1,71 @@
+#ifndef CEBIS_MARKET_PRICE_SERIES_H
+#define CEBIS_MARKET_PRICE_SERIES_H
+
+// Price series containers. Hourly series are the work-horse (real-time
+// and day-ahead markets); daily series carry the day-ahead peak averages
+// of Fig 3; five-minute series back the Fig 4/5 real-time comparison.
+
+#include <span>
+#include <vector>
+
+#include "base/ids.h"
+#include "base/simtime.h"
+#include "base/units.h"
+
+namespace cebis::market {
+
+/// One value per hour over a half-open period.
+class HourlySeries {
+ public:
+  HourlySeries() = default;
+  HourlySeries(Period period, std::vector<double> values);
+
+  [[nodiscard]] const Period& period() const noexcept { return period_; }
+  [[nodiscard]] std::span<const double> values() const noexcept { return values_; }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+
+  /// Value at an absolute hour; throws if outside the period.
+  [[nodiscard]] double at(HourIndex h) const;
+
+  /// Values restricted to a sub-period (view).
+  [[nodiscard]] std::span<const double> slice(const Period& p) const;
+
+  /// Daily means (used for Fig 3-style plots).
+  [[nodiscard]] std::vector<double> daily_averages() const;
+
+  /// Daily means over local "peak" hours [first_hour, last_hour] given a
+  /// UTC offset (day-ahead *peak* prices average 07:00-23:00 local).
+  [[nodiscard]] std::vector<double> daily_peak_averages(int utc_offset_hours,
+                                                        int first_hour = 7,
+                                                        int last_hour = 22) const;
+
+ private:
+  Period period_;
+  std::vector<double> values_;
+};
+
+/// One value per day.
+struct DailySeries {
+  std::int64_t first_day = 0;  ///< day index since epoch
+  std::vector<double> values;
+};
+
+/// All generated market prices for a period. Indexed by HubId; hubs
+/// without an hourly market have empty rt/da entries.
+struct PriceSet {
+  Period period;
+  std::vector<HourlySeries> rt;  ///< hourly real-time prices per hub
+  std::vector<HourlySeries> da;  ///< hourly day-ahead prices per hub
+
+  [[nodiscard]] UsdPerMwh rt_at(HubId hub, HourIndex h) const {
+    return UsdPerMwh{rt.at(hub.index()).at(h)};
+  }
+  [[nodiscard]] UsdPerMwh da_at(HubId hub, HourIndex h) const {
+    return UsdPerMwh{da.at(hub.index()).at(h)};
+  }
+};
+
+}  // namespace cebis::market
+
+#endif  // CEBIS_MARKET_PRICE_SERIES_H

@@ -1,0 +1,37 @@
+#include "market/rto.h"
+
+namespace cebis::market {
+
+std::string_view to_string(Rto r) noexcept {
+  switch (r) {
+    case Rto::kIsoNe: return "ISONE";
+    case Rto::kNyiso: return "NYISO";
+    case Rto::kPjm: return "PJM";
+    case Rto::kMiso: return "MISO";
+    case Rto::kCaiso: return "CAISO";
+    case Rto::kErcot: return "ERCOT";
+    case Rto::kNonMarket: return "NONMKT";
+  }
+  return "?";
+}
+
+std::string_view region_name(Rto r) noexcept {
+  switch (r) {
+    case Rto::kIsoNe: return "New England";
+    case Rto::kNyiso: return "New York";
+    case Rto::kPjm: return "Eastern";
+    case Rto::kMiso: return "Midwest";
+    case Rto::kCaiso: return "California";
+    case Rto::kErcot: return "Texas";
+    case Rto::kNonMarket: return "Northwest (no hourly market)";
+  }
+  return "?";
+}
+
+std::span<const Rto> market_rtos() noexcept {
+  static constexpr std::array<Rto, kMarketRtoCount> kAll = {
+      Rto::kIsoNe, Rto::kNyiso, Rto::kPjm, Rto::kMiso, Rto::kCaiso, Rto::kErcot};
+  return kAll;
+}
+
+}  // namespace cebis::market

@@ -1,0 +1,38 @@
+#ifndef CEBIS_MARKET_RTO_H
+#define CEBIS_MARKET_RTO_H
+
+// Regional Transmission Organizations (paper §2.2, Fig 2). Each RTO
+// administers its own wholesale market; market boundaries decorrelate
+// prices between hubs (§3.2), which is the effect the routing scheme
+// exploits.
+
+#include <array>
+#include <span>
+#include <string_view>
+
+namespace cebis::market {
+
+enum class Rto : int {
+  kIsoNe = 0,   ///< ISO New England
+  kNyiso = 1,   ///< New York ISO
+  kPjm = 2,     ///< PJM Interconnection (Eastern / Chicago)
+  kMiso = 3,    ///< Midwest ISO
+  kCaiso = 4,   ///< California ISO
+  kErcot = 5,   ///< Texas (ERCOT)
+  kNonMarket = 6,  ///< Regions without an hourly wholesale market (Northwest)
+};
+
+inline constexpr int kMarketRtoCount = 6;  // excludes kNonMarket
+inline constexpr int kRtoCount = 7;
+
+[[nodiscard]] std::string_view to_string(Rto r) noexcept;
+
+/// Region description as listed in the paper's Fig 2.
+[[nodiscard]] std::string_view region_name(Rto r) noexcept;
+
+/// All market RTOs (excludes kNonMarket).
+[[nodiscard]] std::span<const Rto> market_rtos() noexcept;
+
+}  // namespace cebis::market
+
+#endif  // CEBIS_MARKET_RTO_H

@@ -1,0 +1,104 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace cebis::stats {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("mean: empty input");
+  return std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) throw std::invalid_argument("variance: need >= 2 samples");
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return ss / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+namespace {
+
+/// Central moment of order k divided by sigma^k (population sigma).
+double standardized_moment(std::span<const double> xs, int k) {
+  if (xs.size() < 2) throw std::invalid_argument("moment: need >= 2 samples");
+  const double m = mean(xs);
+  double s2 = 0.0;
+  for (double x : xs) s2 += (x - m) * (x - m);
+  s2 /= static_cast<double>(xs.size());
+  if (s2 <= 0.0) return 0.0;
+  double mk = 0.0;
+  for (double x : xs) mk += std::pow(x - m, k);
+  mk /= static_cast<double>(xs.size());
+  return mk / std::pow(s2, k / 2.0);
+}
+
+}  // namespace
+
+double kurtosis(std::span<const double> xs) { return standardized_moment(xs, 4); }
+
+double skewness(std::span<const double> xs) { return standardized_moment(xs, 3); }
+
+double min_of(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("min_of: empty input");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("max_of: empty input");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+std::vector<double> trimmed(std::span<const double> xs, double frac_each_tail) {
+  if (frac_each_tail < 0.0 || frac_each_tail >= 0.5) {
+    throw std::invalid_argument("trimmed: frac_each_tail must be in [0, 0.5)");
+  }
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto cut = static_cast<std::size_t>(
+      std::floor(frac_each_tail * static_cast<double>(sorted.size())));
+  if (2 * cut >= sorted.size()) return sorted;
+  return {sorted.begin() + static_cast<std::ptrdiff_t>(cut),
+          sorted.end() - static_cast<std::ptrdiff_t>(cut)};
+}
+
+std::vector<double> first_differences(std::span<const double> xs) {
+  if (xs.size() < 2) return {};
+  std::vector<double> d;
+  d.reserve(xs.size() - 1);
+  for (std::size_t i = 1; i < xs.size(); ++i) d.push_back(xs[i] - xs[i - 1]);
+  return d;
+}
+
+double fraction_within(std::span<const double> xs, double center, double radius) {
+  if (xs.empty()) throw std::invalid_argument("fraction_within: empty input");
+  std::size_t n = 0;
+  for (double x : xs) {
+    if (std::abs(x - center) <= radius) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(xs.size());
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  s.mean = mean(xs);
+  s.stddev = stddev(xs);
+  s.skewness = skewness(xs);
+  s.kurtosis = kurtosis(xs);
+  s.min = min_of(xs);
+  s.max = max_of(xs);
+  return s;
+}
+
+Summary summarize_trimmed(std::span<const double> xs, double frac_each_tail) {
+  const std::vector<double> t = trimmed(xs, frac_each_tail);
+  return summarize(t);
+}
+
+}  // namespace cebis::stats

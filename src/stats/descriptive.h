@@ -1,0 +1,62 @@
+#ifndef CEBIS_STATS_DESCRIPTIVE_H
+#define CEBIS_STATS_DESCRIPTIVE_H
+
+// Descriptive statistics used throughout the market analysis (paper §3):
+// mean / stddev / kurtosis tables (Fig 6), hour-to-hour change moments
+// (Fig 7), and the 1%-trimmed variants the paper reports.
+
+#include <span>
+#include <vector>
+
+namespace cebis::stats {
+
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Sample variance (n-1 denominator). Requires at least two samples.
+[[nodiscard]] double variance(std::span<const double> xs);
+
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+/// Raw (non-excess) kurtosis: E[(x-mu)^4] / sigma^4, so a normal
+/// distribution scores 3. The paper's Fig 6/7 "Kurt." columns are raw
+/// kurtosis (values 4.6..33.3, all above the normal's 3).
+[[nodiscard]] double kurtosis(std::span<const double> xs);
+
+/// Third standardized moment.
+[[nodiscard]] double skewness(std::span<const double> xs);
+
+[[nodiscard]] double min_of(std::span<const double> xs);
+[[nodiscard]] double max_of(std::span<const double> xs);
+
+/// Copy with the lowest and highest `frac` of samples removed from each
+/// tail. The paper's "1% trimmed" statistics (Fig 6) drop the extreme
+/// 0.5% from each side; trimmed(xs, 0.005) reproduces that.
+[[nodiscard]] std::vector<double> trimmed(std::span<const double> xs, double frac_each_tail);
+
+/// Element-wise difference x[i+1] - x[i] (hour-to-hour changes, Fig 7).
+[[nodiscard]] std::vector<double> first_differences(std::span<const double> xs);
+
+/// Fraction of samples with |x - center| <= radius (e.g. the "78% of
+/// hourly changes within +/- $20" annotations in Fig 7).
+[[nodiscard]] double fraction_within(std::span<const double> xs, double center, double radius);
+
+/// One-stop summary used by the stats tables.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double skewness = 0.0;
+  double kurtosis = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+/// Summary of the 1%-trimmed data (paper Fig 6 footnote).
+[[nodiscard]] Summary summarize_trimmed(std::span<const double> xs,
+                                        double frac_each_tail = 0.005);
+
+}  // namespace cebis::stats
+
+#endif  // CEBIS_STATS_DESCRIPTIVE_H

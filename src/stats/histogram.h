@@ -1,0 +1,63 @@
+#ifndef CEBIS_STATS_HISTOGRAM_H
+#define CEBIS_STATS_HISTOGRAM_H
+
+// Fixed-bin histograms, used for the price-change distributions (Fig 7),
+// the pairwise differential distributions (Fig 10), and the differential
+// duration distribution (Fig 13).
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cebis::stats {
+
+class Histogram {
+ public:
+  /// Bins of width `bin_width` covering [lo, hi); samples outside the
+  /// range are counted in underflow/overflow.
+  Histogram(double lo, double hi, double bin_width);
+
+  void add(double x, double weight = 1.0);
+  void add_all(std::span<const double> xs);
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+  [[nodiscard]] double bin_center(std::size_t i) const;
+  [[nodiscard]] double count(std::size_t i) const;
+
+  [[nodiscard]] double total() const noexcept { return total_; }
+  [[nodiscard]] double underflow() const noexcept { return underflow_; }
+  [[nodiscard]] double overflow() const noexcept { return overflow_; }
+
+  /// Fraction of total mass in bin i (normalized density x bin width).
+  [[nodiscard]] double fraction(std::size_t i) const;
+
+  /// Fraction of mass with value in [lo, hi] (includes out-of-range mass
+  /// if the query interval extends past the histogram range).
+  [[nodiscard]] double fraction_between(double lo, double hi) const;
+
+  /// Rows "center fraction" for plotting/CSV output.
+  struct Row {
+    double center = 0.0;
+    double fraction = 0.0;
+    double count = 0.0;
+  };
+  [[nodiscard]] std::vector<Row> rows() const;
+
+  /// Crude console rendering (for bench stdout output).
+  [[nodiscard]] std::string ascii(int width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<double> counts_;
+  double underflow_ = 0.0;
+  double overflow_ = 0.0;
+  double total_ = 0.0;
+};
+
+}  // namespace cebis::stats
+
+#endif  // CEBIS_STATS_HISTOGRAM_H

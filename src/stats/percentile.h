@@ -1,0 +1,59 @@
+#ifndef CEBIS_STATS_PERCENTILE_H
+#define CEBIS_STATS_PERCENTILE_H
+
+// Percentile estimation. The 95th percentile of 5-minute traffic samples
+// is the billing quantity in the 95/5 model (paper §4), so this is a
+// load-bearing primitive: the bandwidth constraints and part of Fig 15/16
+// flow through it.
+
+#include <span>
+#include <vector>
+
+namespace cebis::stats {
+
+/// Linear-interpolation percentile (type R-7, the numpy/Excel default).
+/// p is in [0, 100]. Input need not be sorted.
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+
+/// Percentile of pre-sorted data (no copy).
+[[nodiscard]] double percentile_sorted(std::span<const double> sorted, double p);
+
+/// Convenience: the 95th percentile (95/5 billing).
+[[nodiscard]] double p95(std::span<const double> xs);
+
+/// Median (50th percentile).
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// Inter-quartile range bounds.
+struct Quartiles {
+  double q25 = 0.0;
+  double q50 = 0.0;
+  double q75 = 0.0;
+};
+
+[[nodiscard]] Quartiles quartiles(std::span<const double> xs);
+
+/// Streaming percentile tracker: stores samples and answers percentile
+/// queries; used by the online 95/5 constraint tracker and the
+/// client-server distance percentiles (Fig 17).
+class PercentileAccumulator {
+ public:
+  void add(double x) { xs_.push_back(x); }
+  void add_weighted(double x, double weight);
+
+  [[nodiscard]] std::size_t count() const noexcept { return xs_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return xs_.empty(); }
+
+  /// Percentile over everything added so far. For weighted samples the
+  /// percentile is over the expanded distribution.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double mean() const;
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> weights_;  // empty if all weights are 1
+};
+
+}  // namespace cebis::stats
+
+#endif  // CEBIS_STATS_PERCENTILE_H

@@ -1,0 +1,134 @@
+#include "traffic/akamai_allocation.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "geo/distance_model.h"
+#include "stats/rng.h"
+
+namespace cebis::traffic {
+
+BaselineAllocation::BaselineAllocation(const geo::StateRegistry& states,
+                                       const ServerCityRegistry& cities,
+                                       BaselineConfig config, std::uint64_t seed)
+    : state_count_(states.size()), city_count_(cities.size()) {
+  const double wsum =
+      config.primary_weight + config.secondary_weight + config.tertiary_weight;
+  if (wsum <= 0.0) throw std::invalid_argument("BaselineAllocation: zero weights");
+
+  const geo::DistanceModel distances(states.all(), cities.locations());
+  stats::Rng rng(seed);
+
+  city_weight_.assign(state_count_ * city_count_, 0.0);
+  cluster_weight_.assign(state_count_ * kClusterCount, 0.0);
+  subset_fraction_.assign(state_count_, 0.0);
+
+  for (std::size_t si = 0; si < state_count_; ++si) {
+    const StateId state{static_cast<std::int32_t>(si)};
+
+    // Cities ordered by population-weighted distance from the state.
+    std::vector<std::size_t> order(city_count_);
+    for (std::size_t c = 0; c < city_count_; ++c) order[c] = c;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return distances.distance(state, a) < distances.distance(state, b);
+    });
+
+    std::size_t primary = order[0];
+    std::size_t secondary = order[std::min<std::size_t>(1, city_count_ - 1)];
+    std::size_t tertiary = order[std::min<std::size_t>(2, city_count_ - 1)];
+
+    // Network-affinity rewiring: some states ride their ISP to a distant
+    // city instead of the third-nearest one.
+    if (rng.bernoulli(config.affinity_fraction)) {
+      const std::size_t far_pick =
+          order[city_count_ / 2 + rng.index(city_count_ - city_count_ / 2)];
+      tertiary = far_pick;
+    }
+
+    city_weight_[si * city_count_ + primary] += config.primary_weight / wsum;
+    city_weight_[si * city_count_ + secondary] += config.secondary_weight / wsum;
+    city_weight_[si * city_count_ + tertiary] += config.tertiary_weight / wsum;
+
+    // Aggregate into hub clusters / the 9-region subset.
+    double subset = 0.0;
+    for (std::size_t c = 0; c < city_count_; ++c) {
+      const double w = city_weight_[si * city_count_ + c];
+      if (w <= 0.0) continue;
+      const int cluster = cities.cluster_of(CityId{static_cast<std::int32_t>(c)});
+      if (cluster < 0) continue;
+      cluster_weight_[si * kClusterCount + static_cast<std::size_t>(cluster)] += w;
+      subset += w;
+    }
+    subset_fraction_[si] = subset;
+    if (subset > 0.0) {
+      for (std::size_t k = 0; k < kClusterCount; ++k) {
+        cluster_weight_[si * kClusterCount + k] /= subset;
+      }
+    }
+  }
+}
+
+double BaselineAllocation::weight(StateId state, CityId city) const {
+  if (!state.valid() || state.index() >= state_count_ || !city.valid() ||
+      city.index() >= city_count_) {
+    throw std::out_of_range("BaselineAllocation::weight");
+  }
+  return city_weight_[state.index() * city_count_ + city.index()];
+}
+
+double BaselineAllocation::subset_fraction(StateId state) const {
+  if (!state.valid() || state.index() >= state_count_) {
+    throw std::out_of_range("BaselineAllocation::subset_fraction");
+  }
+  return subset_fraction_[state.index()];
+}
+
+double BaselineAllocation::cluster_weight(StateId state, std::size_t cluster) const {
+  if (!state.valid() || state.index() >= state_count_ || cluster >= kClusterCount) {
+    throw std::out_of_range("BaselineAllocation::cluster_weight");
+  }
+  return cluster_weight_[state.index() * kClusterCount + cluster];
+}
+
+double ClusterLoads::at(std::int64_t step, std::size_t cluster) const {
+  if (step < 0 || step >= steps || cluster >= clusters) {
+    throw std::out_of_range("ClusterLoads::at");
+  }
+  return load[static_cast<std::size_t>(step) * clusters + cluster];
+}
+
+std::vector<double> ClusterLoads::series(std::size_t cluster) const {
+  if (cluster >= clusters) throw std::out_of_range("ClusterLoads::series");
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(steps));
+  for (std::int64_t s = 0; s < steps; ++s) {
+    out.push_back(at(s, cluster));
+  }
+  return out;
+}
+
+ClusterLoads baseline_cluster_loads(const TrafficTrace& trace,
+                                    const BaselineAllocation& alloc) {
+  ClusterLoads out;
+  out.steps = trace.steps();
+  out.clusters = kClusterCount;
+  out.load.assign(static_cast<std::size_t>(out.steps) * kClusterCount, 0.0);
+  for (std::int64_t step = 0; step < out.steps; ++step) {
+    const auto row = trace.state_row(step);
+    for (std::size_t si = 0; si < row.size(); ++si) {
+      const StateId state{static_cast<std::int32_t>(si)};
+      const double subset_hits = row[si] * alloc.subset_fraction(state);
+      if (subset_hits <= 0.0) continue;
+      for (std::size_t k = 0; k < kClusterCount; ++k) {
+        const double w = alloc.cluster_weight(state, k);
+        if (w > 0.0) {
+          out.load[static_cast<std::size_t>(step) * kClusterCount + k] +=
+              subset_hits * w;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cebis::traffic

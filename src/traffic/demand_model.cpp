@@ -1,0 +1,48 @@
+#include "traffic/demand_model.h"
+
+#include <array>
+
+namespace cebis::traffic {
+
+namespace {
+
+// Client activity by local hour. Shape follows the classic CDN double
+// hump: morning ramp, afternoon plateau, evening maximum.
+constexpr std::array<double, 24> kClientDiurnal = {
+    0.45, 0.38, 0.34, 0.33, 0.34, 0.38,  // 0-5
+    0.47, 0.58, 0.70, 0.78, 0.83, 0.86,  // 6-11
+    0.88, 0.89, 0.90, 0.91, 0.92, 0.93,  // 12-17
+    0.95, 0.98, 1.00, 0.97, 0.85, 0.62,  // 18-23
+};
+
+}  // namespace
+
+double client_diurnal(int local_hour) noexcept {
+  return kClientDiurnal[static_cast<std::size_t>(((local_hour % 24) + 24) % 24)];
+}
+
+double client_weekly(Weekday dow) noexcept {
+  switch (dow) {
+    case Weekday::kSaturday: return 0.88;
+    case Weekday::kSunday: return 0.90;
+    default: return 1.0;
+  }
+}
+
+double holiday_factor(const CivilDate& date) noexcept {
+  // Christmas Eve through the 26th, and New Year's Eve/Day, dip visibly
+  // in the Akamai trace (Fig 14).
+  if (date.month == 12 && date.day >= 24 && date.day <= 26) return 0.72;
+  if (date.month == 12 && date.day == 31) return 0.82;
+  if (date.month == 1 && date.day == 1) return 0.78;
+  if (date.month == 12 && (date.day == 23 || date.day >= 27)) return 0.90;
+  return 1.0;
+}
+
+double demand_shape(HourIndex t, int utc_offset_hours) noexcept {
+  const int local = local_hour_of_day(t, utc_offset_hours);
+  const Weekday dow = local_weekday(t, utc_offset_hours);
+  return client_diurnal(local) * client_weekly(dow) * holiday_factor(date_of(t));
+}
+
+}  // namespace cebis::traffic

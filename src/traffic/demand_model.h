@@ -1,0 +1,39 @@
+#ifndef CEBIS_TRAFFIC_DEMAND_MODEL_H
+#define CEBIS_TRAFFIC_DEMAND_MODEL_H
+
+// Client demand model.
+//
+// The Akamai data set gives 5-minute hit rates with client origins
+// localized to US states (paper §4). We model each state's demand as
+//
+//   H_s(t) = population_s * rate * diurnal(local t) * week(local dow)
+//            * holiday(date) * (1 + AR-noise_s(t)) * flash(t)
+//
+// calibrated so the US total peaks at ~1.25M hits/s during the trace
+// window (Fig 14). Non-US traffic appears only as phase-shifted
+// aggregates (Europe / Asia-Pacific / rest) for the Fig 14 global curve;
+// the routing experiments ignore it for distance purposes, as the paper
+// does.
+
+#include "base/simtime.h"
+
+namespace cebis::traffic {
+
+/// Client-activity hour-of-day multiplier (local time): overnight trough
+/// ~0.35, daytime plateau, evening peak 1.0 around 20-21h.
+[[nodiscard]] double client_diurnal(int local_hour) noexcept;
+
+/// Day-of-week multiplier (weekends slightly lower, local time).
+[[nodiscard]] double client_weekly(Weekday dow) noexcept;
+
+/// Holiday dip factor for dates in the trace window: Christmas and
+/// New Year's Day show clearly in Fig 14.
+[[nodiscard]] double holiday_factor(const CivilDate& date) noexcept;
+
+/// Deterministic per-state demand shape at an absolute hour, before
+/// population scaling and noise. `utc_offset_hours` localizes the curve.
+[[nodiscard]] double demand_shape(HourIndex t, int utc_offset_hours) noexcept;
+
+}  // namespace cebis::traffic
+
+#endif  // CEBIS_TRAFFIC_DEMAND_MODEL_H

@@ -1,0 +1,110 @@
+#include "traffic/server_cities.h"
+
+#include <stdexcept>
+
+namespace cebis::traffic {
+
+ServerCityRegistry::ServerCityRegistry() {
+  const auto& hubs = market::HubRegistry::instance();
+  auto add = [this, &hubs](std::string_view name, std::string_view state,
+                           geo::LatLon loc, std::string_view hub_code) {
+    HubId hub = HubId::invalid();
+    if (!hub_code.empty()) {
+      hub = hubs.by_code(hub_code);
+      if (!hub.valid()) {
+        throw std::logic_error("ServerCityRegistry: unknown hub code");
+      }
+    }
+    cities_.push_back(ServerCity{name, state, loc, hub});
+    locations_.push_back(loc);
+  };
+
+  // Eighteen cities with market data, grouped into nine hub clusters.
+  add("Palo Alto", "CA", {37.44, -122.14}, "NP15");
+  add("San Francisco", "CA", {37.77, -122.42}, "NP15");
+  add("San Jose", "CA", {37.34, -121.89}, "NP15");
+  add("Los Angeles", "CA", {34.05, -118.24}, "SP15");
+  add("San Diego", "CA", {32.72, -117.16}, "SP15");
+  add("Boston", "MA", {42.36, -71.06}, "MA-BOS");
+  add("Cambridge", "MA", {42.37, -71.11}, "MA-BOS");
+  add("New York", "NY", {40.71, -74.01}, "NYC");
+  add("White Plains", "NY", {41.03, -73.76}, "NYC");
+  add("Chicago", "IL", {41.88, -87.63}, "CHI");
+  add("Ashburn", "VA", {39.04, -77.49}, "DOM");
+  add("Richmond", "VA", {37.54, -77.44}, "DOM");
+  add("Newark", "NJ", {40.74, -74.17}, "NJ");
+  add("Secaucus", "NJ", {40.79, -74.06}, "NJ");
+  add("Dallas", "TX", {32.78, -96.80}, "ERCOT-N");
+  add("Fort Worth", "TX", {32.76, -97.33}, "ERCOT-N");
+  add("Austin", "TX", {30.27, -97.74}, "ERCOT-S");
+  add("San Antonio", "TX", {29.42, -98.49}, "ERCOT-S");
+
+  // Seven cities discarded in the paper for lack of market data
+  // (non-RTO regions: Southeast, Northwest, Mountain states).
+  add("Seattle", "WA", {47.61, -122.33}, "");
+  add("Portland", "OR", {45.52, -122.68}, "");
+  add("Denver", "CO", {39.74, -104.99}, "");
+  add("Atlanta", "GA", {33.75, -84.39}, "");
+  add("Miami", "FL", {25.76, -80.19}, "");
+  add("Phoenix", "AZ", {33.45, -112.07}, "");
+  add("Salt Lake City", "UT", {40.76, -111.89}, "");
+
+  // Cluster order mirrors HubRegistry::traffic_hubs().
+  const auto traffic_hubs = hubs.traffic_hubs();
+  cluster_hubs_.assign(traffic_hubs.begin(), traffic_hubs.end());
+  static constexpr std::array<std::string_view, kClusterCount> kLabels = {
+      "CA1", "CA2", "MA", "NY", "IL", "VA", "NJ", "TX1", "TX2"};
+  cluster_labels_.assign(kLabels.begin(), kLabels.end());
+  if (cluster_hubs_.size() != kClusterCount) {
+    throw std::logic_error("ServerCityRegistry: expected nine traffic hubs");
+  }
+
+  cluster_of_.assign(cities_.size(), -1);
+  for (std::size_t c = 0; c < cities_.size(); ++c) {
+    if (!cities_[c].hub.valid()) continue;
+    for (std::size_t k = 0; k < cluster_hubs_.size(); ++k) {
+      if (cluster_hubs_[k] == cities_[c].hub) {
+        cluster_of_[c] = static_cast<int>(k);
+        break;
+      }
+    }
+    if (cluster_of_[c] < 0) {
+      throw std::logic_error("ServerCityRegistry: city hub is not a traffic hub");
+    }
+  }
+}
+
+const ServerCityRegistry& ServerCityRegistry::instance() {
+  static const ServerCityRegistry registry;
+  return registry;
+}
+
+const ServerCity& ServerCityRegistry::info(CityId id) const {
+  if (!id.valid() || id.index() >= cities_.size()) {
+    throw std::out_of_range("ServerCityRegistry::info");
+  }
+  return cities_[id.index()];
+}
+
+int ServerCityRegistry::cluster_of(CityId id) const {
+  if (!id.valid() || id.index() >= cities_.size()) {
+    throw std::out_of_range("ServerCityRegistry::cluster_of");
+  }
+  return cluster_of_[id.index()];
+}
+
+HubId ServerCityRegistry::cluster_hub(std::size_t cluster) const {
+  if (cluster >= cluster_hubs_.size()) {
+    throw std::out_of_range("ServerCityRegistry::cluster_hub");
+  }
+  return cluster_hubs_[cluster];
+}
+
+std::string_view ServerCityRegistry::cluster_label(std::size_t cluster) const {
+  if (cluster >= cluster_labels_.size()) {
+    throw std::out_of_range("ServerCityRegistry::cluster_label");
+  }
+  return cluster_labels_[cluster];
+}
+
+}  // namespace cebis::traffic

@@ -1,0 +1,128 @@
+#include "traffic/trace_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/rng.h"
+#include "traffic/demand_model.h"
+
+namespace cebis::traffic {
+
+namespace {
+
+constexpr std::uint64_t kStreamStateNoise = 1000;  // + state
+constexpr std::uint64_t kStreamFlash = 2000;
+constexpr std::uint64_t kStreamWorld = 3000;  // + region
+
+/// Demand shape at 5-minute resolution: linear interpolation between the
+/// hourly shape values so traffic ramps smoothly.
+double shape_at_step(HourIndex hour, int step_in_hour, int utc_offset) {
+  const double a = demand_shape(hour, utc_offset);
+  const double b = demand_shape(hour + 1, utc_offset);
+  const double frac = static_cast<double>(step_in_hour) / kStepsPerHour;
+  return a + (b - a) * frac;
+}
+
+}  // namespace
+
+TraceGenerator::TraceGenerator(const geo::StateRegistry& states,
+                               TraceGeneratorConfig config, std::uint64_t seed)
+    : states_(states), config_(config), seed_(seed) {}
+
+TrafficTrace TraceGenerator::generate(const Period& period) const {
+  TrafficTrace trace(period, states_.size());
+  stats::Rng base(seed_);
+
+  // Flash crowds: sample event windows for the whole period up front.
+  struct Flash {
+    std::int64_t begin_step = 0;
+    std::int64_t end_step = 0;
+    double lift = 0.0;
+  };
+  std::vector<Flash> flashes;
+  {
+    stats::Rng rng = base.split(kStreamFlash);
+    const double days = static_cast<double>(period.hours()) / 24.0;
+    const int events = rng.poisson(config_.flash_per_day * days);
+    for (int e = 0; e < events; ++e) {
+      Flash f;
+      f.begin_step = static_cast<std::int64_t>(rng.uniform() *
+                                               static_cast<double>(trace.steps()));
+      const std::int64_t duration =
+          static_cast<std::int64_t>(rng.uniform(1.0, 3.0) * kStepsPerHour);
+      f.end_step = std::min(trace.steps(), f.begin_step + duration);
+      f.lift = rng.uniform(config_.flash_min_lift, config_.flash_max_lift);
+      flashes.push_back(f);
+    }
+  }
+  const auto flash_lift = [&flashes](std::int64_t step) {
+    double lift = 0.0;
+    for (const auto& f : flashes) {
+      if (step >= f.begin_step && step < f.end_step) lift += f.lift;
+    }
+    return 1.0 + lift;
+  };
+
+  // Per-state AR(1) noise + deterministic shape.
+  const auto states = states_.all();
+  for (std::size_t si = 0; si < states.size(); ++si) {
+    const geo::StateInfo& st = states[si];
+    stats::Rng rng = base.split(kStreamStateNoise + si);
+    double ar = rng.normal(0.0, config_.noise_sigma);
+    const double inno =
+        config_.noise_sigma *
+        std::sqrt(std::max(0.0, 1.0 - config_.noise_phi * config_.noise_phi));
+    for (std::int64_t step = 0; step < trace.steps(); ++step) {
+      ar = config_.noise_phi * ar + rng.normal(0.0, inno);
+      const HourIndex hour = trace.hour_of(step);
+      const int step_in_hour = static_cast<int>(step % kStepsPerHour);
+      const double shape =
+          shape_at_step(hour, step_in_hour, st.utc_offset_hours);
+      const double jitter = rng.normal(0.0, config_.jitter_sigma);
+      const double hits = st.population * shape *
+                          std::max(0.0, 1.0 + ar + jitter) * flash_lift(step);
+      trace.set_hits(step, StateId{static_cast<std::int32_t>(si)}, HitsPerSec{hits});
+    }
+  }
+
+  // Calibrate the US total to the target peak.
+  double peak = 0.0;
+  for (std::int64_t step = 0; step < trace.steps(); ++step) {
+    peak = std::max(peak, trace.us_total(step).value());
+  }
+  if (peak > 0.0) trace.scale(config_.target_us_peak / peak);
+
+  // World aggregates: phase-shifted diurnal curves (UTC offsets roughly
+  // central Europe +1, Asia-Pacific +9, rest of world -3).
+  struct Region {
+    WorldRegion region;
+    double fraction;
+    int utc_offset;
+    std::uint64_t stream;
+  };
+  const Region regions[] = {
+      {WorldRegion::kEurope, config_.europe_fraction, 1, 0},
+      {WorldRegion::kAsiaPacific, config_.asia_fraction, 9, 1},
+      {WorldRegion::kRestOfWorld, config_.rest_fraction, -3, 2},
+  };
+  for (const Region& r : regions) {
+    stats::Rng rng = base.split(kStreamWorld + r.stream);
+    double ar = rng.normal(0.0, config_.noise_sigma);
+    const double inno =
+        config_.noise_sigma *
+        std::sqrt(std::max(0.0, 1.0 - config_.noise_phi * config_.noise_phi));
+    const double peak_hits = config_.target_us_peak * r.fraction;
+    for (std::int64_t step = 0; step < trace.steps(); ++step) {
+      ar = config_.noise_phi * ar + rng.normal(0.0, inno);
+      const HourIndex hour = trace.hour_of(step);
+      const int step_in_hour = static_cast<int>(step % kStepsPerHour);
+      const double shape = shape_at_step(hour, step_in_hour, r.utc_offset);
+      trace.set_world(step, r.region,
+                      HitsPerSec{peak_hits * shape * std::max(0.0, 1.0 + ar)});
+    }
+  }
+  return trace;
+}
+
+}  // namespace cebis::traffic

@@ -1,0 +1,59 @@
+#ifndef CEBIS_TRAFFIC_TRACE_GENERATOR_H
+#define CEBIS_TRAFFIC_TRACE_GENERATOR_H
+
+// Synthetic Akamai-like trace generator (the substitution for the
+// proprietary 24-day data set; see DESIGN.md §1). Deterministic given
+// the seed.
+
+#include <cstdint>
+
+#include "base/simtime.h"
+#include "geo/us_states.h"
+#include "traffic/trace.h"
+
+namespace cebis::traffic {
+
+struct TraceGeneratorConfig {
+  /// Calibration target: peak US hit rate over the window (Fig 14 shows
+  /// ~1.25M hits/s from the US).
+  double target_us_peak = 1.25e6;
+
+  /// World-region peaks relative to the US peak (global peak >2M).
+  double europe_fraction = 0.42;
+  double asia_fraction = 0.30;
+  double rest_fraction = 0.12;
+
+  /// AR(1) noise on each state's demand (5-minute steps).
+  double noise_phi = 0.97;
+  double noise_sigma = 0.05;
+  /// iid measurement jitter per sample.
+  double jitter_sigma = 0.015;
+
+  /// Flash-crowd events: expected events per day; each lifts demand by
+  /// uniform(min_lift, max_lift) for a 1-3 hour window.
+  double flash_per_day = 0.35;
+  double flash_min_lift = 0.25;
+  double flash_max_lift = 0.90;
+};
+
+class TraceGenerator {
+ public:
+  TraceGenerator(const geo::StateRegistry& states, TraceGeneratorConfig config,
+                 std::uint64_t seed);
+
+  explicit TraceGenerator(std::uint64_t seed)
+      : TraceGenerator(geo::StateRegistry::instance(), TraceGeneratorConfig{},
+                       seed) {}
+
+  /// Generates a trace over `period` (typically trace_period()).
+  [[nodiscard]] TrafficTrace generate(const Period& period) const;
+
+ private:
+  const geo::StateRegistry& states_;
+  TraceGeneratorConfig config_;
+  std::uint64_t seed_;
+};
+
+}  // namespace cebis::traffic
+
+#endif  // CEBIS_TRAFFIC_TRACE_GENERATOR_H

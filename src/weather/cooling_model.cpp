@@ -1,0 +1,78 @@
+#include "weather/cooling_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cebis::weather {
+
+namespace {
+
+void validate(const CoolingModelParams& p) {
+  if (p.pue_free < 1.0 || p.pue_chiller < p.pue_free) {
+    throw std::invalid_argument("CoolingModelParams: bad PUE bounds");
+  }
+  if (p.chiller_above_c <= p.free_below_c) {
+    throw std::invalid_argument("CoolingModelParams: bad temperature thresholds");
+  }
+}
+
+}  // namespace
+
+double effective_pue(const CoolingModelParams& params, double ambient_c) {
+  validate(params);
+  if (ambient_c <= params.free_below_c) return params.pue_free;
+  if (ambient_c >= params.chiller_above_c) return params.pue_chiller;
+  const double frac = (ambient_c - params.free_below_c) /
+                      (params.chiller_above_c - params.free_below_c);
+  return params.pue_free + frac * (params.pue_chiller - params.pue_free);
+}
+
+double cooling_overhead(const CoolingModelParams& params, double ambient_c) {
+  return effective_pue(params, ambient_c) / params.pue_free;
+}
+
+market::PriceSet effective_pue_series(const market::PriceSet& temperatures,
+                                      const CoolingModelParams& params) {
+  validate(params);
+  market::PriceSet out;
+  out.period = temperatures.period;
+  out.rt.resize(temperatures.rt.size());
+  out.da.resize(temperatures.rt.size());
+  for (std::size_t h = 0; h < temperatures.rt.size(); ++h) {
+    if (temperatures.rt[h].empty()) continue;
+    const auto tv = temperatures.rt[h].values();
+    std::vector<double> pue;
+    pue.reserve(tv.size());
+    for (double t : tv) pue.push_back(effective_pue(params, t));
+    out.rt[h] = market::HourlySeries(temperatures.rt[h].period(), std::move(pue));
+  }
+  return out;
+}
+
+market::PriceSet weather_adjusted_objective(const market::PriceSet& prices,
+                                            const market::PriceSet& temperatures,
+                                            const CoolingModelParams& params) {
+  validate(params);
+  if (prices.rt.size() != temperatures.rt.size()) {
+    throw std::invalid_argument("weather_adjusted_objective: hub count mismatch");
+  }
+  market::PriceSet out;
+  out.period = prices.period;
+  out.rt.resize(prices.rt.size());
+  out.da.resize(prices.rt.size());
+  for (std::size_t h = 0; h < prices.rt.size(); ++h) {
+    if (prices.rt[h].empty() || temperatures.rt[h].empty()) continue;
+    const auto pv = prices.rt[h].values();
+    const auto tv = temperatures.rt[h].slice(prices.rt[h].period());
+    std::vector<double> adjusted;
+    adjusted.reserve(pv.size());
+    for (std::size_t i = 0; i < pv.size(); ++i) {
+      adjusted.push_back(pv[i] * cooling_overhead(params, tv[i]));
+    }
+    out.rt[h] =
+        market::HourlySeries(prices.rt[h].period(), std::move(adjusted));
+  }
+  return out;
+}
+
+}  // namespace cebis::weather

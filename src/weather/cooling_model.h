@@ -1,0 +1,45 @@
+#ifndef CEBIS_WEATHER_COOLING_MODEL_H
+#define CEBIS_WEATHER_COOLING_MODEL_H
+
+// Free-cooling model (§8): the effective PUE as a function of ambient
+// temperature. Below the economizer threshold, outside air carries the
+// heat and only fans run; above the chiller threshold, mechanical
+// cooling carries the full load; in between, the chillers ramp.
+
+#include "market/price_series.h"
+
+namespace cebis::weather {
+
+struct CoolingModelParams {
+  double pue_free = 1.12;      ///< economizer-only operation
+  double pue_chiller = 1.55;   ///< full mechanical cooling
+  double free_below_c = 12.0;  ///< economizer sufficient below this
+  double chiller_above_c = 28.0;  ///< chillers fully engaged above this
+};
+
+/// Effective PUE at an ambient temperature (linear ramp between the
+/// thresholds).
+[[nodiscard]] double effective_pue(const CoolingModelParams& params,
+                                   double ambient_c);
+
+/// Cooling overhead factor relative to the best case:
+/// effective_pue / pue_free, >= 1. Used to build weather-adjusted
+/// routing objectives (price x overhead).
+[[nodiscard]] double cooling_overhead(const CoolingModelParams& params,
+                                      double ambient_c);
+
+/// Builds a per-hub hourly effective-PUE series from temperatures.
+[[nodiscard]] market::PriceSet effective_pue_series(
+    const market::PriceSet& temperatures, const CoolingModelParams& params);
+
+/// Routing objective: price multiplied by the cooling overhead at that
+/// hub and hour - a request costs price * energy, and energy scales with
+/// the effective PUE (paper: "routing requests to cooler regions may be
+/// able to reduce both" cost and energy).
+[[nodiscard]] market::PriceSet weather_adjusted_objective(
+    const market::PriceSet& prices, const market::PriceSet& temperatures,
+    const CoolingModelParams& params);
+
+}  // namespace cebis::weather
+
+#endif  // CEBIS_WEATHER_COOLING_MODEL_H

@@ -1,0 +1,103 @@
+#include "weather/temperature_model.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "stats/rng.h"
+
+namespace cebis::weather {
+
+Climate climate_for(const market::HubInfo& hub) noexcept {
+  Climate c;
+  // Mean temperature falls with latitude (~0.9 C per degree in the US
+  // band); Texas ~19C annual mean, New England ~9C.
+  c.annual_mean_c = 19.0 - 0.92 * (hub.location.lat_deg - 30.0);
+  // Continentality: the west coast (CAISO / Northwest) is maritime -
+  // smaller seasonal and diurnal swings; the interior swings hard.
+  const bool maritime = hub.location.lon_deg < -115.0;
+  c.seasonal_amplitude_c = maritime ? 5.5 : 12.5;
+  c.diurnal_amplitude_c = maritime ? 4.0 : 6.0;
+  return c;
+}
+
+double seasonal_temperature(const Climate& climate, HourIndex t,
+                            int utc_offset_hours) noexcept {
+  constexpr double kTwoPi = 2.0 * std::numbers::pi;
+  // Day-of-year phase: minimum around mid-January (day ~15).
+  const double doy = static_cast<double>(day_index(t) % 365);
+  const double season =
+      -std::cos(kTwoPi * (doy - 15.0) / 365.0) * climate.seasonal_amplitude_c;
+  // Diurnal phase: minimum near 5am local, maximum mid-afternoon.
+  const int local = local_hour_of_day(t, utc_offset_hours);
+  const double diurnal =
+      -std::cos(kTwoPi * (local - 5) / 24.0) * climate.diurnal_amplitude_c;
+  return climate.annual_mean_c + season + diurnal;
+}
+
+TemperatureModel::TemperatureModel(const market::HubRegistry& hubs,
+                                   TemperatureModelParams params,
+                                   std::uint64_t seed)
+    : hubs_(hubs), params_(params), seed_(seed) {}
+
+market::PriceSet TemperatureModel::generate(const Period& period) const {
+  const Period study = study_period();
+  if (period.begin < study.begin) {
+    throw std::invalid_argument("TemperatureModel: period before study epoch");
+  }
+
+  market::PriceSet out;
+  out.period = period;
+  out.rt.resize(hubs_.size());
+  out.da.resize(hubs_.size());
+
+  // One weather-front process per RTO (fronts are regional) plus iid
+  // per-hub noise.
+  std::vector<double> front(market::kRtoCount, 0.0);
+  std::vector<stats::Rng> front_rng;
+  std::vector<stats::Rng> noise_rng;
+  for (int r = 0; r < market::kRtoCount; ++r) {
+    front_rng.push_back(stats::Rng(seed_).split(static_cast<std::uint64_t>(r)));
+    front[static_cast<std::size_t>(r)] =
+        front_rng.back().normal(0.0, params_.front_sigma);
+  }
+  for (std::size_t h = 0; h < hubs_.size(); ++h) {
+    noise_rng.push_back(stats::Rng(seed_).split(100 + h));
+  }
+  const double inno =
+      params_.front_sigma *
+      std::sqrt(std::max(0.0, 1.0 - params_.front_phi * params_.front_phi));
+
+  std::vector<std::vector<double>> series(hubs_.size());
+  for (HubId id : hubs_.hourly_hubs()) {
+    series[id.index()].reserve(static_cast<std::size_t>(period.hours()));
+  }
+
+  for (HourIndex t = study.begin; t < period.end; ++t) {
+    for (int r = 0; r < market::kRtoCount; ++r) {
+      auto& f = front[static_cast<std::size_t>(r)];
+      f = params_.front_phi * f +
+          front_rng[static_cast<std::size_t>(r)].normal(0.0, inno);
+    }
+    if (!period.contains(t)) {
+      for (HubId id : hubs_.hourly_hubs()) {
+        (void)noise_rng[id.index()].normal();
+      }
+      continue;
+    }
+    for (HubId id : hubs_.hourly_hubs()) {
+      const market::HubInfo& hub = hubs_.info(id);
+      const double base =
+          seasonal_temperature(climate_for(hub), t, hub.utc_offset_hours);
+      const double noise = noise_rng[id.index()].normal(0.0, params_.noise_sigma);
+      series[id.index()].push_back(
+          base + front[static_cast<std::size_t>(hub.rto)] + noise);
+    }
+  }
+  for (HubId id : hubs_.hourly_hubs()) {
+    out.rt[id.index()] = market::HourlySeries(period, std::move(series[id.index()]));
+  }
+  return out;
+}
+
+}  // namespace cebis::weather

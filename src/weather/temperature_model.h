@@ -1,0 +1,67 @@
+#ifndef CEBIS_WEATHER_TEMPERATURE_MODEL_H
+#define CEBIS_WEATHER_TEMPERATURE_MODEL_H
+
+// Ambient temperature substrate for the §8 "Weather Differentials"
+// extension: "Data centers expend a lot of energy running air cooling
+// systems... when ambient temperatures are low enough, external air can
+// be used to radically reduce the power draw of the chillers. At the
+// same time, weather temperature differentials are common."
+//
+// Hourly dry-bulb temperature per hub: a latitude/continentality-driven
+// seasonal cycle, a diurnal cycle, and AR(1) weather fronts correlated
+// within a region. Packaged as a market::PriceSet (degrees Celsius in
+// place of $/MWh) so it can ride the same plumbing as prices and carbon
+// intensity.
+
+#include <cstdint>
+
+#include "market/hub.h"
+#include "market/price_series.h"
+
+namespace cebis::weather {
+
+struct TemperatureModelParams {
+  /// AR(1) weather-front process (stationary sigma in deg C).
+  double front_sigma = 4.5;
+  double front_phi = 0.97;
+  /// iid hourly noise.
+  double noise_sigma = 0.8;
+};
+
+/// Deterministic climate normals for a location.
+struct Climate {
+  double annual_mean_c = 14.0;
+  double seasonal_amplitude_c = 11.0;  ///< summer-winter half-swing
+  double diurnal_amplitude_c = 5.0;    ///< day-night half-swing
+};
+
+/// Climate derived from a hub's latitude and coastal/continental
+/// position (rough North-American normals).
+[[nodiscard]] Climate climate_for(const market::HubInfo& hub) noexcept;
+
+/// Deterministic part of the temperature at an hour (no fronts/noise).
+[[nodiscard]] double seasonal_temperature(const Climate& climate, HourIndex t,
+                                          int utc_offset_hours) noexcept;
+
+class TemperatureModel {
+ public:
+  TemperatureModel(const market::HubRegistry& hubs, TemperatureModelParams params,
+                   std::uint64_t seed);
+
+  explicit TemperatureModel(std::uint64_t seed)
+      : TemperatureModel(market::HubRegistry::instance(),
+                         TemperatureModelParams{}, seed) {}
+
+  /// Hourly temperatures (deg C) for every hourly hub, window-invariant
+  /// and deterministic like the market simulator.
+  [[nodiscard]] market::PriceSet generate(const Period& period) const;
+
+ private:
+  const market::HubRegistry& hubs_;
+  TemperatureModelParams params_;
+  std::uint64_t seed_;
+};
+
+}  // namespace cebis::weather
+
+#endif  // CEBIS_WEATHER_TEMPERATURE_MODEL_H

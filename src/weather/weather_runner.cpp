@@ -1,0 +1,153 @@
+#include "weather/weather_runner.h"
+
+#include <memory>
+
+namespace cebis::weather {
+
+namespace {
+
+std::unique_ptr<core::Workload> make_workload(const core::Fixture& f,
+                                              core::WorkloadKind kind) {
+  if (kind == core::WorkloadKind::kTrace24Day) {
+    return std::make_unique<core::TraceWorkload>(f.trace, f.allocation);
+  }
+  const Period study = study_period();
+  return std::make_unique<core::SyntheticWorkload39>(
+      f.synthetic, f.allocation, Period{study.begin + 48, study.end});
+}
+
+core::EngineConfig weather_engine_config(const core::Fixture& fixture,
+                                         const market::PriceSet& temperatures,
+                                         const CoolingModelParams& cooling,
+                                         const core::Scenario& scenario) {
+  core::EngineConfig cfg;
+  cfg.energy = scenario.energy;
+  // The weather extension needs chillers that work in proportion to the
+  // heat dissipated (see EnergyModelParams::cooling_tracks_load);
+  // otherwise shifting load cannot shift cooling energy.
+  cfg.energy.cooling_tracks_load = true;
+  cfg.delay_hours = scenario.delay_hours;
+  cfg.enforce_p95 = scenario.enforce_p95;
+  cfg.pue_of = [&fixture, &temperatures, cooling](std::size_t cluster,
+                                                  HourIndex hour) {
+    const double ambient =
+        temperatures.rt_at(fixture.clusters[cluster].hub, hour).value();
+    return effective_pue(cooling, ambient);
+  };
+  return cfg;
+}
+
+WeatherRunSummary summarize(const core::RunResult& run, bool cost_is_secondary) {
+  WeatherRunSummary s;
+  s.cost_usd = cost_is_secondary ? run.secondary_total : run.total_cost.value();
+  s.energy_mwh = run.total_energy.value();
+  s.mean_distance_km = run.mean_distance_km;
+  return s;
+}
+
+/// The series the router ranks clusters by, under each objective.
+market::PriceSet routing_objective_series(const core::Fixture& fixture,
+                                          const market::PriceSet& temperatures,
+                                          const CoolingModelParams& cooling,
+                                          RoutingObjective objective) {
+  switch (objective) {
+    case RoutingObjective::kPriceTimesOverhead:
+      return weather_adjusted_objective(fixture.prices, temperatures, cooling);
+    case RoutingObjective::kCoolingOnly:
+      return effective_pue_series(temperatures, cooling);
+    case RoutingObjective::kPriceOnly:
+      break;
+  }
+  throw std::logic_error("routing_objective_series: price-only has no series");
+}
+
+}  // namespace
+
+WeatherRunSummary run_weather(const core::Fixture& fixture,
+                              const market::PriceSet& temperatures,
+                              const CoolingModelParams& cooling,
+                              const core::Scenario& scenario,
+                              RoutingObjective objective) {
+  const core::EngineConfig cfg =
+      weather_engine_config(fixture, temperatures, cooling, scenario);
+
+  core::PriceAwareConfig rcfg;
+  rcfg.distance_threshold = scenario.distance_threshold;
+  rcfg.price_threshold = scenario.price_threshold;
+  const traffic::BaselineAllocation* fallback =
+      scenario.enforce_p95 ? &fixture.allocation : nullptr;
+
+  if (objective == RoutingObjective::kPriceOnly) {
+    core::SimulationEngine engine(fixture.clusters, fixture.prices,
+                                  fixture.distances, cfg);
+    core::PriceAwareRouter router(fixture.distances, fixture.clusters.size(), rcfg,
+                                  fallback);
+    return summarize(engine.run(*make_workload(fixture, scenario.workload), router),
+                     /*cost_is_secondary=*/false);
+  }
+
+  // Route by the weather objective, bill real dollars through the
+  // secondary meter. The cooling-only objective is O(1)-scaled (PUE), so
+  // shrink the price threshold accordingly.
+  const market::PriceSet series =
+      routing_objective_series(fixture, temperatures, cooling, objective);
+  if (objective == RoutingObjective::kCoolingOnly) {
+    rcfg.price_threshold = UsdPerMwh{0.01};
+  }
+  core::SimulationEngine engine(fixture.clusters, series, fixture.distances,
+                                cfg, &fixture.prices);
+  core::PriceAwareRouter router(fixture.distances, fixture.clusters.size(), rcfg,
+                                fallback);
+  return summarize(engine.run(*make_workload(fixture, scenario.workload), router),
+                   /*cost_is_secondary=*/true);
+}
+
+WeatherRunSummary run_weather_window(const core::Fixture& fixture,
+                                     const market::PriceSet& temperatures,
+                                     const CoolingModelParams& cooling,
+                                     const core::Scenario& scenario,
+                                     RoutingObjective objective, Period window) {
+  const core::EngineConfig cfg =
+      weather_engine_config(fixture, temperatures, cooling, scenario);
+  core::PriceAwareConfig rcfg;
+  rcfg.distance_threshold = scenario.distance_threshold;
+  rcfg.price_threshold = scenario.price_threshold;
+  const traffic::BaselineAllocation* fallback =
+      scenario.enforce_p95 ? &fixture.allocation : nullptr;
+  core::SyntheticWorkload39 workload(fixture.synthetic, fixture.allocation,
+                                     window);
+
+  if (objective == RoutingObjective::kPriceOnly) {
+    core::SimulationEngine engine(fixture.clusters, fixture.prices,
+                                  fixture.distances, cfg);
+    core::PriceAwareRouter router(fixture.distances, fixture.clusters.size(),
+                                  rcfg, fallback);
+    return summarize(engine.run(workload, router), /*cost_is_secondary=*/false);
+  }
+  const market::PriceSet series =
+      routing_objective_series(fixture, temperatures, cooling, objective);
+  if (objective == RoutingObjective::kCoolingOnly) {
+    rcfg.price_threshold = UsdPerMwh{0.01};
+  }
+  core::SimulationEngine engine(fixture.clusters, series, fixture.distances,
+                                cfg, &fixture.prices);
+  core::PriceAwareRouter router(fixture.distances, fixture.clusters.size(), rcfg,
+                                fallback);
+  return summarize(engine.run(workload, router), /*cost_is_secondary=*/true);
+}
+
+WeatherRunSummary run_weather_baseline(const core::Fixture& fixture,
+                                       const market::PriceSet& temperatures,
+                                       const CoolingModelParams& cooling,
+                                       const core::Scenario& scenario) {
+  core::EngineConfig cfg =
+      weather_engine_config(fixture, temperatures, cooling, scenario);
+  cfg.enforce_p95 = false;
+  core::SimulationEngine engine(fixture.clusters, fixture.prices,
+                                fixture.distances, cfg);
+  core::AkamaiLikeRouter router(fixture.allocation);
+  return summarize(engine.run(*make_workload(fixture, scenario.workload), router),
+                   /*cost_is_secondary=*/false);
+}
+
+}  // namespace cebis::weather

@@ -1,0 +1,52 @@
+#ifndef CEBIS_WEATHER_WEATHER_RUNNER_H
+#define CEBIS_WEATHER_WEATHER_RUNNER_H
+
+// Experiment runner for the §8 weather extension: simulations where the
+// effective PUE tracks the hourly ambient temperature, with a router
+// that optionally folds the cooling overhead into its objective.
+
+#include "core/experiment.h"
+#include "weather/cooling_model.h"
+#include "weather/temperature_model.h"
+
+namespace cebis::weather {
+
+struct WeatherRunSummary {
+  double cost_usd = 0.0;
+  double energy_mwh = 0.0;
+  double mean_distance_km = 0.0;
+};
+
+/// What the router optimizes; energy accounting always tracks the
+/// weather-dependent PUE.
+enum class RoutingObjective {
+  kPriceOnly,           ///< the paper's §6 optimizer, weather-blind
+  kPriceTimesOverhead,  ///< dollars including the cooling overhead
+  kCoolingOnly,         ///< chase free cooling regardless of price
+};
+
+/// Runs the price-aware router with weather-dependent PUE accounting
+/// under the chosen objective.
+[[nodiscard]] WeatherRunSummary run_weather(const core::Fixture& fixture,
+                                            const market::PriceSet& temperatures,
+                                            const CoolingModelParams& cooling,
+                                            const core::Scenario& scenario,
+                                            RoutingObjective objective);
+
+/// Akamai-like baseline under the same weather-dependent PUE.
+[[nodiscard]] WeatherRunSummary run_weather_baseline(
+    const core::Fixture& fixture, const market::PriceSet& temperatures,
+    const CoolingModelParams& cooling, const core::Scenario& scenario);
+
+/// Like run_weather, but over an explicit window of the synthetic
+/// hour-of-week workload (e.g. a summer month, where chillers actually
+/// run; the 24-day trace window is mid-winter and nearly every site
+/// free-cools).
+[[nodiscard]] WeatherRunSummary run_weather_window(
+    const core::Fixture& fixture, const market::PriceSet& temperatures,
+    const CoolingModelParams& cooling, const core::Scenario& scenario,
+    RoutingObjective objective, Period window);
+
+}  // namespace cebis::weather
+
+#endif  // CEBIS_WEATHER_WEATHER_RUNNER_H

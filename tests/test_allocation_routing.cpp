@@ -1,0 +1,73 @@
+// Allocation container and RoutingContext limit logic.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/routing.h"
+
+namespace cebis::core {
+namespace {
+
+TEST(Allocation, AddAndTotals) {
+  Allocation a(2, 3);
+  a.add(0, 1, 10.0);
+  a.add(1, 1, 5.0);
+  a.add(0, 2, 1.0);
+  EXPECT_DOUBLE_EQ(a.hits(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(a.hits(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(a.cluster_total(1), 15.0);
+  EXPECT_DOUBLE_EQ(a.cluster_total(0), 0.0);
+  ASSERT_EQ(a.cluster_totals().size(), 3u);
+  EXPECT_DOUBLE_EQ(a.cluster_totals()[2], 1.0);
+}
+
+TEST(Allocation, AddAccumulates) {
+  Allocation a(1, 1);
+  a.add(0, 0, 1.0);
+  a.add(0, 0, 2.0);
+  EXPECT_DOUBLE_EQ(a.hits(0, 0), 3.0);
+}
+
+TEST(Allocation, ClearResets) {
+  Allocation a(1, 2);
+  a.add(0, 0, 7.0);
+  a.clear();
+  EXPECT_DOUBLE_EQ(a.hits(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(a.cluster_total(0), 0.0);
+}
+
+TEST(Allocation, Errors) {
+  EXPECT_THROW(Allocation(0, 1), std::invalid_argument);
+  EXPECT_THROW(Allocation(1, 0), std::invalid_argument);
+  Allocation a(1, 1);
+  EXPECT_THROW(a.add(1, 0, 1.0), std::out_of_range);
+  EXPECT_THROW(a.add(0, 1, 1.0), std::out_of_range);
+  EXPECT_THROW(a.add(0, 0, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)a.hits(0, 5), std::out_of_range);
+  EXPECT_THROW((void)a.cluster_total(5), std::out_of_range);
+}
+
+TEST(RoutingContext, LimitLogic) {
+  const std::vector<double> capacity = {100.0, 100.0};
+  const std::vector<double> p95 = {60.0, 120.0};
+  const std::vector<std::uint8_t> burst = {0, 0};
+
+  RoutingContext relaxed;
+  relaxed.capacity = capacity;
+  EXPECT_DOUBLE_EQ(relaxed.limit(0), 100.0);
+
+  RoutingContext constrained;
+  constrained.capacity = capacity;
+  constrained.p95_limit = p95;
+  constrained.can_burst = burst;
+  EXPECT_DOUBLE_EQ(constrained.limit(0), 60.0);   // p95 binds
+  EXPECT_DOUBLE_EQ(constrained.limit(1), 100.0);  // capacity binds
+
+  const std::vector<std::uint8_t> burst_ok = {1, 1};
+  constrained.can_burst = burst_ok;
+  EXPECT_DOUBLE_EQ(constrained.limit(0), 100.0);  // burst lifts the cap
+}
+
+}  // namespace
+}  // namespace cebis::core

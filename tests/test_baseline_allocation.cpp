@@ -1,0 +1,143 @@
+// Akamai-like baseline allocation: weight normalization, proximity
+// dominance, network-affinity rewiring, and the 9-region subset.
+
+#include <gtest/gtest.h>
+
+#include "geo/distance_model.h"
+#include "traffic/akamai_allocation.h"
+
+namespace cebis::traffic {
+namespace {
+
+class BaselineAllocationTest : public ::testing::Test {
+ protected:
+  BaselineAllocationTest() : alloc_(2011) {}
+  BaselineAllocation alloc_;
+  const geo::StateRegistry& states_ = geo::StateRegistry::instance();
+  const ServerCityRegistry& cities_ = ServerCityRegistry::instance();
+};
+
+TEST_F(BaselineAllocationTest, CityWeightsSumToOne) {
+  for (std::size_t s = 0; s < alloc_.state_count(); ++s) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < alloc_.city_count(); ++c) {
+      const double w = alloc_.weight(StateId{static_cast<std::int32_t>(s)},
+                                     CityId{static_cast<std::int32_t>(c)});
+      EXPECT_GE(w, 0.0);
+      sum += w;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "state " << s;
+  }
+}
+
+TEST_F(BaselineAllocationTest, ClusterWeightsNormalizedOverSubset) {
+  for (std::size_t s = 0; s < alloc_.state_count(); ++s) {
+    const StateId state{static_cast<std::int32_t>(s)};
+    const double subset = alloc_.subset_fraction(state);
+    EXPECT_GE(subset, 0.0);
+    EXPECT_LE(subset, 1.0 + 1e-9);
+    if (subset > 0.0) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < kClusterCount; ++k) {
+        sum += alloc_.cluster_weight(state, k);
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-9) << "state " << s;
+    }
+  }
+}
+
+TEST_F(BaselineAllocationTest, ProximityDominates) {
+  // Massachusetts should send most of its traffic to the MA cluster.
+  const StateId ma = states_.by_code("MA");
+  double ma_weight = 0.0;
+  for (std::size_t k = 0; k < kClusterCount; ++k) {
+    if (cities_.cluster_label(k) == "MA") ma_weight = alloc_.cluster_weight(ma, k);
+  }
+  EXPECT_GT(ma_weight * alloc_.subset_fraction(ma), 0.4);
+}
+
+TEST_F(BaselineAllocationTest, SubsetCoversMostTraffic) {
+  // Population-weighted subset fraction: the 18 market cities cover the
+  // bulk of US population's traffic (Fig 14's "9-region subset" is
+  // roughly half of US traffic).
+  double weighted = 0.0;
+  double pop = 0.0;
+  for (std::size_t s = 0; s < alloc_.state_count(); ++s) {
+    const StateId state{static_cast<std::int32_t>(s)};
+    const double p = states_.info(state).population;
+    weighted += alloc_.subset_fraction(state) * p;
+    pop += p;
+  }
+  const double overall = weighted / pop;
+  EXPECT_GT(overall, 0.35);
+  EXPECT_LT(overall, 0.95);
+}
+
+TEST_F(BaselineAllocationTest, DeterministicPerSeed) {
+  const BaselineAllocation again(2011);
+  const BaselineAllocation other(999);
+  int diffs = 0;
+  for (std::size_t s = 0; s < alloc_.state_count(); ++s) {
+    const StateId state{static_cast<std::int32_t>(s)};
+    for (std::size_t c = 0; c < alloc_.city_count(); ++c) {
+      const CityId city{static_cast<std::int32_t>(c)};
+      EXPECT_DOUBLE_EQ(alloc_.weight(state, city), again.weight(state, city));
+      if (alloc_.weight(state, city) != other.weight(state, city)) ++diffs;
+    }
+  }
+  EXPECT_GT(diffs, 0);  // affinity rewiring depends on the seed
+}
+
+TEST_F(BaselineAllocationTest, AffinityCreatesDistantAssignments) {
+  // With affinity_fraction = 1, every state's tertiary slot is remote.
+  BaselineConfig config;
+  config.affinity_fraction = 1.0;
+  const BaselineAllocation rewired(states_, cities_, config, 7);
+  const geo::DistanceModel dm(states_.all(), cities_.locations());
+  int remote_states = 0;
+  for (std::size_t s = 0; s < rewired.state_count(); ++s) {
+    const StateId state{static_cast<std::int32_t>(s)};
+    for (std::size_t c = 0; c < rewired.city_count(); ++c) {
+      const CityId city{static_cast<std::int32_t>(c)};
+      if (rewired.weight(state, city) > 0.0 &&
+          dm.distance(state, c).value() > 1500.0) {
+        ++remote_states;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(remote_states, 20);
+}
+
+TEST_F(BaselineAllocationTest, ClusterLoadsAggregation) {
+  // Tiny synthetic trace: all traffic from one state must land on that
+  // state's clusters in proportion to the subset weights.
+  TrafficTrace trace(Period{trace_period().begin, trace_period().begin + 1},
+                     states_.size());
+  const StateId ny = states_.by_code("NY");
+  for (std::int64_t step = 0; step < trace.steps(); ++step) {
+    trace.set_hits(step, ny, HitsPerSec{1000.0});
+  }
+  const ClusterLoads loads = baseline_cluster_loads(trace, alloc_);
+  EXPECT_EQ(loads.steps, trace.steps());
+  EXPECT_EQ(loads.clusters, kClusterCount);
+  const double subset = alloc_.subset_fraction(ny);
+  double total = 0.0;
+  for (std::size_t k = 0; k < kClusterCount; ++k) {
+    EXPECT_NEAR(loads.at(0, k), 1000.0 * subset * alloc_.cluster_weight(ny, k),
+                1e-9);
+    total += loads.at(0, k);
+  }
+  EXPECT_NEAR(total, 1000.0 * subset, 1e-9);
+}
+
+TEST_F(BaselineAllocationTest, Errors) {
+  EXPECT_THROW((void)alloc_.weight(StateId::invalid(), CityId{0}),
+               std::out_of_range);
+  EXPECT_THROW((void)alloc_.cluster_weight(StateId{0}, 99), std::out_of_range);
+  ClusterLoads empty;
+  EXPECT_THROW((void)empty.at(0, 0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace cebis::traffic

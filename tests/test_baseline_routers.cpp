@@ -1,0 +1,128 @@
+// The comparison routers: Akamai-like replay, static-cheapest, closest.
+
+#include <gtest/gtest.h>
+
+#include "core/baseline_routers.h"
+#include "core/cluster.h"
+#include "traffic/trace_generator.h"
+
+namespace cebis::core {
+namespace {
+
+class BaselineRoutersTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    alloc_ = new traffic::BaselineAllocation(2013);
+    const traffic::TrafficTrace trace =
+        traffic::TraceGenerator(2013).generate(trace_period());
+    loads_ = new traffic::ClusterLoads(
+        traffic::baseline_cluster_loads(trace, *alloc_));
+    clusters_ = new std::vector<Cluster>(build_clusters(*loads_));
+  }
+  static void TearDownTestSuite() {
+    delete clusters_;
+    delete loads_;
+    delete alloc_;
+    clusters_ = nullptr;
+    loads_ = nullptr;
+    alloc_ = nullptr;
+  }
+
+  RoutingContext context() {
+    demand_.assign(alloc_->state_count(), 100.0);
+    price_.assign(traffic::kClusterCount, 50.0);
+    capacity_.clear();
+    for (const auto& c : *clusters_) capacity_.push_back(c.capacity.value());
+    RoutingContext ctx;
+    ctx.demand = demand_;
+    ctx.price = price_;
+    ctx.capacity = capacity_;
+    return ctx;
+  }
+
+  static traffic::BaselineAllocation* alloc_;
+  static traffic::ClusterLoads* loads_;
+  static std::vector<Cluster>* clusters_;
+  std::vector<double> demand_;
+  std::vector<double> price_;
+  std::vector<double> capacity_;
+};
+
+traffic::BaselineAllocation* BaselineRoutersTest::alloc_ = nullptr;
+traffic::ClusterLoads* BaselineRoutersTest::loads_ = nullptr;
+std::vector<Cluster>* BaselineRoutersTest::clusters_ = nullptr;
+
+TEST_F(BaselineRoutersTest, AkamaiLikeMirrorsWeights) {
+  AkamaiLikeRouter router(*alloc_);
+  Allocation out(alloc_->state_count(), traffic::kClusterCount);
+  router.route(context(), out);
+  for (std::size_t s = 0; s < alloc_->state_count(); s += 5) {
+    const StateId state{static_cast<std::int32_t>(s)};
+    for (std::size_t k = 0; k < traffic::kClusterCount; ++k) {
+      EXPECT_NEAR(out.hits(s, k), 100.0 * alloc_->cluster_weight(state, k), 1e-9);
+    }
+  }
+  EXPECT_EQ(router.name(), "akamai-like");
+}
+
+TEST_F(BaselineRoutersTest, StaticCheapestSendsEverythingToTarget) {
+  StaticCheapestRouter router(4);
+  Allocation out(alloc_->state_count(), traffic::kClusterCount);
+  router.route(context(), out);
+  double total = 0.0;
+  for (std::size_t k = 0; k < traffic::kClusterCount; ++k) {
+    if (k != 4) EXPECT_DOUBLE_EQ(out.cluster_total(k), 0.0);
+    total += out.cluster_total(k);
+  }
+  EXPECT_DOUBLE_EQ(out.cluster_total(4), total);
+  EXPECT_DOUBLE_EQ(total, 100.0 * static_cast<double>(alloc_->state_count()));
+  EXPECT_EQ(router.target(), 4u);
+}
+
+TEST_F(BaselineRoutersTest, StaticCheapestValidatesTarget) {
+  StaticCheapestRouter router(99);
+  Allocation out(alloc_->state_count(), traffic::kClusterCount);
+  EXPECT_THROW(router.route(context(), out), std::invalid_argument);
+}
+
+TEST_F(BaselineRoutersTest, ClosestPrefersNearestCluster) {
+  const auto& states = geo::StateRegistry::instance();
+  std::vector<geo::LatLon> sites;
+  for (const auto& c : *clusters_) sites.push_back(c.location);
+  const geo::DistanceModel dm(states.all(), sites);
+
+  ClosestRouter router(dm, traffic::kClusterCount);
+  Allocation out(alloc_->state_count(), traffic::kClusterCount);
+  router.route(context(), out);
+
+  // Massachusetts demand lands on the MA cluster (index 2).
+  const StateId ma = states.by_code("MA");
+  EXPECT_DOUBLE_EQ(out.hits(ma.index(), 2), 100.0);
+  // Illinois demand lands on Chicago (index 4).
+  const StateId il = states.by_code("IL");
+  EXPECT_DOUBLE_EQ(out.hits(il.index(), 4), 100.0);
+}
+
+TEST_F(BaselineRoutersTest, ClosestSpillsOnLimits) {
+  const auto& states = geo::StateRegistry::instance();
+  std::vector<geo::LatLon> sites;
+  for (const auto& c : *clusters_) sites.push_back(c.location);
+  const geo::DistanceModel dm(states.all(), sites);
+
+  ClosestRouter router(dm, traffic::kClusterCount);
+  Allocation out(alloc_->state_count(), traffic::kClusterCount);
+  RoutingContext ctx = context();
+  capacity_[2] = 10.0;  // MA nearly full
+  ctx.capacity = capacity_;
+  router.route(ctx, out);
+  EXPECT_LE(out.cluster_total(2), 10.0 + 1e-9);
+  // Conservation.
+  double total = 0.0;
+  for (std::size_t k = 0; k < traffic::kClusterCount; ++k) {
+    total += out.cluster_total(k);
+  }
+  EXPECT_NEAR(total, 100.0 * static_cast<double>(alloc_->state_count()), 1e-6);
+}
+
+}  // namespace
+}  // namespace cebis::core

@@ -1,0 +1,168 @@
+// Carbon extension (§8): dispatch mixes, intensity series, and the
+// carbon-vs-cost routing trade-off.
+
+#include <gtest/gtest.h>
+
+#include "carbon/carbon_router.h"
+#include "carbon/generation_mix.h"
+
+namespace cebis::carbon {
+namespace {
+
+TEST(GenerationMix, BaseSharesSumToOne) {
+  for (market::Rto rto :
+       {market::Rto::kErcot, market::Rto::kCaiso, market::Rto::kPjm,
+        market::Rto::kMiso, market::Rto::kNyiso, market::Rto::kIsoNe,
+        market::Rto::kNonMarket}) {
+    double sum = 0.0;
+    for (double v : base_mix(rto)) sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-9) << to_string(rto);
+  }
+}
+
+TEST(GenerationMix, DispatchSharesSumToOne) {
+  for (double load : {0.0, 0.3, 0.7, 1.0}) {
+    for (double wind : {0.0, 0.5, 1.0}) {
+      double sum = 0.0;
+      for (double v : dispatch(market::Rto::kPjm, load, wind)) sum += v;
+      EXPECT_NEAR(sum, 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(GenerationMix, IntensityOrderingByRegion) {
+  // Coal-heavy Midwest dirtier than gas California, which is dirtier
+  // than the hydro Northwest.
+  const double miso = mix_intensity(dispatch(market::Rto::kMiso, 0.5, 0.5));
+  const double caiso = mix_intensity(dispatch(market::Rto::kCaiso, 0.5, 0.5));
+  const double nw = mix_intensity(dispatch(market::Rto::kNonMarket, 0.5, 0.5));
+  EXPECT_GT(miso, caiso);
+  EXPECT_GT(caiso, nw);
+  EXPECT_LT(nw, 300.0);
+  EXPECT_GT(miso, 500.0);
+}
+
+TEST(GenerationMix, WindLowersIntensity) {
+  const double calm = mix_intensity(dispatch(market::Rto::kErcot, 0.7, 0.0));
+  const double windy = mix_intensity(dispatch(market::Rto::kErcot, 0.7, 1.0));
+  EXPECT_LT(windy, calm);
+}
+
+TEST(GenerationMix, MarginalGasRaisesIntensityWithLoadInNuclearRegions) {
+  // In nuclear/hydro-heavy regions the marginal unit is gas, so load
+  // growth raises intensity.
+  const double low = mix_intensity(dispatch(market::Rto::kNyiso, 0.1, 0.5));
+  const double high = mix_intensity(dispatch(market::Rto::kNyiso, 1.0, 0.5));
+  EXPECT_GT(high, low);
+}
+
+TEST(GenerationMix, EmissionFactors) {
+  EXPECT_GT(emission_factor(Fuel::kCoal), emission_factor(Fuel::kGas));
+  EXPECT_GT(emission_factor(Fuel::kGas), emission_factor(Fuel::kNuclear));
+  EXPECT_LT(emission_factor(Fuel::kWind), 50.0);
+}
+
+TEST(CarbonIntensityModel, SeriesShapeAndBounds) {
+  const CarbonIntensityModel model(7);
+  const Period window{trace_period().begin, trace_period().begin + 48};
+  const market::PriceSet set = model.generate(window);
+  const auto& hubs = market::HubRegistry::instance();
+  for (HubId id : hubs.hourly_hubs()) {
+    const auto values = set.rt[id.index()].values();
+    ASSERT_EQ(values.size(), 48u);
+    for (double v : values) {
+      EXPECT_GT(v, 0.0);
+      EXPECT_LT(v, 1000.0);
+    }
+  }
+}
+
+TEST(CarbonIntensityModel, WindowInvariantAndDeterministic) {
+  const CarbonIntensityModel model(7);
+  const Period inner{trace_period().begin, trace_period().begin + 24};
+  const Period outer{inner.begin - 48, inner.end + 24};
+  const market::PriceSet a = model.generate(inner);
+  const market::PriceSet b = model.generate(outer);
+  const HubId chi = market::HubRegistry::instance().by_code("CHI");
+  for (HourIndex h = inner.begin; h < inner.end; ++h) {
+    EXPECT_DOUBLE_EQ(a.rt_at(chi, h).value(), b.rt_at(chi, h).value());
+  }
+}
+
+class CarbonRoutingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    fixture_ = new core::Fixture(core::Fixture::make(2009));
+    intensity_ = new market::PriceSet(
+        CarbonIntensityModel(2009).generate(study_period()));
+  }
+  static void TearDownTestSuite() {
+    delete intensity_;
+    delete fixture_;
+    intensity_ = nullptr;
+    fixture_ = nullptr;
+  }
+  static core::Fixture* fixture_;
+  static market::PriceSet* intensity_;
+
+  static core::Scenario scenario() {
+    core::Scenario s;
+    s.energy = energy::optimistic_future_params();
+    s.workload = core::WorkloadKind::kTrace24Day;
+    s.enforce_p95 = false;
+    s.distance_threshold = Km{2500.0};
+    return s;
+  }
+};
+
+core::Fixture* CarbonRoutingTest::fixture_ = nullptr;
+market::PriceSet* CarbonRoutingTest::intensity_ = nullptr;
+
+TEST_F(CarbonRoutingTest, BlendValidation) {
+  EXPECT_THROW((void)blend_objective(fixture_->prices, *intensity_, -0.1),
+               std::invalid_argument);
+  EXPECT_THROW((void)blend_objective(fixture_->prices, *intensity_, 1.1),
+               std::invalid_argument);
+}
+
+TEST_F(CarbonRoutingTest, PureObjectivesOptimizeThemselves) {
+  const CarbonRunSummary cost_run =
+      run_blended(*fixture_, *intensity_, scenario(), 1.0);
+  const CarbonRunSummary carbon_run =
+      run_blended(*fixture_, *intensity_, scenario(), 0.0);
+  // Routing by carbon yields no more carbon than routing by cost, and
+  // vice versa for dollars.
+  EXPECT_LE(carbon_run.carbon_kg, cost_run.carbon_kg * 1.001);
+  EXPECT_LE(cost_run.cost_usd, carbon_run.cost_usd * 1.001);
+  EXPECT_GT(carbon_run.carbon_kg, 0.0);
+  EXPECT_GT(cost_run.cost_usd, 0.0);
+}
+
+TEST_F(CarbonRoutingTest, BothObjectivesBeatTheBaseline) {
+  const CarbonRunSummary baseline =
+      run_baseline_carbon(*fixture_, *intensity_, scenario());
+  const CarbonRunSummary cost_run =
+      run_blended(*fixture_, *intensity_, scenario(), 1.0);
+  const CarbonRunSummary carbon_run =
+      run_blended(*fixture_, *intensity_, scenario(), 0.0);
+  EXPECT_LT(cost_run.cost_usd, baseline.cost_usd);
+  EXPECT_LT(carbon_run.carbon_kg, baseline.carbon_kg);
+}
+
+TEST_F(CarbonRoutingTest, TradeOffCurveIsCoherent) {
+  const auto curve = trade_off_curve(*fixture_, *intensity_, scenario(), 3);
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_DOUBLE_EQ(curve.front().alpha, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().alpha, 1.0);
+  // Ends of the curve: carbon end has the least carbon, cost end the
+  // least cost.
+  EXPECT_LE(curve.front().optimizer.carbon_kg,
+            curve.back().optimizer.carbon_kg * 1.001);
+  EXPECT_LE(curve.back().optimizer.cost_usd,
+            curve.front().optimizer.cost_usd * 1.001);
+  EXPECT_THROW((void)trade_off_curve(*fixture_, *intensity_, scenario(), 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cebis::carbon

@@ -1,0 +1,80 @@
+// Cluster construction from baseline loads and the static-relocation
+// transform.
+
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "traffic/trace_generator.h"
+
+namespace cebis::core {
+namespace {
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const traffic::TrafficTrace trace =
+        traffic::TraceGenerator(2014).generate(trace_period());
+    const traffic::BaselineAllocation alloc(2014);
+    loads_ = new traffic::ClusterLoads(
+        traffic::baseline_cluster_loads(trace, alloc));
+  }
+  static void TearDownTestSuite() {
+    delete loads_;
+    loads_ = nullptr;
+  }
+  static traffic::ClusterLoads* loads_;
+};
+
+traffic::ClusterLoads* ClusterTest::loads_ = nullptr;
+
+TEST_F(ClusterTest, NineClustersWithFig19Labels) {
+  const auto clusters = build_clusters(*loads_);
+  ASSERT_EQ(clusters.size(), traffic::kClusterCount);
+  EXPECT_EQ(clusters[0].label, "CA1");
+  EXPECT_EQ(clusters[8].label, "TX2");
+  for (std::size_t k = 0; k < clusters.size(); ++k) {
+    EXPECT_EQ(clusters[k].id.index(), k);
+    EXPECT_TRUE(clusters[k].hub.valid());
+    EXPECT_GT(clusters[k].servers, 0);
+    EXPECT_GT(clusters[k].capacity.value(), 0.0);
+    EXPECT_LE(clusters[k].p95_reference.value(), clusters[k].capacity.value());
+  }
+}
+
+TEST_F(ClusterTest, ClusterLocationsMatchHubs) {
+  const auto clusters = build_clusters(*loads_);
+  const auto& hubs = market::HubRegistry::instance();
+  for (const auto& c : clusters) {
+    EXPECT_EQ(c.location, hubs.info(c.hub).location);
+  }
+}
+
+TEST_F(ClusterTest, ConsolidatePreservesTotals) {
+  const auto clusters = build_clusters(*loads_);
+  int total_servers = 0;
+  double total_capacity = 0.0;
+  for (const auto& c : clusters) {
+    total_servers += c.servers;
+    total_capacity += c.capacity.value();
+  }
+  const auto merged = consolidate_clusters(clusters, 4);
+  ASSERT_EQ(merged.size(), clusters.size());
+  EXPECT_EQ(merged[4].servers, total_servers);
+  EXPECT_DOUBLE_EQ(merged[4].capacity.value(), total_capacity);
+  for (std::size_t k = 0; k < merged.size(); ++k) {
+    if (k == 4) continue;
+    EXPECT_EQ(merged[k].servers, 0);
+    EXPECT_DOUBLE_EQ(merged[k].capacity.value(), 0.0);
+  }
+  // Identity metadata survives.
+  EXPECT_EQ(merged[4].label, clusters[4].label);
+  EXPECT_EQ(merged[0].hub, clusters[0].hub);
+}
+
+TEST_F(ClusterTest, ConsolidateValidatesTarget) {
+  const auto clusters = build_clusters(*loads_);
+  EXPECT_THROW((void)consolidate_clusters(clusters, 99), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace cebis::core

@@ -1,0 +1,64 @@
+// Billing contracts (§7): wholesale-indexed vs flat vs provisioned.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "billing/contracts.h"
+
+namespace cebis::billing {
+namespace {
+
+TEST(FlatRateContract, IgnoresSpot) {
+  const FlatRateContract c(UsdPerMwh{70.0});
+  EXPECT_DOUBLE_EQ(c.cost(MegawattHours{2.0}, 0, UsdPerMwh{500.0}).value(), 140.0);
+  EXPECT_DOUBLE_EQ(c.cost(MegawattHours{2.0}, 0, UsdPerMwh{-10.0}).value(), 140.0);
+  EXPECT_TRUE(c.consumption_sensitive());
+  EXPECT_EQ(c.name(), "flat-rate");
+  EXPECT_THROW(FlatRateContract(UsdPerMwh{-1.0}), std::invalid_argument);
+}
+
+TEST(WholesaleIndexedContract, TracksSpot) {
+  const WholesaleIndexedContract c;
+  EXPECT_DOUBLE_EQ(c.cost(MegawattHours{3.0}, 0, UsdPerMwh{40.0}).value(), 120.0);
+  // Negative prices pay the consumer (paper §2.2).
+  EXPECT_LT(c.cost(MegawattHours{1.0}, 0, UsdPerMwh{-20.0}).value(), 0.0);
+  EXPECT_TRUE(c.consumption_sensitive());
+}
+
+TEST(WholesaleIndexedContract, RetailAdder) {
+  const WholesaleIndexedContract c(UsdPerMwh{5.0});
+  EXPECT_DOUBLE_EQ(c.cost(MegawattHours{2.0}, 0, UsdPerMwh{40.0}).value(), 90.0);
+}
+
+TEST(ProvisionedPowerContract, IndependentOfConsumption) {
+  // 100 kW provisioned at $150/kW-month.
+  const ProvisionedPowerContract c(Watts{100e3}, Usd{150.0});
+  const Usd hourly = c.cost(MegawattHours{0.0}, 0, UsdPerMwh{60.0});
+  EXPECT_DOUBLE_EQ(
+      hourly.value(),
+      c.cost(MegawattHours{50.0}, 0, UsdPerMwh{600.0}).value());
+  // Monthly total = 100 kW * $150 = $15000.
+  EXPECT_NEAR(hourly.value() * 30.44 * 24.0, 15000.0, 1.0);
+  EXPECT_FALSE(c.consumption_sensitive());
+  EXPECT_THROW(ProvisionedPowerContract(Watts{-1.0}, Usd{1.0}),
+               std::invalid_argument);
+}
+
+TEST(Contracts, PolymorphicUse) {
+  // The paper's point: price-aware routing only pays off under
+  // consumption-sensitive billing.
+  std::vector<std::unique_ptr<Contract>> contracts;
+  contracts.push_back(std::make_unique<FlatRateContract>(UsdPerMwh{60.0}));
+  contracts.push_back(std::make_unique<WholesaleIndexedContract>());
+  contracts.push_back(
+      std::make_unique<ProvisionedPowerContract>(Watts{10e3}, Usd{150.0}));
+  int sensitive = 0;
+  for (const auto& c : contracts) {
+    if (c->consumption_sensitive()) ++sensitive;
+  }
+  EXPECT_EQ(sensitive, 2);
+}
+
+}  // namespace
+}  // namespace cebis::billing

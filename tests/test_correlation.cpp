@@ -1,0 +1,130 @@
+// Pearson correlation and the mutual-information check the paper uses to
+// validate its Fig 8 findings (footnotes 7-8).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/correlation.h"
+#include "stats/rng.h"
+
+namespace cebis::stats {
+namespace {
+
+TEST(Pearson, PerfectCorrelation) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(2.0 * i + 3.0);
+  }
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  for (auto& v : y) v = -v;
+  EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+}
+
+TEST(Pearson, IndependentNearZero) {
+  Rng rng(1);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 20000; ++i) {
+    x.push_back(rng.normal());
+    y.push_back(rng.normal());
+  }
+  EXPECT_NEAR(pearson(x, y), 0.0, 0.03);
+}
+
+TEST(Pearson, SharedFactorGivesExpectedCorrelation) {
+  // x = f + e1, y = f + e2 with equal variances: corr = 0.5.
+  Rng rng(2);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 50000; ++i) {
+    const double f = rng.normal();
+    x.push_back(f + rng.normal());
+    y.push_back(f + rng.normal());
+  }
+  EXPECT_NEAR(pearson(x, y), 0.5, 0.02);
+}
+
+TEST(Pearson, Errors) {
+  const std::vector<double> x = {1.0, 2.0};
+  const std::vector<double> y = {1.0};
+  const std::vector<double> flat = {3.0, 3.0};
+  EXPECT_THROW((void)pearson(x, y), std::invalid_argument);
+  EXPECT_THROW((void)pearson(x, flat), std::invalid_argument);
+}
+
+TEST(MutualInformation, IndependentNearZero) {
+  Rng rng(3);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 20000; ++i) {
+    x.push_back(rng.normal());
+    y.push_back(rng.normal());
+  }
+  EXPECT_LT(mutual_information(x, y, 8), 0.01);
+}
+
+TEST(MutualInformation, DetectsNonlinearDependence) {
+  // y = x^2 has zero linear correlation but high MI - the reason the
+  // paper's footnote 8 prefers MI for the NYISO/ERCOT pairs.
+  Rng rng(4);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.normal();
+    x.push_back(v);
+    y.push_back(v * v);
+  }
+  EXPECT_NEAR(pearson(x, y), 0.0, 0.05);
+  EXPECT_GT(mutual_information(x, y, 8), 0.5);
+}
+
+TEST(MutualInformation, InvariantToMonotoneTransform) {
+  Rng rng(5);
+  std::vector<double> x;
+  std::vector<double> y;
+  std::vector<double> y_exp;
+  for (int i = 0; i < 20000; ++i) {
+    const double f = rng.normal();
+    x.push_back(f + 0.5 * rng.normal());
+    const double v = f + 0.5 * rng.normal();
+    y.push_back(v);
+    y_exp.push_back(std::exp(v));
+  }
+  const double mi_raw = mutual_information(x, y, 8);
+  const double mi_exp = mutual_information(x, y_exp, 8);
+  EXPECT_NEAR(mi_raw, mi_exp, 0.02);  // quantile binning
+}
+
+TEST(MutualInformation, Errors) {
+  const std::vector<double> tiny = {1.0, 2.0, 3.0};
+  EXPECT_THROW((void)mutual_information(tiny, tiny, 8), std::invalid_argument);
+  const std::vector<double> x(100, 1.0);
+  EXPECT_THROW((void)mutual_information(x, x, 1), std::invalid_argument);
+}
+
+TEST(CorrelationMatrix, SymmetricWithUnitDiagonal) {
+  Rng rng(6);
+  std::vector<std::vector<double>> series(3);
+  for (int i = 0; i < 500; ++i) {
+    const double f = rng.normal();
+    series[0].push_back(f + rng.normal());
+    series[1].push_back(f + rng.normal());
+    series[2].push_back(rng.normal());
+  }
+  const std::vector<double> m = correlation_matrix(series);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(m[i * 3 + i], 1.0);
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(m[i * 3 + j], m[j * 3 + i]);
+    }
+  }
+  EXPECT_GT(m[0 * 3 + 1], m[0 * 3 + 2]);
+}
+
+}  // namespace
+}  // namespace cebis::stats

@@ -1,0 +1,120 @@
+// CSV round-trips for price sets and traffic traces - the
+// bring-your-own-data path for running the experiments on real RTO
+// archives.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "io/data_io.h"
+#include "market/market_simulator.h"
+#include "traffic/trace_generator.h"
+
+namespace cebis::io {
+namespace {
+
+class TempFile {
+ public:
+  explicit TempFile(const char* name)
+      : path_(std::string(::testing::TempDir()) + name) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(DataIo, PriceSetRoundTrip) {
+  const market::MarketSimulator sim(31);
+  const Period window{trace_period().begin, trace_period().begin + 72};
+  const market::PriceSet original = sim.generate(window);
+
+  TempFile tmp("cebis_prices_roundtrip.csv");
+  write_price_set_csv(original, tmp.path());
+  const market::PriceSet loaded = read_price_set_csv(tmp.path());
+
+  EXPECT_EQ(loaded.period.begin, original.period.begin);
+  EXPECT_EQ(loaded.period.end, original.period.end);
+  const auto& hubs = market::HubRegistry::instance();
+  for (HubId id : hubs.hourly_hubs()) {
+    for (HourIndex h = window.begin; h < window.end; h += 7) {
+      EXPECT_NEAR(loaded.rt_at(id, h).value(), original.rt_at(id, h).value(), 1e-6)
+          << hubs.info(id).code;
+      EXPECT_NEAR(loaded.da_at(id, h).value(), original.da_at(id, h).value(), 1e-6);
+    }
+  }
+}
+
+TEST(DataIo, TraceRoundTrip) {
+  const Period window{trace_period().begin, trace_period().begin + 6};
+  const traffic::TrafficTrace original =
+      traffic::TraceGenerator(32).generate(window);
+
+  TempFile tmp("cebis_trace_roundtrip.csv");
+  write_trace_csv(original, tmp.path());
+  const traffic::TrafficTrace loaded = read_trace_csv(tmp.path());
+
+  EXPECT_EQ(loaded.period().begin, original.period().begin);
+  EXPECT_EQ(loaded.steps(), original.steps());
+  const auto& states = geo::StateRegistry::instance();
+  for (std::int64_t step = 0; step < loaded.steps(); step += 5) {
+    for (std::size_t s = 0; s < states.size(); s += 7) {
+      const StateId id{static_cast<std::int32_t>(s)};
+      EXPECT_NEAR(loaded.hits(step, id).value(), original.hits(step, id).value(),
+                  1e-6);
+    }
+    EXPECT_NEAR(loaded.world(step, traffic::WorldRegion::kEurope).value(),
+                original.world(step, traffic::WorldRegion::kEurope).value(), 1e-6);
+  }
+}
+
+TEST(DataIo, LoadedPricesDriveTheSimulator) {
+  // The point of the exercise: a loaded price set is a drop-in for the
+  // synthetic one.
+  const market::MarketSimulator sim(33);
+  const Period window{trace_period().begin, trace_period().begin + 48};
+  const market::PriceSet original = sim.generate(window);
+  TempFile tmp("cebis_prices_drive.csv");
+  write_price_set_csv(original, tmp.path());
+  const market::PriceSet loaded = read_price_set_csv(tmp.path());
+
+  const HubId nyc = market::HubRegistry::instance().by_code("NYC");
+  EXPECT_DOUBLE_EQ(loaded.rt_at(nyc, window.begin + 5).value(),
+                   original.rt_at(nyc, window.begin + 5).value());
+}
+
+TEST(DataIo, RejectsMalformedFiles) {
+  EXPECT_THROW((void)read_price_set_csv("/nonexistent/prices.csv"),
+               std::runtime_error);
+  TempFile tmp("cebis_bad.csv");
+  {
+    std::ofstream out(tmp.path());
+    out << "not,a,price,file\n1,2,3,4\n";
+  }
+  EXPECT_THROW((void)read_price_set_csv(tmp.path()), std::runtime_error);
+  EXPECT_THROW((void)read_trace_csv(tmp.path()), std::runtime_error);
+}
+
+TEST(DataIo, RejectsNonContiguousHours) {
+  const market::MarketSimulator sim(34);
+  const Period window{trace_period().begin, trace_period().begin + 3};
+  const market::PriceSet original = sim.generate(window);
+  TempFile tmp("cebis_gap.csv");
+  write_price_set_csv(original, tmp.path());
+  // Drop a middle line.
+  std::ifstream in(tmp.path());
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  in.close();
+  ASSERT_EQ(lines.size(), 4u);  // header + 3 hours
+  {
+    std::ofstream out(tmp.path());
+    out << lines[0] << '\n' << lines[1] << '\n' << lines[3] << '\n';
+  }
+  EXPECT_THROW((void)read_price_set_csv(tmp.path()), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cebis::io

@@ -1,0 +1,105 @@
+// Descriptive statistics against hand-computed values plus the trimmed
+// variants the paper's Fig 6 methodology needs.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "stats/descriptive.h"
+#include "stats/rng.h"
+
+namespace cebis::stats {
+namespace {
+
+TEST(Descriptive, MeanAndVariance) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Descriptive, EmptyAndSmallInputsThrow) {
+  const std::vector<double> empty;
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW((void)mean(empty), std::invalid_argument);
+  EXPECT_THROW((void)variance(one), std::invalid_argument);
+  EXPECT_THROW((void)min_of(empty), std::invalid_argument);
+  EXPECT_THROW((void)fraction_within(empty, 0, 1), std::invalid_argument);
+}
+
+TEST(Descriptive, KurtosisOfNormalIsThree) {
+  Rng rng(1);
+  std::vector<double> xs;
+  for (int i = 0; i < 50000; ++i) xs.push_back(rng.normal());
+  EXPECT_NEAR(kurtosis(xs), 3.0, 0.15);
+  EXPECT_NEAR(skewness(xs), 0.0, 0.05);
+}
+
+TEST(Descriptive, KurtosisDetectsHeavyTails) {
+  // A normal bulk with rare large spikes must score far above 3 - this
+  // is the statistic Fig 6/7 reports on price series.
+  Rng rng(2);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) {
+    xs.push_back(rng.normal() + (rng.bernoulli(0.005) ? 50.0 : 0.0));
+  }
+  EXPECT_GT(kurtosis(xs), 20.0);
+}
+
+TEST(Descriptive, TrimmedRemovesTails) {
+  std::vector<double> xs(1000, 1.0);
+  xs[0] = -1000.0;
+  xs[1] = 1000.0;
+  const std::vector<double> t = trimmed(xs, 0.005);
+  EXPECT_EQ(t.size(), 990u);  // 5 from each tail
+  for (double v : t) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(Descriptive, TrimmedRejectsBadFraction) {
+  const std::vector<double> xs = {1.0, 2.0};
+  EXPECT_THROW((void)trimmed(xs, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)trimmed(xs, 0.5), std::invalid_argument);
+}
+
+TEST(Descriptive, FirstDifferences) {
+  const std::vector<double> xs = {1.0, 4.0, 2.0, 2.0};
+  const std::vector<double> d = first_differences(xs);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d[0], 3.0);
+  EXPECT_DOUBLE_EQ(d[1], -2.0);
+  EXPECT_DOUBLE_EQ(d[2], 0.0);
+  EXPECT_TRUE(first_differences(std::vector<double>{1.0}).empty());
+}
+
+TEST(Descriptive, FractionWithin) {
+  const std::vector<double> xs = {-30.0, -10.0, 0.0, 10.0, 30.0};
+  EXPECT_DOUBLE_EQ(fraction_within(xs, 0.0, 20.0), 0.6);
+  EXPECT_DOUBLE_EQ(fraction_within(xs, 0.0, 30.0), 1.0);
+  EXPECT_DOUBLE_EQ(fraction_within(xs, 100.0, 5.0), 0.0);
+}
+
+TEST(Descriptive, SummaryBundlesEverything) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 100.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 22.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_GT(s.skewness, 1.0);
+}
+
+TEST(Descriptive, TrimmedSummaryIsLessDispersed) {
+  Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 10000; ++i) {
+    xs.push_back(rng.normal(50.0, 5.0) + (rng.bernoulli(0.01) ? 500.0 : 0.0));
+  }
+  const Summary raw = summarize(xs);
+  const Summary trimmed_summary = summarize_trimmed(xs, 0.01);
+  EXPECT_LT(trimmed_summary.stddev, raw.stddev);
+  EXPECT_LT(trimmed_summary.mean, raw.mean);
+}
+
+}  // namespace
+}  // namespace cebis::stats

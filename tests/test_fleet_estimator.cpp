@@ -1,0 +1,93 @@
+// Fig 1 back-of-the-envelope estimator: the published company rows.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string_view>
+
+#include "energy/fleet_estimator.h"
+
+namespace cebis::energy {
+namespace {
+
+const FleetParams& fleet(std::string_view name) {
+  for (const auto& f : fig1_fleets()) {
+    if (f.name == name) return f;
+  }
+  throw std::logic_error("missing fleet");
+}
+
+TEST(FleetEstimator, AverageServerPowerFormula) {
+  // 250W peak, idle 70%, PUE 2.0, 30% util:
+  // 175 + 75*0.3 + 250 = 447.5 W.
+  FleetParams f;
+  f.servers = 1;
+  EXPECT_NEAR(average_server_power(f).value(), 447.5, 1e-9);
+}
+
+TEST(FleetEstimator, EbayRow) {
+  // Paper: ~0.6e5 MWh, ~$3.7M.
+  const auto& f = fleet("eBay");
+  EXPECT_NEAR(annual_energy(f).value(), 0.6e5, 0.1e5);
+  EXPECT_NEAR(annual_cost(f, kFig1Rate).value(), 3.7e6, 0.6e6);
+}
+
+TEST(FleetEstimator, AkamaiRow) {
+  // Paper: ~1.7e5 MWh, ~$10M.
+  const auto& f = fleet("Akamai");
+  EXPECT_NEAR(annual_energy(f).value(), 1.7e5, 0.25e5);
+  EXPECT_NEAR(annual_cost(f, kFig1Rate).value(), 10e6, 1.5e6);
+}
+
+TEST(FleetEstimator, RackspaceRow) {
+  // Paper: ~2e5 MWh, ~$12M.
+  const auto& f = fleet("Rackspace");
+  EXPECT_NEAR(annual_energy(f).value(), 2e5, 0.3e5);
+  EXPECT_NEAR(annual_cost(f, kFig1Rate).value(), 12e6, 2e6);
+}
+
+TEST(FleetEstimator, MicrosoftRow) {
+  // Paper: >6e5 MWh, >$36M (lower bounds).
+  const auto& f = fleet("Microsoft");
+  EXPECT_GT(annual_energy(f).value(), 6e5);
+  EXPECT_GT(annual_cost(f, kFig1Rate).value(), 36e6);
+}
+
+TEST(FleetEstimator, GoogleRow) {
+  // Paper: >6.3e5 MWh, >$38M with 140W servers at PUE 1.3.
+  const auto& f = fleet("Google");
+  EXPECT_GT(annual_energy(f).value(), 6.3e5);
+  EXPECT_LT(annual_energy(f).value(), 8.5e5);
+  EXPECT_GT(annual_cost(f, kFig1Rate).value(), 38e6);
+}
+
+TEST(FleetEstimator, UsaRow) {
+  // EPA 2006: ~61M MWh. The paper's $4.5B reflects retail rates
+  // (~$74/MWh); at Fig 1's $60/MWh wholesale rate the bill is ~$3.7B.
+  const auto& f = fleet("USA (2006)");
+  EXPECT_NEAR(annual_energy(f).value(), 610e5, 80e5);
+  EXPECT_NEAR(annual_cost(f, kFig1Rate).value(), 3.7e9, 0.6e9);
+  EXPECT_NEAR(annual_cost(f, UsdPerMwh{74.0}).value(), 4.5e9, 0.7e9);
+}
+
+TEST(FleetEstimator, ThreePercentOfGoogleExceedsMillion) {
+  // §1: "A modest 3% reduction would therefore exceed a million dollars
+  // every year."
+  const auto& f = fleet("Google");
+  EXPECT_GT(0.03 * annual_cost(f, kFig1Rate).value(), 1e6);
+}
+
+TEST(FleetEstimator, Validation) {
+  FleetParams f;
+  f.servers = -1;
+  EXPECT_THROW((void)annual_energy(f), std::invalid_argument);
+  f = FleetParams{};
+  f.pue = 0.5;
+  EXPECT_THROW((void)average_server_power(f), std::invalid_argument);
+  f = FleetParams{};
+  f.utilization = 1.5;
+  EXPECT_THROW((void)average_server_power(f), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cebis::energy

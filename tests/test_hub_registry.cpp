@@ -1,0 +1,96 @@
+// Hub registry: 29 hourly hubs + the daily-only Northwest hub, RTO
+// grouping, the paper's Fig 6 base prices, and the nine traffic hubs.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "market/hub.h"
+
+namespace cebis::market {
+namespace {
+
+TEST(HubRegistry, ThirtyLocationsTwentyNineHourly) {
+  const auto& reg = HubRegistry::instance();
+  EXPECT_EQ(reg.size(), 30u);
+  EXPECT_EQ(reg.hourly_hubs().size(), 29u);  // paper: 29 hubs, 406 pairs
+}
+
+TEST(HubRegistry, FourHundredSixPairs) {
+  const std::size_t n = HubRegistry::instance().hourly_hubs().size();
+  EXPECT_EQ(n * (n - 1) / 2, 406u);
+}
+
+TEST(HubRegistry, UniqueCodes) {
+  std::set<std::string_view> codes;
+  for (const auto& h : HubRegistry::instance().all()) codes.insert(h.code);
+  EXPECT_EQ(codes.size(), 30u);
+}
+
+TEST(HubRegistry, Fig6BasePrices) {
+  const auto& reg = HubRegistry::instance();
+  EXPECT_DOUBLE_EQ(reg.info(reg.by_code("CHI")).base_price, 40.6);
+  EXPECT_DOUBLE_EQ(reg.info(reg.by_code("CINERGY")).base_price, 44.0);
+  EXPECT_DOUBLE_EQ(reg.info(reg.by_code("NP15")).base_price, 54.0);
+  EXPECT_DOUBLE_EQ(reg.info(reg.by_code("DOM")).base_price, 57.8);
+  EXPECT_DOUBLE_EQ(reg.info(reg.by_code("MA-BOS")).base_price, 66.5);
+  EXPECT_DOUBLE_EQ(reg.info(reg.by_code("NYC")).base_price, 77.9);
+}
+
+TEST(HubRegistry, RtoGrouping) {
+  const auto& reg = HubRegistry::instance();
+  EXPECT_EQ(reg.hubs_in(Rto::kIsoNe).size(), 5u);
+  EXPECT_EQ(reg.hubs_in(Rto::kNyiso).size(), 6u);
+  EXPECT_EQ(reg.hubs_in(Rto::kPjm).size(), 7u);
+  EXPECT_EQ(reg.hubs_in(Rto::kMiso).size(), 5u);
+  EXPECT_EQ(reg.hubs_in(Rto::kCaiso).size(), 2u);
+  EXPECT_EQ(reg.hubs_in(Rto::kErcot).size(), 4u);
+  // Chicago is in PJM's footprint, Peoria in MISO (the Fig 10e boundary).
+  EXPECT_EQ(reg.info(reg.by_code("CHI")).rto, Rto::kPjm);
+  EXPECT_EQ(reg.info(reg.by_code("IL")).rto, Rto::kMiso);
+}
+
+TEST(HubRegistry, NorthwestIsDailyOnly) {
+  const auto& reg = HubRegistry::instance();
+  const HubId midc = reg.by_code("MID-C");
+  ASSERT_TRUE(midc.valid());
+  EXPECT_FALSE(reg.info(midc).hourly_market);
+  EXPECT_EQ(reg.info(midc).rto, Rto::kNonMarket);
+  for (HubId id : reg.hourly_hubs()) EXPECT_NE(id, midc);
+}
+
+TEST(HubRegistry, TrafficHubsMatchFig19) {
+  const auto& reg = HubRegistry::instance();
+  const auto hubs = reg.traffic_hubs();
+  ASSERT_EQ(hubs.size(), 9u);
+  const char* expected[] = {"NP15", "SP15",    "MA-BOS", "NYC",    "CHI",
+                            "DOM",  "NJ", "ERCOT-N", "ERCOT-S"};
+  for (std::size_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(reg.info(hubs[i]).code, expected[i]);
+  }
+}
+
+TEST(HubRegistry, TimezonesMatchGeography) {
+  const auto& reg = HubRegistry::instance();
+  EXPECT_EQ(reg.info(reg.by_code("NYC")).utc_offset_hours, -5);
+  EXPECT_EQ(reg.info(reg.by_code("CHI")).utc_offset_hours, -6);
+  EXPECT_EQ(reg.info(reg.by_code("NP15")).utc_offset_hours, -8);
+  EXPECT_EQ(reg.info(reg.by_code("ERCOT-H")).utc_offset_hours, -6);
+}
+
+TEST(HubRegistry, LookupFailures) {
+  const auto& reg = HubRegistry::instance();
+  EXPECT_FALSE(reg.by_code("NOPE").valid());
+  EXPECT_THROW((void)reg.info(HubId::invalid()), std::out_of_range);
+  EXPECT_THROW((void)reg.info(HubId{99}), std::out_of_range);
+}
+
+TEST(Rto, Names) {
+  EXPECT_EQ(to_string(Rto::kPjm), "PJM");
+  EXPECT_EQ(region_name(Rto::kCaiso), "California");
+  EXPECT_EQ(market_rtos().size(), 6u);
+}
+
+}  // namespace
+}  // namespace cebis::market

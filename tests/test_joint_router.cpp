@@ -1,0 +1,176 @@
+// The §8 joint-objective router: limiting behaviour at the ends of the
+// lambda sweep, penalty mechanics, and constraint handling.
+
+#include <gtest/gtest.h>
+
+#include "core/joint_router.h"
+#include "geo/distance_model.h"
+
+namespace cebis::core {
+namespace {
+
+geo::LatLon kBoston{42.36, -71.06};
+geo::LatLon kChicago{41.88, -87.63};
+geo::LatLon kLosAngeles{34.05, -118.24};
+
+class JointRouterTest : public ::testing::Test {
+ protected:
+  JointRouterTest() {
+    states_.push_back(make_state("A", kBoston));
+    sites_ = {kBoston, kChicago, kLosAngeles};
+    distances_ = std::make_unique<geo::DistanceModel>(states_, sites_);
+  }
+
+  static geo::StateInfo make_state(std::string_view code, geo::LatLon at) {
+    geo::StateInfo s;
+    s.code = code;
+    s.name = code;
+    s.population = 1e6;
+    s.centroid = at;
+    s.points = {geo::PopPoint{at, 1.0}};
+    return s;
+  }
+
+  Allocation route(double lambda) {
+    JointObjectiveConfig cfg;
+    cfg.lambda_usd_per_mwh_km = lambda;
+    JointObjectiveRouter router(*distances_, 3, cfg);
+    Allocation out(1, 3);
+    RoutingContext ctx;
+    ctx.demand = demand_;
+    ctx.price = price_;
+    ctx.capacity = capacity_;
+    router.route(ctx, out);
+    return out;
+  }
+
+  std::vector<geo::StateInfo> states_;
+  std::vector<geo::LatLon> sites_;
+  std::unique_ptr<geo::DistanceModel> distances_;
+  std::vector<double> demand_ = {100.0};
+  std::vector<double> price_ = {60.0, 40.0, 20.0};
+  std::vector<double> capacity_ = {1000.0, 1000.0, 1000.0};
+};
+
+TEST_F(JointRouterTest, ZeroLambdaChasesCheapest) {
+  const Allocation out = route(0.0);
+  EXPECT_DOUBLE_EQ(out.hits(0, 2), 100.0);  // LA: $20
+}
+
+TEST_F(JointRouterTest, HugeLambdaStaysHome) {
+  const Allocation out = route(10.0);
+  EXPECT_DOUBLE_EQ(out.hits(0, 0), 100.0);  // Boston despite $60
+}
+
+TEST_F(JointRouterTest, IntermediateLambdaPicksRegionalCompromise) {
+  // Chicago (~1360 km, $40) should win when LA's extra ~2800 km costs
+  // more than its $20 price edge but Chicago's ~1260 penalized km cost
+  // less than its $20 edge over Boston.
+  const Allocation out = route(0.012);
+  EXPECT_DOUBLE_EQ(out.hits(0, 1), 100.0);
+}
+
+TEST_F(JointRouterTest, FreeRadiusExemptsNearbyClusters) {
+  JointObjectiveConfig cfg;
+  cfg.lambda_usd_per_mwh_km = 1.0;  // prohibitive beyond the free radius
+  cfg.free_km = Km{2000.0};         // ...but Chicago is inside it
+  JointObjectiveRouter router(*distances_, 3, cfg);
+  Allocation out(1, 3);
+  RoutingContext ctx;
+  ctx.demand = demand_;
+  ctx.price = price_;
+  ctx.capacity = capacity_;
+  router.route(ctx, out);
+  EXPECT_DOUBLE_EQ(out.hits(0, 1), 100.0);  // cheapest within the free radius
+}
+
+TEST_F(JointRouterTest, SpillsOnCapacityInObjectiveOrder) {
+  capacity_ = {1000.0, 1000.0, 30.0};
+  const Allocation out = route(0.0);
+  EXPECT_DOUBLE_EQ(out.hits(0, 2), 30.0);   // LA fills
+  EXPECT_DOUBLE_EQ(out.hits(0, 1), 70.0);   // Chicago next-cheapest
+}
+
+TEST_F(JointRouterTest, RespectsP95Limits) {
+  std::vector<double> p95 = {1000.0, 1000.0, 10.0};
+  std::vector<std::uint8_t> burst = {0, 0, 0};
+  JointObjectiveConfig cfg;
+  JointObjectiveRouter router(*distances_, 3, cfg);
+  Allocation out(1, 3);
+  RoutingContext ctx;
+  ctx.demand = demand_;
+  ctx.price = price_;
+  ctx.capacity = capacity_;
+  ctx.p95_limit = p95;
+  ctx.can_burst = burst;
+  router.route(ctx, out);
+  EXPECT_LE(out.cluster_total(2), 10.0 + 1e-9);
+  double total = 0.0;
+  for (std::size_t c = 0; c < 3; ++c) total += out.cluster_total(c);
+  EXPECT_DOUBLE_EQ(total, 100.0);
+}
+
+TEST_F(JointRouterTest, Validation) {
+  EXPECT_THROW(JointObjectiveRouter(*distances_, 0, JointObjectiveConfig{}),
+               std::invalid_argument);
+  JointObjectiveConfig bad;
+  bad.lambda_usd_per_mwh_km = -1.0;
+  EXPECT_THROW(JointObjectiveRouter(*distances_, 3, bad), std::invalid_argument);
+
+  JointObjectiveRouter router(*distances_, 3, JointObjectiveConfig{});
+  Allocation out(1, 3);
+  RoutingContext ctx;
+  ctx.demand = std::vector<double>{1.0, 2.0};  // wrong state count
+  ctx.price = price_;
+  ctx.capacity = capacity_;
+  EXPECT_THROW(router.route(ctx, out), std::invalid_argument);
+}
+
+/// Frontier property: cost is monotone non-decreasing in lambda, mean
+/// distance monotone non-increasing (up to ties).
+class LambdaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LambdaSweep, CostRisesDistanceFallsWithLambda) {
+  std::vector<geo::StateInfo> states;
+  states.push_back([] {
+    geo::StateInfo s;
+    s.code = "A";
+    s.centroid = kBoston;
+    s.points = {geo::PopPoint{kBoston, 1.0}};
+    return s;
+  }());
+  std::vector<geo::LatLon> sites = {kBoston, kChicago, kLosAngeles};
+  geo::DistanceModel dm(states, sites);
+  const std::vector<double> demand = {100.0};
+  const std::vector<double> price = {60.0, 40.0, 20.0};
+  const std::vector<double> capacity = {1000.0, 1000.0, 1000.0};
+
+  auto run = [&](double lambda) {
+    JointObjectiveConfig cfg;
+    cfg.lambda_usd_per_mwh_km = lambda;
+    JointObjectiveRouter router(dm, 3, cfg);
+    Allocation out(1, 3);
+    RoutingContext ctx;
+    ctx.demand = demand;
+    ctx.price = price;
+    ctx.capacity = capacity;
+    router.route(ctx, out);
+    double cost = 0.0;
+    double dist = 0.0;
+    for (std::size_t c = 0; c < 3; ++c) {
+      cost += out.cluster_total(c) * price[c];
+      dist += out.cluster_total(c) * dm.distance(StateId{0}, c).value();
+    }
+    return std::pair{cost, dist};
+  };
+  const auto [cost_lo, dist_lo] = run(GetParam());
+  const auto [cost_hi, dist_hi] = run(GetParam() * 2.0 + 0.001);
+  EXPECT_GE(cost_hi, cost_lo - 1e-9);
+  EXPECT_LE(dist_hi, dist_lo + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, LambdaSweep,
+                         ::testing::Values(0.0, 0.002, 0.005, 0.01, 0.02, 0.05));
+
+}  // namespace
+}  // namespace cebis::core

@@ -1,0 +1,80 @@
+// Robustness: the reproduction's key qualitative claims must hold across
+// seeds, not just at the default one. These parameterized sweeps re-run
+// the central invariants on independently generated worlds.
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "market/calibration.h"
+#include "stats/descriptive.h"
+
+namespace cebis {
+namespace {
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, MarketStructureHolds) {
+  const market::MarketSimulator sim(GetParam());
+  // Two years is enough to test the structural invariants and keeps the
+  // sweep fast.
+  const Period window{0, 2 * 365 * 24};
+  const market::PriceSet prices = sim.generate(window);
+  const auto& hubs = market::HubRegistry::instance();
+
+  // Fig 8 invariant: no cross-RTO pair is highly correlated.
+  const auto pairs = market::pairwise_correlations(prices, hubs);
+  int same_above = 0;
+  int same_total = 0;
+  for (const auto& p : pairs) {
+    if (!p.same_rto) {
+      EXPECT_LT(p.correlation, 0.6) << p.hub_a << "-" << p.hub_b;
+    } else {
+      ++same_total;
+      if (p.correlation > 0.6) ++same_above;
+    }
+  }
+  EXPECT_GT(static_cast<double>(same_above) / same_total, 0.75);
+
+  // Fig 6 invariant: the price-level ordering that the router exploits.
+  const double chi = stats::mean(
+      prices.rt[hubs.by_code("CHI").index()].values());
+  const double nyc = stats::mean(
+      prices.rt[hubs.by_code("NYC").index()].values());
+  const double bos = stats::mean(
+      prices.rt[hubs.by_code("MA-BOS").index()].values());
+  EXPECT_LT(chi, bos);
+  EXPECT_LT(bos, nyc);
+}
+
+TEST_P(SeedSweep, HeadlineSavingsHold) {
+  const core::Fixture fixture = core::Fixture::make(GetParam());
+
+  core::Scenario s;
+  s.energy = energy::optimistic_future_params();
+  s.distance_threshold = Km{1500.0};
+  s.workload = core::WorkloadKind::kTrace24Day;
+
+  s.enforce_p95 = false;
+  const double relax = core::price_aware_savings(fixture, s).savings_percent;
+  s.enforce_p95 = true;
+  const double follow = core::price_aware_savings(fixture, s).savings_percent;
+
+  // Fig 15 invariants at every seed: meaningful relaxed savings,
+  // constraints cut but do not eliminate them.
+  EXPECT_GT(relax, 12.0);
+  EXPECT_LT(relax, 50.0);
+  EXPECT_GT(follow, 2.0);
+  EXPECT_LT(follow, relax);
+
+  // Google-elasticity band (paper: ~5% relaxed).
+  s.energy = energy::google_params();
+  s.enforce_p95 = false;
+  const double google = core::price_aware_savings(fixture, s).savings_percent;
+  EXPECT_GT(google, 1.5);
+  EXPECT_LT(google, 10.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::Values(7u, 1234u, 777777u));
+
+}  // namespace
+}  // namespace cebis

@@ -1,0 +1,108 @@
+// Percentile math: the 95/5 billing quantity and the distance
+// percentiles of Fig 17 both flow through these functions.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "stats/percentile.h"
+
+namespace cebis::stats {
+namespace {
+
+TEST(Percentile, LinearInterpolation) {
+  const std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 25.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 17.5);
+}
+
+TEST(Percentile, UnsortedInputIsSorted) {
+  const std::vector<double> xs = {40.0, 10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 25.0);
+}
+
+TEST(Percentile, SingleElement) {
+  const std::vector<double> xs = {7.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 95.0), 7.0);
+}
+
+TEST(Percentile, Errors) {
+  const std::vector<double> empty;
+  const std::vector<double> xs = {1.0};
+  EXPECT_THROW((void)percentile(empty, 50.0), std::invalid_argument);
+  EXPECT_THROW((void)percentile(xs, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)percentile(xs, 101.0), std::invalid_argument);
+}
+
+TEST(Percentile, P95OfUniformRamp) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(static_cast<double>(i));
+  EXPECT_NEAR(p95(xs), 95.0, 0.1);
+  EXPECT_NEAR(median(xs), 50.5, 1e-9);
+}
+
+TEST(Percentile, Quartiles) {
+  std::vector<double> xs;
+  for (int i = 0; i <= 100; ++i) xs.push_back(static_cast<double>(i));
+  const Quartiles q = quartiles(xs);
+  EXPECT_DOUBLE_EQ(q.q25, 25.0);
+  EXPECT_DOUBLE_EQ(q.q50, 50.0);
+  EXPECT_DOUBLE_EQ(q.q75, 75.0);
+}
+
+TEST(PercentileAccumulator, UnweightedMatchesBatch) {
+  PercentileAccumulator acc;
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) {
+    const double v = (i * 37) % 100;
+    acc.add(v);
+    xs.push_back(v);
+  }
+  EXPECT_DOUBLE_EQ(acc.percentile(95.0), percentile(xs, 95.0));
+  EXPECT_DOUBLE_EQ(acc.mean(), 49.5);
+}
+
+TEST(PercentileAccumulator, WeightedPercentile) {
+  PercentileAccumulator acc;
+  acc.add_weighted(1.0, 99.0);
+  acc.add_weighted(100.0, 1.0);
+  // 99% of the mass sits at 1.0.
+  EXPECT_DOUBLE_EQ(acc.percentile(50.0), 1.0);
+  EXPECT_DOUBLE_EQ(acc.percentile(99.9), 100.0);
+  EXPECT_NEAR(acc.mean(), (1.0 * 99.0 + 100.0) / 100.0, 1e-12);
+}
+
+TEST(PercentileAccumulator, MixedWeightRetrofit) {
+  PercentileAccumulator acc;
+  acc.add(10.0);                 // implicit weight 1
+  acc.add_weighted(20.0, 3.0);   // retrofits unit weights
+  EXPECT_NEAR(acc.mean(), (10.0 + 60.0) / 4.0, 1e-12);
+}
+
+TEST(PercentileAccumulator, Errors) {
+  PercentileAccumulator acc;
+  EXPECT_THROW((void)acc.percentile(50.0), std::invalid_argument);
+  EXPECT_THROW((void)acc.mean(), std::invalid_argument);
+  EXPECT_THROW(acc.add_weighted(1.0, -1.0), std::invalid_argument);
+}
+
+/// Property sweep: percentile_sorted is monotone in p.
+class PercentileMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(PercentileMonotone, MonotoneInP) {
+  std::vector<double> xs;
+  for (int i = 0; i < 57; ++i) xs.push_back(static_cast<double>((i * 13) % 57));
+  std::sort(xs.begin(), xs.end());
+  const double p = GetParam();
+  EXPECT_LE(percentile_sorted(xs, p), percentile_sorted(xs, std::min(100.0, p + 5.0)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PercentileMonotone,
+                         ::testing::Values(0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0));
+
+}  // namespace
+}  // namespace cebis::stats

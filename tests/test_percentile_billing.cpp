@@ -1,0 +1,103 @@
+// 95/5 billing: the burst-budget invariant is the heart of the paper's
+// bandwidth constraint - the realized 95th percentile must never exceed
+// the reference as long as the router respects can_burst().
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "billing/percentile_billing.h"
+#include "stats/percentile.h"
+#include "stats/rng.h"
+
+namespace cebis::billing {
+namespace {
+
+TEST(BilledRate, MatchesP95) {
+  std::vector<double> samples;
+  for (int i = 1; i <= 100; ++i) samples.push_back(static_cast<double>(i));
+  EXPECT_NEAR(billed_rate_p95(samples), 95.0, 0.1);
+}
+
+TEST(BurstBudget, FirstIntervalsAreGuarded) {
+  BurstBudget95 b(100.0);
+  // With one interval seen, a burst would make the exceedance fraction
+  // 100% - not allowed.
+  EXPECT_FALSE(b.can_burst());
+  for (int i = 0; i < 19; ++i) b.record(50.0);
+  // 19 clean intervals: one burst in 20 = 5% allowed.
+  EXPECT_TRUE(b.can_burst());
+  b.record(150.0);
+  EXPECT_EQ(b.bursts_used(), 1);
+  EXPECT_FALSE(b.can_burst());  // next burst would be 2/21 > 5%
+}
+
+TEST(BurstBudget, QuotaTracksIntervalCount) {
+  BurstBudget95 b(10.0);
+  int bursts = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (b.can_burst()) {
+      b.record(20.0);
+      ++bursts;
+    } else {
+      b.record(5.0);
+    }
+  }
+  EXPECT_NEAR(b.burst_fraction(), 0.05, 0.002);
+  EXPECT_EQ(b.bursts_used(), bursts);
+}
+
+TEST(BurstBudget, InvariantRealizedP95NeverExceedsReference) {
+  // Property: a router that bursts only when can_burst() keeps the
+  // realized p95 at or below the reference, for arbitrary load patterns.
+  stats::Rng rng(99);
+  BurstBudget95 b(100.0);
+  std::vector<double> realized;
+  for (int i = 0; i < 5000; ++i) {
+    const bool want_burst = rng.bernoulli(0.3);
+    double load;
+    if (want_burst && b.can_burst()) {
+      load = rng.uniform(100.0, 400.0);
+    } else {
+      load = rng.uniform(0.0, 100.0);
+    }
+    b.record(load);
+    realized.push_back(load);
+  }
+  EXPECT_LE(stats::p95(realized), 100.0 + 1e-9);
+}
+
+TEST(BurstBudget, CustomPercentile) {
+  BurstBudget95 b(10.0, 90.0);  // 90/10 billing
+  int bursts = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (b.can_burst()) {
+      b.record(20.0);
+      ++bursts;
+    } else {
+      b.record(5.0);
+    }
+  }
+  EXPECT_NEAR(b.burst_fraction(), 0.10, 0.01);
+}
+
+TEST(BurstBudget, Validation) {
+  EXPECT_THROW(BurstBudget95(-1.0), std::invalid_argument);
+  EXPECT_THROW(BurstBudget95(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(BurstBudget95(1.0, 100.0), std::invalid_argument);
+}
+
+TEST(FleetBurstBudgets, PerClusterIndependence) {
+  const std::vector<double> refs = {10.0, 20.0};
+  FleetBurstBudgets fleet(refs);
+  ASSERT_EQ(fleet.size(), 2u);
+  for (int i = 0; i < 50; ++i) fleet.record_all(std::vector<double>{5.0, 25.0});
+  EXPECT_EQ(fleet.at(0).bursts_used(), 0);
+  EXPECT_EQ(fleet.at(1).bursts_used(), 50);
+  EXPECT_THROW(fleet.record_all(std::vector<double>{1.0}), std::invalid_argument);
+  EXPECT_THROW((void)fleet.at(2), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace cebis::billing

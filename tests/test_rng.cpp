@@ -1,0 +1,107 @@
+// Deterministic RNG: same seed same stream, split independence, and
+// sanity on the distribution shapes the market model relies on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/descriptive.h"
+#include "stats/rng.h"
+
+namespace cebis::stats {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, SplitIsStableAndIndependent) {
+  const Rng parent(7);
+  Rng c1 = parent.split(3);
+  Rng c1_again = parent.split(3);
+  Rng c2 = parent.split(4);
+  EXPECT_DOUBLE_EQ(c1.uniform(), c1_again.uniform());
+  // Sibling streams should not be identical.
+  Rng c1b = parent.split(3);
+  (void)c1b.uniform();
+  EXPECT_NE(c1b.uniform(), c2.uniform());
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(10.0, 20.0);
+    EXPECT_GE(u, 10.0);
+    EXPECT_LT(u, 20.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  std::vector<double> xs;
+  xs.reserve(20000);
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(mean(xs), 5.0, 0.1);
+  EXPECT_NEAR(stddev(xs), 2.0, 0.1);
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ParetoSupportAndTail) {
+  Rng rng(17);
+  std::vector<double> xs;
+  int above_double = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.pareto(20.0, 2.0);
+    EXPECT_GE(x, 20.0);
+    if (x > 40.0) ++above_double;
+    xs.push_back(x);
+  }
+  // P(X > 2*xm) = (1/2)^alpha = 0.25 for alpha = 2.
+  EXPECT_NEAR(above_double / 20000.0, 0.25, 0.02);
+}
+
+TEST(Rng, PoissonMean) {
+  Rng rng(19);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) sum += rng.poisson(3.5);
+  EXPECT_NEAR(sum / 10000.0, 3.5, 0.1);
+}
+
+TEST(Rng, IndexInRange) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.index(7), 7u);
+  }
+}
+
+TEST(Rng, SplitmixAvalanche) {
+  // Neighbouring inputs should produce wildly different outputs.
+  const std::uint64_t a = splitmix64(1);
+  const std::uint64_t b = splitmix64(2);
+  EXPECT_NE(a, b);
+  EXPECT_GT(__builtin_popcountll(a ^ b), 16);
+}
+
+}  // namespace
+}  // namespace cebis::stats

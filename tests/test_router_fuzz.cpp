@@ -1,0 +1,163 @@
+// Randomized invariant tests ("fuzz") for the routers: across many
+// randomly generated contexts, conservation and limit-respect must hold
+// exactly. These are the invariants the accounting relies on.
+
+#include <gtest/gtest.h>
+
+#include "core/baseline_routers.h"
+#include "core/joint_router.h"
+#include "core/price_aware_router.h"
+#include "geo/us_states.h"
+#include "stats/rng.h"
+
+namespace cebis::core {
+namespace {
+
+constexpr std::size_t kClusters = 9;
+
+/// A random-but-fixed geography: the real state registry against nine
+/// synthetic sites scattered over the US.
+const geo::DistanceModel& fuzz_distances() {
+  static const std::vector<geo::LatLon> sites = {
+      {42.36, -71.06}, {40.71, -74.01}, {38.91, -77.04},
+      {33.75, -84.39}, {41.88, -87.63}, {32.78, -96.80},
+      {39.74, -104.99}, {34.05, -118.24}, {47.61, -122.33}};
+  static const geo::DistanceModel dm(geo::StateRegistry::instance().all(), sites);
+  return dm;
+}
+
+struct FuzzContext {
+  std::vector<double> demand;
+  std::vector<double> price;
+  std::vector<double> capacity;
+  std::vector<double> p95;
+  std::vector<std::uint8_t> burst;
+
+  RoutingContext view(bool with_p95) const {
+    RoutingContext ctx;
+    ctx.demand = demand;
+    ctx.price = price;
+    ctx.capacity = capacity;
+    if (with_p95) {
+      ctx.p95_limit = p95;
+      ctx.can_burst = burst;
+    }
+    return ctx;
+  }
+};
+
+FuzzContext make_context(std::uint64_t seed) {
+  stats::Rng rng(seed);
+  FuzzContext f;
+  const std::size_t n_states = geo::StateRegistry::instance().size();
+  f.demand.resize(n_states);
+  for (auto& d : f.demand) {
+    d = rng.bernoulli(0.2) ? 0.0 : rng.uniform(0.0, 5000.0);
+  }
+  f.price.resize(kClusters);
+  for (auto& p : f.price) p = rng.uniform(-20.0, 300.0);
+  f.capacity.resize(kClusters);
+  for (auto& c : f.capacity) c = rng.uniform(5000.0, 60000.0);
+  f.p95.resize(kClusters);
+  for (std::size_t c = 0; c < kClusters; ++c) {
+    f.p95[c] = f.capacity[c] * rng.uniform(0.4, 1.0);
+  }
+  f.burst.resize(kClusters);
+  for (auto& b : f.burst) b = rng.bernoulli(0.3) ? 1 : 0;
+  return f;
+}
+
+double total(std::span<const double> xs) {
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s;
+}
+
+class RouterFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RouterFuzz, PriceAwareConservesAndRespectsLimits) {
+  const FuzzContext f = make_context(GetParam());
+  PriceAwareConfig cfg;
+  cfg.distance_threshold = Km{1500.0};
+  PriceAwareRouter router(fuzz_distances(), kClusters, cfg);
+  Allocation out(f.demand.size(), kClusters);
+
+  for (bool with_p95 : {false, true}) {
+    router.route(f.view(with_p95), out);
+    // Conservation: every hit is routed somewhere.
+    EXPECT_NEAR(total(out.cluster_totals()), total(f.demand), 1e-6);
+
+    // Capacity: violations are possible only if total demand exceeds
+    // total capacity (the declared overload path).
+    if (total(f.demand) <= total(f.capacity)) {
+      for (std::size_t c = 0; c < kClusters; ++c) {
+        EXPECT_LE(out.cluster_total(c), f.capacity[c] + 1e-6) << "cluster " << c;
+      }
+    }
+
+    // 95/5: a non-burstable cluster stays at its strict limit whenever
+    // the strictly-limited system can hold the load.
+    if (with_p95) {
+      double strict_room = 0.0;
+      for (std::size_t c = 0; c < kClusters; ++c) {
+        strict_room += std::min(f.capacity[c], f.p95[c]);
+      }
+      if (total(f.demand) <= strict_room) {
+        for (std::size_t c = 0; c < kClusters; ++c) {
+          if (f.burst[c] == 0) {
+            EXPECT_LE(out.cluster_total(c),
+                      std::min(f.capacity[c], f.p95[c]) + 1e-6)
+                << "cluster " << c;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_P(RouterFuzz, PriceAwareIsDeterministic) {
+  const FuzzContext f = make_context(GetParam());
+  PriceAwareConfig cfg;
+  cfg.distance_threshold = Km{1200.0};
+  PriceAwareRouter r1(fuzz_distances(), kClusters, cfg);
+  PriceAwareRouter r2(fuzz_distances(), kClusters, cfg);
+  Allocation a(f.demand.size(), kClusters);
+  Allocation b(f.demand.size(), kClusters);
+  r1.route(f.view(true), a);
+  r2.route(f.view(true), b);
+  for (std::size_t s = 0; s < f.demand.size(); ++s) {
+    for (std::size_t c = 0; c < kClusters; ++c) {
+      EXPECT_DOUBLE_EQ(a.hits(s, c), b.hits(s, c));
+    }
+  }
+}
+
+TEST_P(RouterFuzz, JointRouterConservesAndRespectsCapacity) {
+  const FuzzContext f = make_context(GetParam() ^ 0xABCDEF);
+  JointObjectiveConfig cfg;
+  cfg.lambda_usd_per_mwh_km = 0.01;
+  JointObjectiveRouter router(fuzz_distances(), kClusters, cfg);
+  Allocation out(f.demand.size(), kClusters);
+  router.route(f.view(false), out);
+  EXPECT_NEAR(total(out.cluster_totals()), total(f.demand), 1e-6);
+  if (total(f.demand) <= total(f.capacity)) {
+    for (std::size_t c = 0; c < kClusters; ++c) {
+      EXPECT_LE(out.cluster_total(c), f.capacity[c] + 1e-6);
+    }
+  }
+}
+
+TEST_P(RouterFuzz, ClosestRouterConserves) {
+  const FuzzContext f = make_context(GetParam() ^ 0x123456);
+  ClosestRouter router(fuzz_distances(), kClusters);
+  Allocation out(f.demand.size(), kClusters);
+  router.route(f.view(true), out);
+  EXPECT_NEAR(total(out.cluster_totals()), total(f.demand), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RouterFuzz,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u,
+                                           55u, 89u, 144u, 233u));
+
+}  // namespace
+}  // namespace cebis::core

@@ -1,0 +1,287 @@
+// The discrete-time engine on a fully controlled micro-setup: one or two
+// clusters, constant or scripted prices, and a hand-written workload, so
+// that cost accounting, delay semantics, 95/5 budgets and shedding are
+// all checkable analytically.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/baseline_routers.h"
+#include "core/price_aware_router.h"
+#include "core/simulation.h"
+
+namespace cebis::core {
+namespace {
+
+geo::LatLon kBoston{42.36, -71.06};
+geo::LatLon kChicago{41.88, -87.63};
+
+/// Constant-demand workload over a short period.
+class ConstWorkload final : public Workload {
+ public:
+  ConstWorkload(Period period, std::vector<double> demand, int steps_per_hour)
+      : period_(period), demand_(std::move(demand)), sph_(steps_per_hour) {}
+
+  [[nodiscard]] Period period() const override { return period_; }
+  [[nodiscard]] int steps_per_hour() const override { return sph_; }
+  [[nodiscard]] std::size_t state_count() const override { return demand_.size(); }
+  void demand(std::int64_t, std::span<double> out) const override {
+    std::copy(demand_.begin(), demand_.end(), out.begin());
+  }
+
+ private:
+  Period period_;
+  std::vector<double> demand_;
+  int sph_;
+};
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest() {
+    states_.push_back(make_state("A", kBoston));
+    states_.push_back(make_state("B", kChicago));
+    sites_ = {kBoston, kChicago};
+    distances_ = std::make_unique<geo::DistanceModel>(states_, sites_);
+
+    clusters_.push_back(make_cluster(0, "MA-BOS", 100));
+    clusters_.push_back(make_cluster(1, "CHI", 100));
+  }
+
+  static geo::StateInfo make_state(std::string_view code, geo::LatLon at) {
+    geo::StateInfo s;
+    s.code = code;
+    s.name = code;
+    s.population = 1e6;
+    s.centroid = at;
+    s.points = {geo::PopPoint{at, 1.0}};
+    return s;
+  }
+
+  Cluster make_cluster(int idx, std::string_view hub_code, int servers) {
+    Cluster c;
+    c.id = ClusterId{idx};
+    c.hub = market::HubRegistry::instance().by_code(hub_code);
+    c.label = hub_code;
+    c.location = market::HubRegistry::instance().info(c.hub).location;
+    c.servers = servers;
+    c.capacity = HitsPerSec{servers * 300.0};
+    c.p95_reference = HitsPerSec{servers * 200.0};
+    return c;
+  }
+
+  /// Constant prices for the two hubs over [begin-2, begin+hours).
+  market::PriceSet const_prices(HourIndex begin, std::int64_t hours, double p_bos,
+                                double p_chi) {
+    const Period p{begin - 2, begin + hours};
+    market::PriceSet set;
+    set.period = p;
+    set.rt.resize(market::HubRegistry::instance().size());
+    set.da.resize(set.rt.size());
+    const auto n = static_cast<std::size_t>(p.hours());
+    set.rt[clusters_[0].hub.index()] =
+        market::HourlySeries(p, std::vector<double>(n, p_bos));
+    set.rt[clusters_[1].hub.index()] =
+        market::HourlySeries(p, std::vector<double>(n, p_chi));
+    return set;
+  }
+
+  std::vector<geo::StateInfo> states_;
+  std::vector<geo::LatLon> sites_;
+  std::unique_ptr<geo::DistanceModel> distances_;
+  std::vector<Cluster> clusters_;
+};
+
+TEST_F(EngineTest, AnalyticCostForConstantLoad) {
+  // Fully proportional model (0% idle, PUE 1.0): P(u) = n*Ppeak*(2u-u^1.4).
+  const Period window{100, 100 + 10};
+  const market::PriceSet prices = const_prices(100, 10, 50.0, 50.0);
+
+  EngineConfig cfg;
+  cfg.energy = energy::fully_proportional_params();
+  cfg.delay_hours = 1;
+  cfg.enforce_p95 = false;
+
+  SimulationEngine engine(clusters_, prices, *distances_, cfg);
+  // State A demands 15000 hits/s -> lands on cluster 0 at u = 0.5.
+  ConstWorkload workload(window, {15000.0, 0.0}, 1);
+  ClosestRouter router(*distances_, 2);
+  const RunResult r = engine.run(workload, router);
+
+  const double u = 0.5;
+  const double watts =
+      100.0 * 250.0 * (2.0 * u - std::pow(u, 1.4));  // cluster 0
+  const double expected_mwh = watts * 10.0 / 1e6;
+  EXPECT_NEAR(r.cluster_energy[0], expected_mwh, 1e-9);
+  EXPECT_NEAR(r.total_cost.value(), expected_mwh * 50.0, 1e-6);
+  EXPECT_DOUBLE_EQ(r.cluster_energy[1], 0.0);  // idle + fully proportional
+  EXPECT_EQ(r.overflow_steps, 0);
+  EXPECT_NEAR(r.hit_hours, 15000.0 * 10.0, 1e-6);
+}
+
+TEST_F(EngineTest, IdlePowerChargedEverywhere) {
+  const Period window{100, 101};
+  const market::PriceSet prices = const_prices(100, 1, 80.0, 40.0);
+  EngineConfig cfg;
+  cfg.energy = energy::google_params();
+  cfg.enforce_p95 = false;
+  SimulationEngine engine(clusters_, prices, *distances_, cfg);
+  ConstWorkload workload(window, {0.0, 0.0}, 1);
+  ClosestRouter router(*distances_, 2);
+  const RunResult r = engine.run(workload, router);
+  // Both clusters burn fixed power even with zero demand; the expensive
+  // hub bills more.
+  EXPECT_GT(r.cluster_cost[0], 0.0);
+  EXPECT_GT(r.cluster_cost[1], 0.0);
+  EXPECT_NEAR(r.cluster_cost[0] / r.cluster_cost[1], 2.0, 1e-9);
+}
+
+TEST_F(EngineTest, RoutingUsesStalePriceBillingUsesCurrent) {
+  // Price flips at hour 101: Boston cheap in hour 100, Chicago cheap
+  // after. With delay 1, the router at hour 101 still sees hour-100
+  // prices and keeps traffic in Boston, billed at Boston's new (high)
+  // price.
+  const Period whole{98, 104};
+  market::PriceSet prices;
+  prices.period = whole;
+  prices.rt.resize(market::HubRegistry::instance().size());
+  prices.da.resize(prices.rt.size());
+  std::vector<double> bos;
+  std::vector<double> chi;
+  for (HourIndex h = whole.begin; h < whole.end; ++h) {
+    bos.push_back(h <= 100 ? 10.0 : 100.0);
+    chi.push_back(h <= 100 ? 100.0 : 10.0);
+  }
+  prices.rt[clusters_[0].hub.index()] = market::HourlySeries(whole, bos);
+  prices.rt[clusters_[1].hub.index()] = market::HourlySeries(whole, chi);
+
+  EngineConfig cfg;
+  cfg.energy = energy::fully_proportional_params();
+  cfg.enforce_p95 = false;
+  cfg.record_hourly = true;
+
+  PriceAwareConfig rcfg;
+  rcfg.distance_threshold = Km{5000.0};
+
+  // Demand from state A only; both clusters reachable.
+  const Period window{101, 102};
+  ConstWorkload workload(window, {15000.0, 0.0}, 1);
+
+  cfg.delay_hours = 1;
+  SimulationEngine engine_stale(clusters_, prices, *distances_, cfg);
+  PriceAwareRouter router1(*distances_, 2, rcfg);
+  const RunResult stale = engine_stale.run(workload, router1);
+  // Stale prices say Boston is cheap -> traffic in Boston, billed at 100.
+  EXPECT_GT(stale.cluster_energy[0], 0.0);
+  EXPECT_DOUBLE_EQ(stale.cluster_energy[1], 0.0);
+  EXPECT_NEAR(stale.total_cost.value(), stale.total_energy.value() * 100.0, 1e-6);
+
+  cfg.delay_hours = 0;
+  SimulationEngine engine_fresh(clusters_, prices, *distances_, cfg);
+  PriceAwareRouter router2(*distances_, 2, rcfg);
+  const RunResult fresh = engine_fresh.run(workload, router2);
+  // Fresh prices route to Chicago, billed at 10.
+  EXPECT_GT(fresh.cluster_energy[1], 0.0);
+  EXPECT_DOUBLE_EQ(fresh.cluster_energy[0], 0.0);
+  EXPECT_LT(fresh.total_cost.value(), stale.total_cost.value());
+}
+
+TEST_F(EngineTest, P95BudgetsBoundRealizedPercentile) {
+  const Period window{100, 100 + 240};
+  const market::PriceSet prices = const_prices(100, 240, 90.0, 10.0);
+  EngineConfig cfg;
+  cfg.energy = energy::fully_proportional_params();
+  cfg.enforce_p95 = true;
+  SimulationEngine engine(clusters_, prices, *distances_, cfg);
+  // Heavy demand from Boston; Chicago is cheap but p95-capped at 20000.
+  ConstWorkload workload(window, {25000.0, 0.0}, 1);
+  PriceAwareConfig rcfg;
+  rcfg.distance_threshold = Km{5000.0};
+  PriceAwareRouter router(*distances_, 2, rcfg);
+  const RunResult r = engine.run(workload, router);
+  for (std::size_t c = 0; c < clusters_.size(); ++c) {
+    EXPECT_LE(r.realized_p95[c], clusters_[c].p95_reference.value() + 1e-6)
+        << "cluster " << c;
+  }
+}
+
+TEST_F(EngineTest, HourlyRecordingSumsToTotals) {
+  const Period window{100, 110};
+  const market::PriceSet prices = const_prices(100, 10, 50.0, 60.0);
+  EngineConfig cfg;
+  cfg.energy = energy::google_params();
+  cfg.enforce_p95 = false;
+  cfg.record_hourly = true;
+  SimulationEngine engine(clusters_, prices, *distances_, cfg);
+  ConstWorkload workload(window, {10000.0, 5000.0}, 12);
+  ClosestRouter router(*distances_, 2);
+  const RunResult r = engine.run(workload, router);
+  ASSERT_EQ(r.hourly_energy.size(), 10u);
+  double sum = 0.0;
+  for (const auto& hour : r.hourly_energy) {
+    for (double v : hour) sum += v;
+  }
+  EXPECT_NEAR(sum, r.total_energy.value(), 1e-9);
+}
+
+TEST_F(EngineTest, CapacityFactorShedsServersAndEnergy) {
+  const Period window{100, 110};
+  const market::PriceSet prices = const_prices(100, 10, 50.0, 50.0);
+  EngineConfig cfg;
+  cfg.energy = energy::google_params();
+  cfg.enforce_p95 = false;
+  ConstWorkload workload(window, {1000.0, 1000.0}, 1);
+  ClosestRouter router(*distances_, 2);
+
+  SimulationEngine normal(clusters_, prices, *distances_, cfg);
+  const RunResult base = normal.run(workload, router);
+
+  cfg.capacity_factor = [](std::size_t cluster, HourIndex) {
+    return cluster == 0 ? 0.25 : 1.0;
+  };
+  SimulationEngine shed_engine(clusters_, prices, *distances_, cfg);
+  ClosestRouter router2(*distances_, 2);
+  const RunResult shed = shed_engine.run(workload, router2);
+  // Cluster 0 runs a quarter of its servers: much less energy there.
+  EXPECT_LT(shed.cluster_energy[0], 0.5 * base.cluster_energy[0]);
+}
+
+TEST_F(EngineTest, SecondaryMetering) {
+  const Period window{100, 105};
+  const market::PriceSet prices = const_prices(100, 5, 50.0, 50.0);
+  const market::PriceSet carbon = const_prices(100, 5, 700.0, 300.0);
+  EngineConfig cfg;
+  cfg.energy = energy::google_params();
+  cfg.enforce_p95 = false;
+  SimulationEngine engine(clusters_, prices, *distances_, cfg, &carbon);
+  ConstWorkload workload(window, {1000.0, 1000.0}, 1);
+  ClosestRouter router(*distances_, 2);
+  const RunResult r = engine.run(workload, router);
+  EXPECT_NEAR(r.secondary_total,
+              700.0 * r.cluster_energy[0] + 300.0 * r.cluster_energy[1], 1e-6);
+  EXPECT_NEAR(r.cluster_secondary[0], 700.0 * r.cluster_energy[0], 1e-9);
+}
+
+TEST_F(EngineTest, RejectsUncoveredPricePeriod) {
+  const market::PriceSet prices = const_prices(100, 4, 50.0, 50.0);
+  EngineConfig cfg;
+  cfg.delay_hours = 10;  // needs prices back to hour 90
+  cfg.enforce_p95 = false;
+  SimulationEngine engine(clusters_, prices, *distances_, cfg);
+  ConstWorkload workload(Period{100, 104}, {1.0, 1.0}, 1);
+  ClosestRouter router(*distances_, 2);
+  EXPECT_THROW((void)engine.run(workload, router), std::invalid_argument);
+}
+
+TEST_F(EngineTest, ConstructorValidation) {
+  const market::PriceSet prices = const_prices(100, 4, 50.0, 50.0);
+  EngineConfig cfg;
+  EXPECT_THROW(SimulationEngine({}, prices, *distances_, cfg),
+               std::invalid_argument);
+  cfg.delay_hours = -1;
+  EXPECT_THROW(SimulationEngine(clusters_, prices, *distances_, cfg),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cebis::core

@@ -1,0 +1,197 @@
+// Weather extension (§8 "Weather Differentials"): temperature substrate,
+// free-cooling PUE model, and the weather-aware routing integration.
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+#include "weather/weather_runner.h"
+
+namespace cebis::weather {
+namespace {
+
+TEST(Climate, LatitudeGradient) {
+  const auto& hubs = market::HubRegistry::instance();
+  const Climate boston = climate_for(hubs.info(hubs.by_code("MA-BOS")));
+  const Climate houston = climate_for(hubs.info(hubs.by_code("ERCOT-H")));
+  EXPECT_GT(houston.annual_mean_c, boston.annual_mean_c + 5.0);
+}
+
+TEST(Climate, MaritimeWestCoastSwingsLess) {
+  const auto& hubs = market::HubRegistry::instance();
+  const Climate paloalto = climate_for(hubs.info(hubs.by_code("NP15")));
+  const Climate chicago = climate_for(hubs.info(hubs.by_code("CHI")));
+  EXPECT_LT(paloalto.seasonal_amplitude_c, chicago.seasonal_amplitude_c);
+  EXPECT_LT(paloalto.diurnal_amplitude_c, chicago.diurnal_amplitude_c);
+}
+
+TEST(SeasonalTemperature, SummerWarmerThanWinter) {
+  Climate c;
+  const HourIndex january = hour_at(CivilDate{2007, 1, 15}, 12);
+  const HourIndex july = hour_at(CivilDate{2007, 7, 15}, 12);
+  EXPECT_GT(seasonal_temperature(c, july, -5),
+            seasonal_temperature(c, january, -5) + 15.0);
+}
+
+TEST(SeasonalTemperature, AfternoonWarmerThanPreDawn) {
+  Climate c;
+  const HourIndex base = hour_at(CivilDate{2007, 7, 15});
+  // 5am local vs 5pm local, UTC-5.
+  EXPECT_GT(seasonal_temperature(c, base + 22, -5),
+            seasonal_temperature(c, base + 10, -5) + 5.0);
+}
+
+TEST(TemperatureModel, SeriesShapeAndPlausibility) {
+  const TemperatureModel model(11);
+  const Period window{hour_at(CivilDate{2008, 7, 1}), hour_at(CivilDate{2008, 7, 15})};
+  const market::PriceSet temps = model.generate(window);
+  const auto& hubs = market::HubRegistry::instance();
+  for (HubId id : hubs.hourly_hubs()) {
+    const auto values = temps.rt[id.index()].values();
+    ASSERT_EQ(values.size(), static_cast<std::size_t>(window.hours()));
+    for (double t : values) {
+      EXPECT_GT(t, -30.0);
+      EXPECT_LT(t, 55.0);
+    }
+  }
+  // July in Texas is hot; July in Boston is mild by comparison.
+  const double tx =
+      stats::mean(temps.rt[hubs.by_code("ERCOT-H").index()].values());
+  const double ma =
+      stats::mean(temps.rt[hubs.by_code("MA-BOS").index()].values());
+  EXPECT_GT(tx, ma + 4.0);
+}
+
+TEST(TemperatureModel, WindowInvariantAndDeterministic) {
+  const TemperatureModel model(11);
+  const Period inner{hour_at(CivilDate{2008, 7, 1}), hour_at(CivilDate{2008, 7, 3})};
+  const Period outer{inner.begin - 100, inner.end + 50};
+  const market::PriceSet a = model.generate(inner);
+  const market::PriceSet b = model.generate(outer);
+  const HubId chi = market::HubRegistry::instance().by_code("CHI");
+  for (HourIndex h = inner.begin; h < inner.end; ++h) {
+    EXPECT_DOUBLE_EQ(a.rt_at(chi, h).value(), b.rt_at(chi, h).value());
+  }
+}
+
+TEST(CoolingModel, PueRampsWithTemperature) {
+  CoolingModelParams p;
+  EXPECT_DOUBLE_EQ(effective_pue(p, -5.0), p.pue_free);
+  EXPECT_DOUBLE_EQ(effective_pue(p, p.free_below_c), p.pue_free);
+  EXPECT_DOUBLE_EQ(effective_pue(p, p.chiller_above_c), p.pue_chiller);
+  EXPECT_DOUBLE_EQ(effective_pue(p, 40.0), p.pue_chiller);
+  const double mid = effective_pue(p, (p.free_below_c + p.chiller_above_c) / 2.0);
+  EXPECT_NEAR(mid, (p.pue_free + p.pue_chiller) / 2.0, 1e-9);
+  // Monotone.
+  double prev = 0.0;
+  for (double t = -10.0; t <= 40.0; t += 2.0) {
+    const double v = effective_pue(p, t);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(CoolingModel, OverheadAtLeastOne) {
+  CoolingModelParams p;
+  EXPECT_DOUBLE_EQ(cooling_overhead(p, 0.0), 1.0);
+  EXPECT_GT(cooling_overhead(p, 35.0), 1.3);
+}
+
+TEST(CoolingModel, Validation) {
+  CoolingModelParams bad;
+  bad.pue_free = 0.9;
+  EXPECT_THROW((void)effective_pue(bad, 10.0), std::invalid_argument);
+  bad = CoolingModelParams{};
+  bad.chiller_above_c = bad.free_below_c;
+  EXPECT_THROW((void)effective_pue(bad, 10.0), std::invalid_argument);
+}
+
+TEST(CoolingModel, AdjustedObjectiveRaisesHotHubs) {
+  const TemperatureModel model(13);
+  const Period window{hour_at(CivilDate{2008, 7, 1}), hour_at(CivilDate{2008, 7, 8})};
+  const market::PriceSet temps = model.generate(window);
+
+  // Flat $50 prices: the adjusted objective differences are pure cooling.
+  market::PriceSet prices;
+  prices.period = window;
+  prices.rt.resize(temps.rt.size());
+  prices.da.resize(temps.rt.size());
+  for (std::size_t h = 0; h < temps.rt.size(); ++h) {
+    if (temps.rt[h].empty()) continue;
+    prices.rt[h] = market::HourlySeries(
+        window, std::vector<double>(static_cast<std::size_t>(window.hours()), 50.0));
+  }
+  const market::PriceSet adj =
+      weather_adjusted_objective(prices, temps, CoolingModelParams{});
+  const auto& hubs = market::HubRegistry::instance();
+  const double tx = stats::mean(adj.rt[hubs.by_code("ERCOT-H").index()].values());
+  const double ma = stats::mean(adj.rt[hubs.by_code("MA-BOS").index()].values());
+  EXPECT_GT(tx, ma);   // hot Texas penalized in July
+  EXPECT_GE(ma, 50.0); // overhead never discounts below the raw price
+}
+
+class WeatherRoutingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    fixture_ = new core::Fixture(core::Fixture::make(2009));
+    temps_ = new market::PriceSet(TemperatureModel(2009).generate(study_period()));
+  }
+  static void TearDownTestSuite() {
+    delete temps_;
+    delete fixture_;
+    temps_ = nullptr;
+    fixture_ = nullptr;
+  }
+  static core::Fixture* fixture_;
+  static market::PriceSet* temps_;
+
+  static core::Scenario scenario() {
+    core::Scenario s;
+    s.energy = energy::google_params();
+    s.workload = core::WorkloadKind::kTrace24Day;
+    s.enforce_p95 = false;
+    s.distance_threshold = Km{2500.0};
+    return s;
+  }
+};
+
+core::Fixture* WeatherRoutingTest::fixture_ = nullptr;
+market::PriceSet* WeatherRoutingTest::temps_ = nullptr;
+
+TEST_F(WeatherRoutingTest, WeatherAwareRoutingSavesEnergy) {
+  const CoolingModelParams cooling;
+  const WeatherRunSummary blind = run_weather(
+      *fixture_, *temps_, cooling, scenario(), RoutingObjective::kPriceOnly);
+  const WeatherRunSummary aware =
+      run_weather(*fixture_, *temps_, cooling, scenario(),
+                  RoutingObjective::kPriceTimesOverhead);
+  // §8: "routing requests to cooler regions may be able to reduce both"
+  // - energy must not rise; cost must not rise materially.
+  EXPECT_LE(aware.energy_mwh, blind.energy_mwh * 1.001);
+  EXPECT_LT(aware.cost_usd, blind.cost_usd * 1.03);
+}
+
+TEST_F(WeatherRoutingTest, CoolingOnlyRoutingMinimizesEnergyInSummer) {
+  const CoolingModelParams cooling;
+  const Period july{hour_at(CivilDate{2008, 7, 1}), hour_at(CivilDate{2008, 8, 1})};
+  const WeatherRunSummary price = run_weather_window(
+      *fixture_, *temps_, cooling, scenario(), RoutingObjective::kPriceOnly, july);
+  const WeatherRunSummary cold = run_weather_window(
+      *fixture_, *temps_, cooling, scenario(), RoutingObjective::kCoolingOnly, july);
+  // Chasing cold air saves energy relative to chasing dollars...
+  EXPECT_LT(cold.energy_mwh, price.energy_mwh);
+  // ...but forfeits some of the price arbitrage (a real trade-off).
+  EXPECT_GT(cold.cost_usd, price.cost_usd * 0.98);
+}
+
+TEST_F(WeatherRoutingTest, BothBeatTheBaseline) {
+  const CoolingModelParams cooling;
+  const WeatherRunSummary base =
+      run_weather_baseline(*fixture_, *temps_, cooling, scenario());
+  const WeatherRunSummary aware =
+      run_weather(*fixture_, *temps_, cooling, scenario(), RoutingObjective::kPriceTimesOverhead);
+  EXPECT_LT(aware.cost_usd, base.cost_usd);
+  EXPECT_GT(base.energy_mwh, 0.0);
+}
+
+}  // namespace
+}  // namespace cebis::weather

@@ -1,0 +1,108 @@
+// Cluster profiles (capacity / p95 derivation) and the synthetic
+// hour-of-week workload.
+
+#include <gtest/gtest.h>
+
+#include "traffic/trace_generator.h"
+#include "traffic/workload_stats.h"
+
+namespace cebis::traffic {
+namespace {
+
+class WorkloadStatsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    trace_ = new TrafficTrace(TraceGenerator(2012).generate(trace_period()));
+    alloc_ = new BaselineAllocation(2012);
+    loads_ = new ClusterLoads(baseline_cluster_loads(*trace_, *alloc_));
+  }
+  static void TearDownTestSuite() {
+    delete loads_;
+    delete alloc_;
+    delete trace_;
+    loads_ = nullptr;
+    alloc_ = nullptr;
+    trace_ = nullptr;
+  }
+  static TrafficTrace* trace_;
+  static BaselineAllocation* alloc_;
+  static ClusterLoads* loads_;
+};
+
+TrafficTrace* WorkloadStatsTest::trace_ = nullptr;
+BaselineAllocation* WorkloadStatsTest::alloc_ = nullptr;
+ClusterLoads* WorkloadStatsTest::loads_ = nullptr;
+
+TEST_F(WorkloadStatsTest, ProfileOrdering) {
+  const auto profiles = build_cluster_profiles(*loads_);
+  ASSERT_EQ(profiles.size(), kClusterCount);
+  for (const auto& p : profiles) {
+    EXPECT_GT(p.p95.value(), 0.0);
+    EXPECT_LE(p.p95.value(), p.peak.value());
+    EXPECT_LT(p.peak.value(), p.capacity.value());  // headroom > 1
+    EXPECT_GT(p.servers, 0);
+    EXPECT_NEAR(p.capacity.value() / p.peak.value(), 1.30, 1e-9);
+  }
+}
+
+TEST_F(WorkloadStatsTest, ServersMatchCapacity) {
+  ProfileConfig config;
+  config.hits_per_server = 250.0;
+  const auto profiles = build_cluster_profiles(*loads_, config);
+  for (const auto& p : profiles) {
+    EXPECT_GE(p.servers * 250.0, p.capacity.value() - 1e-6);
+    EXPECT_LT((p.servers - 1) * 250.0, p.capacity.value());
+  }
+}
+
+TEST_F(WorkloadStatsTest, ProfileConfigValidation) {
+  ProfileConfig bad_headroom;
+  bad_headroom.headroom = 0.9;
+  EXPECT_THROW((void)build_cluster_profiles(*loads_, bad_headroom),
+               std::invalid_argument);
+  ProfileConfig bad_rate;
+  bad_rate.hits_per_server = 0.0;
+  EXPECT_THROW((void)build_cluster_profiles(*loads_, bad_rate),
+               std::invalid_argument);
+}
+
+TEST_F(WorkloadStatsTest, SyntheticWorkloadAveragesHourOfWeek) {
+  const SyntheticWorkload synth(*trace_);
+  EXPECT_EQ(synth.state_count(), trace_->state_count());
+
+  // Same (weekday, hour) cells a week apart replay identical demand.
+  const HourIndex h1 = hour_at(CivilDate{2007, 5, 7}, 15);   // Monday
+  const HourIndex h2 = hour_at(CivilDate{2007, 5, 14}, 15);  // next Monday
+  const StateId ca = geo::StateRegistry::instance().by_code("CA");
+  EXPECT_DOUBLE_EQ(synth.demand(ca, h1).value(), synth.demand(ca, h2).value());
+  EXPECT_GT(synth.demand(ca, h1).value(), 0.0);
+}
+
+TEST_F(WorkloadStatsTest, SyntheticWorkloadKeepsDiurnalShape) {
+  const SyntheticWorkload synth(*trace_);
+  const HourIndex monday = hour_at(CivilDate{2007, 5, 7});
+  // US total at 01:00 vs 21:00 (eastern evening) on the same weekday.
+  EXPECT_GT(synth.total(monday + 21).value(), synth.total(monday + 9).value());
+}
+
+TEST_F(WorkloadStatsTest, SyntheticTotalsNearTraceScale) {
+  const SyntheticWorkload synth(*trace_);
+  double synth_peak = 0.0;
+  for (int h = 0; h < 7 * 24; ++h) {
+    synth_peak =
+        std::max(synth_peak, synth.total(hour_at(CivilDate{2007, 5, 7}) + h).value());
+  }
+  // Averaging flattens flash crowds, so the synthetic peak sits below
+  // the trace peak but in the same regime.
+  EXPECT_GT(synth_peak, 0.5e6);
+  EXPECT_LT(synth_peak, 1.5e6);
+}
+
+TEST_F(WorkloadStatsTest, SyntheticWorkloadErrors) {
+  const SyntheticWorkload synth(*trace_);
+  EXPECT_THROW((void)synth.demand(StateId::invalid(), 0), std::out_of_range);
+  EXPECT_THROW((void)synth.demand(StateId{99}, 0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace cebis::traffic
