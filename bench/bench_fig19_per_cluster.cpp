@@ -34,7 +34,12 @@ int main(int argc, char** argv) {
   for (double km : {500.0, 1000.0, 1500.0, 2000.0}) {
     s.distance_threshold = Km{km};
     const core::SavingsReport r = core::price_aware_savings(fx, s);
-    std::vector<std::string> row = {"<" + io::format_number(km, 0) + "km"};
+    // Built with += rather than chained + to dodge GCC 12's -Wrestrict
+    // false positive (PR105329) on temporary string concatenation.
+    std::string row_label = "<";
+    row_label += io::format_number(km, 0);
+    row_label += "km";
+    std::vector<std::string> row = {row_label};
     std::vector<std::string> csv_row = {io::format_number(km, 0)};
     for (double d : r.per_cluster_delta_percent) {
       char buf[16];

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "geo/distance_model.h"
+#include "test_support.h"
 #include "traffic/akamai_allocation.h"
 
 namespace cebis::traffic {
@@ -26,7 +27,7 @@ TEST_F(BaselineAllocationTest, CityWeightsSumToOne) {
       EXPECT_GE(w, 0.0);
       sum += w;
     }
-    EXPECT_NEAR(sum, 1.0, 1e-9) << "state " << s;
+    EXPECT_NEAR(sum, 1.0, test::kNumericTol) << "state " << s;
   }
 }
 
@@ -35,13 +36,13 @@ TEST_F(BaselineAllocationTest, ClusterWeightsNormalizedOverSubset) {
     const StateId state{static_cast<std::int32_t>(s)};
     const double subset = alloc_.subset_fraction(state);
     EXPECT_GE(subset, 0.0);
-    EXPECT_LE(subset, 1.0 + 1e-9);
+    EXPECT_LE(subset, 1.0 + test::kNumericTol);
     if (subset > 0.0) {
       double sum = 0.0;
       for (std::size_t k = 0; k < kClusterCount; ++k) {
         sum += alloc_.cluster_weight(state, k);
       }
-      EXPECT_NEAR(sum, 1.0, 1e-9) << "state " << s;
+      EXPECT_NEAR(sum, 1.0, test::kNumericTol) << "state " << s;
     }
   }
 }
@@ -125,10 +126,10 @@ TEST_F(BaselineAllocationTest, ClusterLoadsAggregation) {
   double total = 0.0;
   for (std::size_t k = 0; k < kClusterCount; ++k) {
     EXPECT_NEAR(loads.at(0, k), 1000.0 * subset * alloc_.cluster_weight(ny, k),
-                1e-9);
+                test::kNumericTol);
     total += loads.at(0, k);
   }
-  EXPECT_NEAR(total, 1000.0 * subset, 1e-9);
+  EXPECT_NEAR(total, 1000.0 * subset, test::kNumericTol);
 }
 
 TEST_F(BaselineAllocationTest, Errors) {

@@ -4,6 +4,7 @@
 
 #include "core/baseline_routers.h"
 #include "core/cluster.h"
+#include "test_support.h"
 #include "traffic/trace_generator.h"
 
 namespace cebis::core {
@@ -59,7 +60,8 @@ TEST_F(BaselineRoutersTest, AkamaiLikeMirrorsWeights) {
   for (std::size_t s = 0; s < alloc_->state_count(); s += 5) {
     const StateId state{static_cast<std::int32_t>(s)};
     for (std::size_t k = 0; k < traffic::kClusterCount; ++k) {
-      EXPECT_NEAR(out.hits(s, k), 100.0 * alloc_->cluster_weight(state, k), 1e-9);
+      EXPECT_NEAR(out.hits(s, k), 100.0 * alloc_->cluster_weight(state, k),
+                  test::kNumericTol);
     }
   }
   EXPECT_EQ(router.name(), "akamai-like");
@@ -71,7 +73,9 @@ TEST_F(BaselineRoutersTest, StaticCheapestSendsEverythingToTarget) {
   router.route(context(), out);
   double total = 0.0;
   for (std::size_t k = 0; k < traffic::kClusterCount; ++k) {
-    if (k != 4) EXPECT_DOUBLE_EQ(out.cluster_total(k), 0.0);
+    if (k != 4) {
+      EXPECT_DOUBLE_EQ(out.cluster_total(k), 0.0);
+    }
     total += out.cluster_total(k);
   }
   EXPECT_DOUBLE_EQ(out.cluster_total(4), total);
@@ -115,13 +119,13 @@ TEST_F(BaselineRoutersTest, ClosestSpillsOnLimits) {
   capacity_[2] = 10.0;  // MA nearly full
   ctx.capacity = capacity_;
   router.route(ctx, out);
-  EXPECT_LE(out.cluster_total(2), 10.0 + 1e-9);
+  EXPECT_LE(out.cluster_total(2), 10.0 + test::kNumericTol);
   // Conservation.
   double total = 0.0;
   for (std::size_t k = 0; k < traffic::kClusterCount; ++k) {
     total += out.cluster_total(k);
   }
-  EXPECT_NEAR(total, 100.0 * static_cast<double>(alloc_->state_count()), 1e-6);
+  EXPECT_NEAR(total, 100.0 * static_cast<double>(alloc_->state_count()), test::kSumTol);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 
 #include "carbon/carbon_router.h"
 #include "carbon/generation_mix.h"
+#include "test_support.h"
 
 namespace cebis::carbon {
 namespace {
@@ -16,7 +17,7 @@ TEST(GenerationMix, BaseSharesSumToOne) {
         market::Rto::kNonMarket}) {
     double sum = 0.0;
     for (double v : base_mix(rto)) sum += v;
-    EXPECT_NEAR(sum, 1.0, 1e-9) << to_string(rto);
+    EXPECT_NEAR(sum, 1.0, test::kNumericTol) << to_string(rto);
   }
 }
 
@@ -25,7 +26,7 @@ TEST(GenerationMix, DispatchSharesSumToOne) {
     for (double wind : {0.0, 0.5, 1.0}) {
       double sum = 0.0;
       for (double v : dispatch(market::Rto::kPjm, load, wind)) sum += v;
-      EXPECT_NEAR(sum, 1.0, 1e-9);
+      EXPECT_NEAR(sum, 1.0, test::kNumericTol);
     }
   }
 }

@@ -9,6 +9,7 @@
 
 #include "stats/correlation.h"
 #include "stats/rng.h"
+#include "test_support.h"
 
 namespace cebis::stats {
 namespace {
@@ -20,13 +21,13 @@ TEST(Pearson, PerfectCorrelation) {
     x.push_back(i);
     y.push_back(2.0 * i + 3.0);
   }
-  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(x, y), 1.0, test::kTightTol);
   for (auto& v : y) v = -v;
-  EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+  EXPECT_NEAR(pearson(x, y), -1.0, test::kTightTol);
 }
 
 TEST(Pearson, IndependentNearZero) {
-  Rng rng(1);
+  Rng rng = test::test_rng(1);
   std::vector<double> x;
   std::vector<double> y;
   for (int i = 0; i < 20000; ++i) {
@@ -38,7 +39,7 @@ TEST(Pearson, IndependentNearZero) {
 
 TEST(Pearson, SharedFactorGivesExpectedCorrelation) {
   // x = f + e1, y = f + e2 with equal variances: corr = 0.5.
-  Rng rng(2);
+  Rng rng = test::test_rng(2);
   std::vector<double> x;
   std::vector<double> y;
   for (int i = 0; i < 50000; ++i) {
@@ -58,7 +59,7 @@ TEST(Pearson, Errors) {
 }
 
 TEST(MutualInformation, IndependentNearZero) {
-  Rng rng(3);
+  Rng rng = test::test_rng(3);
   std::vector<double> x;
   std::vector<double> y;
   for (int i = 0; i < 20000; ++i) {
@@ -71,7 +72,7 @@ TEST(MutualInformation, IndependentNearZero) {
 TEST(MutualInformation, DetectsNonlinearDependence) {
   // y = x^2 has zero linear correlation but high MI - the reason the
   // paper's footnote 8 prefers MI for the NYISO/ERCOT pairs.
-  Rng rng(4);
+  Rng rng = test::test_rng(4);
   std::vector<double> x;
   std::vector<double> y;
   for (int i = 0; i < 20000; ++i) {
@@ -84,7 +85,7 @@ TEST(MutualInformation, DetectsNonlinearDependence) {
 }
 
 TEST(MutualInformation, InvariantToMonotoneTransform) {
-  Rng rng(5);
+  Rng rng = test::test_rng(5);
   std::vector<double> x;
   std::vector<double> y;
   std::vector<double> y_exp;
@@ -108,7 +109,7 @@ TEST(MutualInformation, Errors) {
 }
 
 TEST(CorrelationMatrix, SymmetricWithUnitDiagonal) {
-  Rng rng(6);
+  Rng rng = test::test_rng(6);
   std::vector<std::vector<double>> series(3);
   for (int i = 0; i < 500; ++i) {
     const double f = rng.normal();

@@ -4,26 +4,17 @@
 
 #include <gtest/gtest.h>
 
-#include <cstdio>
 #include <fstream>
 
 #include "io/data_io.h"
 #include "market/market_simulator.h"
+#include "test_support.h"
 #include "traffic/trace_generator.h"
 
 namespace cebis::io {
 namespace {
 
-class TempFile {
- public:
-  explicit TempFile(const char* name)
-      : path_(std::string(::testing::TempDir()) + name) {}
-  ~TempFile() { std::remove(path_.c_str()); }
-  [[nodiscard]] const std::string& path() const { return path_; }
-
- private:
-  std::string path_;
-};
+using test::TempFile;
 
 TEST(DataIo, PriceSetRoundTrip) {
   const market::MarketSimulator sim(31);
@@ -39,9 +30,11 @@ TEST(DataIo, PriceSetRoundTrip) {
   const auto& hubs = market::HubRegistry::instance();
   for (HubId id : hubs.hourly_hubs()) {
     for (HourIndex h = window.begin; h < window.end; h += 7) {
-      EXPECT_NEAR(loaded.rt_at(id, h).value(), original.rt_at(id, h).value(), 1e-6)
+      EXPECT_NEAR(loaded.rt_at(id, h).value(), original.rt_at(id, h).value(),
+                  test::kCsvRoundTripTol)
           << hubs.info(id).code;
-      EXPECT_NEAR(loaded.da_at(id, h).value(), original.da_at(id, h).value(), 1e-6);
+      EXPECT_NEAR(loaded.da_at(id, h).value(), original.da_at(id, h).value(),
+                  test::kCsvRoundTripTol);
     }
   }
 }
@@ -62,10 +55,11 @@ TEST(DataIo, TraceRoundTrip) {
     for (std::size_t s = 0; s < states.size(); s += 7) {
       const StateId id{static_cast<std::int32_t>(s)};
       EXPECT_NEAR(loaded.hits(step, id).value(), original.hits(step, id).value(),
-                  1e-6);
+                  test::kCsvRoundTripTol);
     }
     EXPECT_NEAR(loaded.world(step, traffic::WorldRegion::kEurope).value(),
-                original.world(step, traffic::WorldRegion::kEurope).value(), 1e-6);
+                original.world(step, traffic::WorldRegion::kEurope).value(),
+                test::kCsvRoundTripTol);
   }
 }
 

@@ -8,6 +8,7 @@
 
 #include "stats/descriptive.h"
 #include "stats/rng.h"
+#include "test_support.h"
 
 namespace cebis::stats {
 namespace {
@@ -15,8 +16,8 @@ namespace {
 TEST(Descriptive, MeanAndVariance) {
   const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
   EXPECT_DOUBLE_EQ(mean(xs), 5.0);
-  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);  // sample variance
-  EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, test::kTightTol);  // sample variance
+  EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), test::kTightTol);
 }
 
 TEST(Descriptive, EmptyAndSmallInputsThrow) {
@@ -29,7 +30,7 @@ TEST(Descriptive, EmptyAndSmallInputsThrow) {
 }
 
 TEST(Descriptive, KurtosisOfNormalIsThree) {
-  Rng rng(1);
+  Rng rng = test::test_rng(1);
   std::vector<double> xs;
   for (int i = 0; i < 50000; ++i) xs.push_back(rng.normal());
   EXPECT_NEAR(kurtosis(xs), 3.0, 0.15);
@@ -39,7 +40,7 @@ TEST(Descriptive, KurtosisOfNormalIsThree) {
 TEST(Descriptive, KurtosisDetectsHeavyTails) {
   // A normal bulk with rare large spikes must score far above 3 - this
   // is the statistic Fig 6/7 reports on price series.
-  Rng rng(2);
+  Rng rng = test::test_rng(2);
   std::vector<double> xs;
   for (int i = 0; i < 20000; ++i) {
     xs.push_back(rng.normal() + (rng.bernoulli(0.005) ? 50.0 : 0.0));
@@ -90,7 +91,7 @@ TEST(Descriptive, SummaryBundlesEverything) {
 }
 
 TEST(Descriptive, TrimmedSummaryIsLessDispersed) {
-  Rng rng(3);
+  Rng rng = test::test_rng(3);
   std::vector<double> xs;
   for (int i = 0; i < 10000; ++i) {
     xs.push_back(rng.normal(50.0, 5.0) + (rng.bernoulli(0.01) ? 500.0 : 0.0));

@@ -8,6 +8,7 @@
 #include "demand_response/dr_policy.h"
 #include "demand_response/negawatt_market.h"
 #include "stats/percentile.h"
+#include "test_support.h"
 
 namespace cebis::demand_response {
 namespace {
@@ -132,7 +133,7 @@ TEST_F(DrTest, NegawattSettlementBalances) {
   const auto bids = plan_bids(*fixture_, scenario(), strategy);
   const NegawattSettlement s = settle_bids(*fixture_, scenario(), bids);
   EXPECT_EQ(s.bids, static_cast<int>(bids.size()));
-  EXPECT_NEAR(s.offered_mwh, s.delivered_mwh + s.shortfall_mwh, 1e-6);
+  EXPECT_NEAR(s.offered_mwh, s.delivered_mwh + s.shortfall_mwh, test::kSumTol);
   EXPECT_GE(s.da_revenue.value(), 0.0);
   if (!bids.empty()) {
     EXPECT_GT(s.delivered_mwh, 0.0);
@@ -162,10 +163,10 @@ TEST(Aggregator, PackagesSitesIntoRegionBlocks) {
   }
   EXPECT_TRUE(pjm_sellable);    // aggregation crosses the threshold
   EXPECT_FALSE(ercot_sellable); // a single small site cannot
-  EXPECT_NEAR(report.sellable_mw, 0.18, 1e-9);
-  EXPECT_NEAR(report.monthly_availability_revenue.value(), 720.0, 1e-6);
-  EXPECT_NEAR(report.aggregator_cut.value(), 144.0, 1e-6);
-  EXPECT_NEAR(report.sites_cut.value(), 576.0, 1e-6);
+  EXPECT_NEAR(report.sellable_mw, 0.18, test::kNumericTol);
+  EXPECT_NEAR(report.monthly_availability_revenue.value(), 720.0, test::kSumTol);
+  EXPECT_NEAR(report.aggregator_cut.value(), 144.0, test::kSumTol);
+  EXPECT_NEAR(report.sites_cut.value(), 576.0, test::kSumTol);
 }
 
 TEST(Aggregator, EventRevenueAndValidation) {

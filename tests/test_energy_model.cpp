@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "energy/energy_model.h"
+#include "test_support.h"
 
 namespace cebis::energy {
 namespace {
@@ -58,9 +59,10 @@ TEST(EnergyModel, Inelasticity) {
   // No power management (95% idle, PUE 2.0): P(0)/P(1) =
   // (0.95 + 1) / (1 + 1) = 0.975.
   EXPECT_NEAR(ClusterEnergyModel(no_power_mgmt_params()).inelasticity(), 0.975,
-              1e-9);
+              test::kNumericTol);
   // Google-like (65%, 1.3): (0.65 + 0.3) / (1 + 0.3) ~= 0.731.
-  EXPECT_NEAR(ClusterEnergyModel(google_params()).inelasticity(), 0.95 / 1.3, 1e-9);
+  EXPECT_NEAR(ClusterEnergyModel(google_params()).inelasticity(), 0.95 / 1.3,
+              test::kNumericTol);
 }
 
 TEST(EnergyModel, InelasticityOrderingAcrossPresets) {
@@ -77,7 +79,7 @@ TEST(EnergyModel, EnergyScalesWithDuration) {
   const ClusterEnergyModel model(google_params());
   const MegawattHours one = model.energy(0.4, 1000, Hours{1.0});
   const MegawattHours five_min = model.energy(0.4, 1000, Hours{1.0 / 12.0});
-  EXPECT_NEAR(one.value(), five_min.value() * 12.0, 1e-12);
+  EXPECT_NEAR(one.value(), five_min.value() * 12.0, test::kTightTol);
   EXPECT_THROW((void)model.energy(0.4, 10, Hours{-1.0}), std::invalid_argument);
   EXPECT_THROW((void)model.power(0.4, -1), std::invalid_argument);
 }
@@ -127,7 +129,7 @@ TEST_P(EnergyLinearity, PowerLinearInServers) {
   const ClusterEnergyModel model(p);
   for (double u : {0.0, 0.3, 0.7, 1.0}) {
     EXPECT_NEAR(model.power(u, 500).value(), 500.0 * model.power(u, 1).value(),
-                1e-6);
+                test::kSumTol);
   }
 }
 

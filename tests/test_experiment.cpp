@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "core/experiment.h"
+#include "test_support.h"
 
 namespace cebis::core {
 namespace {
@@ -140,7 +141,7 @@ TEST_F(ExperimentTest, PerClusterDeltasSumToTotalSavings) {
   const SavingsReport r = price_aware_savings(*fixture_, s);
   double sum = 0.0;
   for (double d : r.per_cluster_delta_percent) sum += d;
-  EXPECT_NEAR(sum, -r.savings_percent, 1e-6);
+  EXPECT_NEAR(sum, -r.savings_percent, test::kSumTol);
 }
 
 TEST_F(ExperimentTest, NycShedsTheMostCost) {
@@ -158,7 +159,8 @@ TEST_F(ExperimentTest, NycShedsTheMostCost) {
   // let one other expensive hub edge it out slightly).
   int deeper = 0;
   for (std::size_t c = 0; c < fixture_->clusters.size(); ++c) {
-    if (r.per_cluster_delta_percent[c] < r.per_cluster_delta_percent[ny] - 1e-9) {
+    if (r.per_cluster_delta_percent[c] <
+        r.per_cluster_delta_percent[ny] - test::kNumericTol) {
       ++deeper;
     }
   }
@@ -178,7 +180,7 @@ TEST_F(ExperimentTest, DelayIncreasesCost) {
   const double one = run_price_aware(*fixture_, s).total_cost.value();
   s.delay_hours = 12;
   const double twelve = run_price_aware(*fixture_, s).total_cost.value();
-  EXPECT_LE(fresh, one + 1e-6);
+  EXPECT_LE(fresh, one + test::kSumTol);
   EXPECT_LT(one, twelve);
 }
 

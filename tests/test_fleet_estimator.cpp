@@ -6,6 +6,7 @@
 #include <string_view>
 
 #include "energy/fleet_estimator.h"
+#include "test_support.h"
 
 namespace cebis::energy {
 namespace {
@@ -22,7 +23,7 @@ TEST(FleetEstimator, AverageServerPowerFormula) {
   // 175 + 75*0.3 + 250 = 447.5 W.
   FleetParams f;
   f.servers = 1;
-  EXPECT_NEAR(average_server_power(f).value(), 447.5, 1e-9);
+  EXPECT_NEAR(average_server_power(f).value(), 447.5, test::kNumericTol);
 }
 
 TEST(FleetEstimator, EbayRow) {

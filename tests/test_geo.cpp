@@ -9,6 +9,7 @@
 #include "geo/distance_model.h"
 #include "geo/latlon.h"
 #include "geo/us_states.h"
+#include "test_support.h"
 
 namespace cebis::geo {
 namespace {
@@ -20,7 +21,7 @@ constexpr LatLon kLosAngeles{34.05, -118.24};
 constexpr LatLon kNewYork{40.71, -74.01};
 
 TEST(Haversine, ZeroForSamePoint) {
-  EXPECT_NEAR(haversine(kBoston, kBoston).value(), 0.0, 1e-9);
+  EXPECT_NEAR(haversine(kBoston, kBoston).value(), 0.0, test::kNumericTol);
 }
 
 TEST(Haversine, PaperAnchors) {
@@ -48,7 +49,7 @@ TEST(WeightedDistance, CollapsesToHaversineForSinglePoint) {
   const StateInfo& info = states.info(dc);
   ASSERT_EQ(info.points.size(), 1u);
   EXPECT_NEAR(weighted_distance(info, kBoston).value(),
-              haversine(info.points[0].location, kBoston).value(), 1e-9);
+              haversine(info.points[0].location, kBoston).value(), test::kNumericTol);
 }
 
 TEST(WeightedDistance, BetweenMinAndMaxPointDistance) {

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "stats/histogram.h"
+#include "test_support.h"
 
 namespace cebis::stats {
 namespace {
@@ -57,7 +58,7 @@ TEST(Histogram, RowsSumToOne) {
   for (int i = 0; i < 10; ++i) h.add(static_cast<double>(i) * 0.999);
   double sum = 0.0;
   for (const auto& row : h.rows()) sum += row.fraction;
-  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_NEAR(sum, 1.0, test::kTightTol);
 }
 
 TEST(Histogram, AsciiRender) {

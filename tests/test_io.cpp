@@ -2,34 +2,17 @@
 
 #include <gtest/gtest.h>
 
-#include <cstdio>
-#include <fstream>
 #include <cmath>
-#include <sstream>
 
 #include "io/csv.h"
 #include "io/table.h"
+#include "test_support.h"
 
 namespace cebis::io {
 namespace {
 
-std::string slurp(const std::string& path) {
-  std::ifstream in(path);
-  std::ostringstream os;
-  os << in.rdbuf();
-  return os.str();
-}
-
-class TempFile {
- public:
-  explicit TempFile(const char* name)
-      : path_(std::string(::testing::TempDir()) + name) {}
-  ~TempFile() { std::remove(path_.c_str()); }
-  [[nodiscard]] const std::string& path() const { return path_; }
-
- private:
-  std::string path_;
-};
+using test::slurp;
+using test::TempFile;
 
 TEST(CsvWriter, PlainRows) {
   TempFile tmp("cebis_plain.csv");

@@ -5,6 +5,7 @@
 
 #include "core/joint_router.h"
 #include "geo/distance_model.h"
+#include "test_support.h"
 
 namespace cebis::core {
 namespace {
@@ -104,7 +105,7 @@ TEST_F(JointRouterTest, RespectsP95Limits) {
   ctx.p95_limit = p95;
   ctx.can_burst = burst;
   router.route(ctx, out);
-  EXPECT_LE(out.cluster_total(2), 10.0 + 1e-9);
+  EXPECT_LE(out.cluster_total(2), 10.0 + test::kNumericTol);
   double total = 0.0;
   for (std::size_t c = 0; c < 3; ++c) total += out.cluster_total(c);
   EXPECT_DOUBLE_EQ(total, 100.0);
@@ -165,8 +166,8 @@ TEST_P(LambdaSweep, CostRisesDistanceFallsWithLambda) {
   };
   const auto [cost_lo, dist_lo] = run(GetParam());
   const auto [cost_hi, dist_hi] = run(GetParam() * 2.0 + 0.001);
-  EXPECT_GE(cost_hi, cost_lo - 1e-9);
-  EXPECT_LE(dist_hi, dist_lo + 1e-9);
+  EXPECT_GE(cost_hi, cost_lo - test::kNumericTol);
+  EXPECT_LE(dist_hi, dist_lo + test::kNumericTol);
 }
 
 INSTANTIATE_TEST_SUITE_P(Lambdas, LambdaSweep,

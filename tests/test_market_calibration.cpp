@@ -17,6 +17,7 @@
 #include "stats/descriptive.h"
 #include "stats/percentile.h"
 #include "stats/timeseries.h"
+#include "test_support.h"
 
 namespace cebis::market {
 namespace {
@@ -303,7 +304,7 @@ TEST_F(Calibration, Fig5WindowSigmas) {
   for (int w : {1, 3, 12, 24}) {
     const double s =
         stats::stddev(stats::window_average(rt, static_cast<std::size_t>(w)));
-    EXPECT_LT(s, prev_rt + 1e-9) << "window " << w;  // monotone decreasing
+    EXPECT_LT(s, prev_rt + test::kNumericTol) << "window " << w;  // monotone decreasing
     prev_rt = s;
   }
   const double rt1 = stats::stddev(stats::window_average(rt, 1));

@@ -8,6 +8,7 @@
 
 #include "stats/matrix.h"
 #include "stats/rng.h"
+#include "test_support.h"
 
 namespace cebis::stats {
 namespace {
@@ -73,8 +74,8 @@ TEST(ExponentialKernel, UnitDiagonalAndDecay) {
   d.at(0, 2) = d.at(2, 0) = 1000.0;
   d.at(1, 2) = d.at(2, 1) = 900.0;
   const Matrix k = exponential_kernel(d, 500.0);
-  EXPECT_NEAR(k.at(0, 0), 1.0, 1e-6);
-  EXPECT_NEAR(k.at(0, 1), std::exp(-0.2), 1e-9);
+  EXPECT_NEAR(k.at(0, 0), 1.0, test::kSumTol);
+  EXPECT_NEAR(k.at(0, 1), std::exp(-0.2), test::kNumericTol);
   EXPECT_GT(k.at(0, 1), k.at(0, 2));
   EXPECT_THROW((void)exponential_kernel(d, 0.0), std::invalid_argument);
 }
@@ -84,7 +85,7 @@ class CholeskyRoundTrip : public ::testing::TestWithParam<int> {};
 
 TEST_P(CholeskyRoundTrip, Reconstructs) {
   const int n = GetParam();
-  Rng rng(static_cast<std::uint64_t>(n) + 100);
+  Rng rng = test::test_rng(static_cast<std::uint64_t>(n) + 100);
   // Random distances from random points on a line (guaranteed metric).
   std::vector<double> pos;
   for (int i = 0; i < n; ++i) pos.push_back(rng.uniform(0.0, 2000.0));
@@ -103,7 +104,7 @@ TEST_P(CholeskyRoundTrip, Reconstructs) {
     for (int j = 0; j < n; ++j) {
       EXPECT_NEAR(back.at(static_cast<std::size_t>(i), static_cast<std::size_t>(j)),
                   k.at(static_cast<std::size_t>(i), static_cast<std::size_t>(j)),
-                  1e-9);
+                  test::kNumericTol);
     }
   }
   // Lower triangular with positive diagonal.

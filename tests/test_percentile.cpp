@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "stats/percentile.h"
+#include "test_support.h"
 
 namespace cebis::stats {
 namespace {
@@ -42,7 +43,7 @@ TEST(Percentile, P95OfUniformRamp) {
   std::vector<double> xs;
   for (int i = 1; i <= 100; ++i) xs.push_back(static_cast<double>(i));
   EXPECT_NEAR(p95(xs), 95.0, 0.1);
-  EXPECT_NEAR(median(xs), 50.5, 1e-9);
+  EXPECT_NEAR(median(xs), 50.5, test::kNumericTol);
 }
 
 TEST(Percentile, Quartiles) {
@@ -73,14 +74,14 @@ TEST(PercentileAccumulator, WeightedPercentile) {
   // 99% of the mass sits at 1.0.
   EXPECT_DOUBLE_EQ(acc.percentile(50.0), 1.0);
   EXPECT_DOUBLE_EQ(acc.percentile(99.9), 100.0);
-  EXPECT_NEAR(acc.mean(), (1.0 * 99.0 + 100.0) / 100.0, 1e-12);
+  EXPECT_NEAR(acc.mean(), (1.0 * 99.0 + 100.0) / 100.0, test::kTightTol);
 }
 
 TEST(PercentileAccumulator, MixedWeightRetrofit) {
   PercentileAccumulator acc;
   acc.add(10.0);                 // implicit weight 1
   acc.add_weighted(20.0, 3.0);   // retrofits unit weights
-  EXPECT_NEAR(acc.mean(), (10.0 + 60.0) / 4.0, 1e-12);
+  EXPECT_NEAR(acc.mean(), (10.0 + 60.0) / 4.0, test::kTightTol);
 }
 
 TEST(PercentileAccumulator, Errors) {

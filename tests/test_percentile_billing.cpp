@@ -10,6 +10,7 @@
 #include "billing/percentile_billing.h"
 #include "stats/percentile.h"
 #include "stats/rng.h"
+#include "test_support.h"
 
 namespace cebis::billing {
 namespace {
@@ -51,7 +52,7 @@ TEST(BurstBudget, QuotaTracksIntervalCount) {
 TEST(BurstBudget, InvariantRealizedP95NeverExceedsReference) {
   // Property: a router that bursts only when can_burst() keeps the
   // realized p95 at or below the reference, for arbitrary load patterns.
-  stats::Rng rng(99);
+  stats::Rng rng = test::test_rng(99);
   BurstBudget95 b(100.0);
   std::vector<double> realized;
   for (int i = 0; i < 5000; ++i) {
@@ -65,7 +66,7 @@ TEST(BurstBudget, InvariantRealizedP95NeverExceedsReference) {
     b.record(load);
     realized.push_back(load);
   }
-  EXPECT_LE(stats::p95(realized), 100.0 + 1e-9);
+  EXPECT_LE(stats::p95(realized), 100.0 + test::kNumericTol);
 }
 
 TEST(BurstBudget, CustomPercentile) {

@@ -10,6 +10,7 @@
 
 #include "core/price_aware_router.h"
 #include "geo/distance_model.h"
+#include "test_support.h"
 
 namespace cebis::core {
 namespace {
@@ -218,7 +219,7 @@ TEST_P(ThresholdSweep, WiderThresholdNeverPaysMore) {
     for (std::size_t c = 0; c < 3; ++c) cost += out.cluster_total(c) * price[c];
     return cost;
   };
-  EXPECT_LE(cost_at(GetParam() + 500.0), cost_at(GetParam()) + 1e-9);
+  EXPECT_LE(cost_at(GetParam() + 500.0), cost_at(GetParam()) + test::kNumericTol);
 }
 
 INSTANTIATE_TEST_SUITE_P(Thresholds, ThresholdSweep,

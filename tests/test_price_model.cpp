@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "market/price_model.h"
+#include "test_support.h"
 
 namespace cebis::market {
 namespace {
@@ -12,7 +13,7 @@ namespace {
 TEST(PriceModel, DiurnalMeanIsOneOnWeekdays) {
   double sum = 0.0;
   for (int h = 0; h < 24; ++h) sum += diurnal_multiplier(h, false);
-  EXPECT_NEAR(sum / 24.0, 1.0, 1e-9);
+  EXPECT_NEAR(sum / 24.0, 1.0, test::kNumericTol);
 }
 
 TEST(PriceModel, DiurnalShape) {

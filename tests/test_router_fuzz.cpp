@@ -4,11 +4,15 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
+
 #include "core/baseline_routers.h"
 #include "core/joint_router.h"
 #include "core/price_aware_router.h"
 #include "geo/us_states.h"
 #include "stats/rng.h"
+#include "test_support.h"
 
 namespace cebis::core {
 namespace {
@@ -85,13 +89,13 @@ TEST_P(RouterFuzz, PriceAwareConservesAndRespectsLimits) {
   for (bool with_p95 : {false, true}) {
     router.route(f.view(with_p95), out);
     // Conservation: every hit is routed somewhere.
-    EXPECT_NEAR(total(out.cluster_totals()), total(f.demand), 1e-6);
+    EXPECT_NEAR(total(out.cluster_totals()), total(f.demand), test::kSumTol);
 
     // Capacity: violations are possible only if total demand exceeds
     // total capacity (the declared overload path).
     if (total(f.demand) <= total(f.capacity)) {
       for (std::size_t c = 0; c < kClusters; ++c) {
-        EXPECT_LE(out.cluster_total(c), f.capacity[c] + 1e-6) << "cluster " << c;
+        EXPECT_LE(out.cluster_total(c), f.capacity[c] + test::kSumTol) << "cluster " << c;
       }
     }
 
@@ -106,7 +110,7 @@ TEST_P(RouterFuzz, PriceAwareConservesAndRespectsLimits) {
         for (std::size_t c = 0; c < kClusters; ++c) {
           if (f.burst[c] == 0) {
             EXPECT_LE(out.cluster_total(c),
-                      std::min(f.capacity[c], f.p95[c]) + 1e-6)
+                      std::min(f.capacity[c], f.p95[c]) + test::kSumTol)
                 << "cluster " << c;
           }
         }
@@ -139,10 +143,10 @@ TEST_P(RouterFuzz, JointRouterConservesAndRespectsCapacity) {
   JointObjectiveRouter router(fuzz_distances(), kClusters, cfg);
   Allocation out(f.demand.size(), kClusters);
   router.route(f.view(false), out);
-  EXPECT_NEAR(total(out.cluster_totals()), total(f.demand), 1e-6);
+  EXPECT_NEAR(total(out.cluster_totals()), total(f.demand), test::kSumTol);
   if (total(f.demand) <= total(f.capacity)) {
     for (std::size_t c = 0; c < kClusters; ++c) {
-      EXPECT_LE(out.cluster_total(c), f.capacity[c] + 1e-6);
+      EXPECT_LE(out.cluster_total(c), f.capacity[c] + test::kSumTol);
     }
   }
 }
@@ -152,7 +156,68 @@ TEST_P(RouterFuzz, ClosestRouterConserves) {
   ClosestRouter router(fuzz_distances(), kClusters);
   Allocation out(f.demand.size(), kClusters);
   router.route(f.view(true), out);
-  EXPECT_NEAR(total(out.cluster_totals()), total(f.demand), 1e-6);
+  EXPECT_NEAR(total(out.cluster_totals()), total(f.demand), test::kSumTol);
+}
+
+/// Bit-level equality: EXPECT_DOUBLE_EQ tolerates a few ulps, but the
+/// parallelization guard below needs byte-identical, so compare the raw
+/// bit patterns.
+::testing::AssertionResult allocations_bit_identical(const Allocation& a,
+                                                     const Allocation& b) {
+  for (std::size_t s = 0; s < a.states(); ++s) {
+    for (std::size_t c = 0; c < a.clusters(); ++c) {
+      const auto lhs = std::bit_cast<std::uint64_t>(a.hits(s, c));
+      const auto rhs = std::bit_cast<std::uint64_t>(b.hits(s, c));
+      if (lhs != rhs) {
+        return ::testing::AssertionFailure()
+               << "state " << s << " cluster " << c << ": " << a.hits(s, c)
+               << " vs " << b.hits(s, c) << " (bits differ)";
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+TEST_P(RouterFuzz, FixedSeedRunsAreByteIdentical) {
+  // Two *complete* runs from the same seed — context generation included —
+  // must produce byte-identical allocations for every router. This guards
+  // run-to-run nondeterminism (thread-scheduling-dependent reduction
+  // order, unordered-container iteration) that future parallelization
+  // could introduce. Note it cannot catch a *deterministic* rewrite that
+  // shifts bit patterns the same way in both runs; those surface in the
+  // golden-figure anchors instead.
+  const std::uint64_t seed = test::kTestSeed ^ GetParam();
+  PriceAwareConfig pa_cfg;
+  pa_cfg.distance_threshold = Km{1500.0};
+  JointObjectiveConfig joint_cfg;
+  joint_cfg.lambda_usd_per_mwh_km = 0.01;
+
+  for (int router_kind = 0; router_kind < 3; ++router_kind) {
+    Allocation runs[2] = {Allocation(1, 1), Allocation(1, 1)};
+    for (int run = 0; run < 2; ++run) {
+      const FuzzContext f = make_context(seed);  // regenerated, not reused
+      runs[run] = Allocation(f.demand.size(), kClusters);
+      switch (router_kind) {
+        case 0: {
+          PriceAwareRouter r(fuzz_distances(), kClusters, pa_cfg);
+          r.route(f.view(true), runs[run]);
+          break;
+        }
+        case 1: {
+          JointObjectiveRouter r(fuzz_distances(), kClusters, joint_cfg);
+          r.route(f.view(false), runs[run]);
+          break;
+        }
+        case 2: {
+          ClosestRouter r(fuzz_distances(), kClusters);
+          r.route(f.view(true), runs[run]);
+          break;
+        }
+      }
+    }
+    EXPECT_TRUE(allocations_bit_identical(runs[0], runs[1]))
+        << "router kind " << router_kind;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RouterFuzz,

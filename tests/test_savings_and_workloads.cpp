@@ -5,6 +5,7 @@
 
 #include "core/savings.h"
 #include "core/workload.h"
+#include "test_support.h"
 #include "traffic/trace_generator.h"
 
 namespace cebis::core {
@@ -36,7 +37,7 @@ TEST(Savings, DeltasSumToNegatedSavings) {
   const SavingsReport r = compare(base, opt);
   double sum = 0.0;
   for (double d : r.per_cluster_delta_percent) sum += d;
-  EXPECT_NEAR(sum, -r.savings_percent, 1e-12);
+  EXPECT_NEAR(sum, -r.savings_percent, test::kTightTol);
 }
 
 TEST(Savings, Validation) {
@@ -83,7 +84,7 @@ TEST_F(WorkloadAdapters, TraceWorkloadAppliesSubsetFractions) {
     const StateId state{static_cast<std::int32_t>(s)};
     const double expected = trace_->hits(100, state).value() *
                             alloc_->subset_fraction(state);
-    EXPECT_NEAR(demand[s], expected, 1e-9);
+    EXPECT_NEAR(demand[s], expected, test::kNumericTol);
   }
 }
 

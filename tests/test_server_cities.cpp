@@ -66,9 +66,15 @@ TEST(ServerCities, CitiesGroupByStateSensibly) {
     const int k = reg.cluster_of(id);
     if (k < 0) continue;
     const auto label = reg.cluster_label(static_cast<std::size_t>(k));
-    if (c.state == "TX") EXPECT_TRUE(label == "TX1" || label == "TX2");
-    if (c.state == "CA") EXPECT_TRUE(label == "CA1" || label == "CA2");
-    if (c.state == "MA") EXPECT_EQ(label, "MA");
+    if (c.state == "TX") {
+      EXPECT_TRUE(label == "TX1" || label == "TX2");
+    }
+    if (c.state == "CA") {
+      EXPECT_TRUE(label == "CA1" || label == "CA2");
+    }
+    if (c.state == "MA") {
+      EXPECT_EQ(label, "MA");
+    }
   }
 }
 

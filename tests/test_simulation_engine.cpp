@@ -10,6 +10,7 @@
 #include "core/baseline_routers.h"
 #include "core/price_aware_router.h"
 #include "core/simulation.h"
+#include "test_support.h"
 
 namespace cebis::core {
 namespace {
@@ -112,11 +113,11 @@ TEST_F(EngineTest, AnalyticCostForConstantLoad) {
   const double watts =
       100.0 * 250.0 * (2.0 * u - std::pow(u, 1.4));  // cluster 0
   const double expected_mwh = watts * 10.0 / 1e6;
-  EXPECT_NEAR(r.cluster_energy[0], expected_mwh, 1e-9);
-  EXPECT_NEAR(r.total_cost.value(), expected_mwh * 50.0, 1e-6);
+  EXPECT_NEAR(r.cluster_energy[0], expected_mwh, test::kNumericTol);
+  EXPECT_NEAR(r.total_cost.value(), expected_mwh * 50.0, test::kSumTol);
   EXPECT_DOUBLE_EQ(r.cluster_energy[1], 0.0);  // idle + fully proportional
   EXPECT_EQ(r.overflow_steps, 0);
-  EXPECT_NEAR(r.hit_hours, 15000.0 * 10.0, 1e-6);
+  EXPECT_NEAR(r.hit_hours, 15000.0 * 10.0, test::kSumTol);
 }
 
 TEST_F(EngineTest, IdlePowerChargedEverywhere) {
@@ -133,7 +134,7 @@ TEST_F(EngineTest, IdlePowerChargedEverywhere) {
   // hub bills more.
   EXPECT_GT(r.cluster_cost[0], 0.0);
   EXPECT_GT(r.cluster_cost[1], 0.0);
-  EXPECT_NEAR(r.cluster_cost[0] / r.cluster_cost[1], 2.0, 1e-9);
+  EXPECT_NEAR(r.cluster_cost[0] / r.cluster_cost[1], 2.0, test::kNumericTol);
 }
 
 TEST_F(EngineTest, RoutingUsesStalePriceBillingUsesCurrent) {
@@ -174,7 +175,8 @@ TEST_F(EngineTest, RoutingUsesStalePriceBillingUsesCurrent) {
   // Stale prices say Boston is cheap -> traffic in Boston, billed at 100.
   EXPECT_GT(stale.cluster_energy[0], 0.0);
   EXPECT_DOUBLE_EQ(stale.cluster_energy[1], 0.0);
-  EXPECT_NEAR(stale.total_cost.value(), stale.total_energy.value() * 100.0, 1e-6);
+  EXPECT_NEAR(stale.total_cost.value(), stale.total_energy.value() * 100.0,
+              test::kSumTol);
 
   cfg.delay_hours = 0;
   SimulationEngine engine_fresh(clusters_, prices, *distances_, cfg);
@@ -200,7 +202,7 @@ TEST_F(EngineTest, P95BudgetsBoundRealizedPercentile) {
   PriceAwareRouter router(*distances_, 2, rcfg);
   const RunResult r = engine.run(workload, router);
   for (std::size_t c = 0; c < clusters_.size(); ++c) {
-    EXPECT_LE(r.realized_p95[c], clusters_[c].p95_reference.value() + 1e-6)
+    EXPECT_LE(r.realized_p95[c], clusters_[c].p95_reference.value() + test::kSumTol)
         << "cluster " << c;
   }
 }
@@ -221,7 +223,7 @@ TEST_F(EngineTest, HourlyRecordingSumsToTotals) {
   for (const auto& hour : r.hourly_energy) {
     for (double v : hour) sum += v;
   }
-  EXPECT_NEAR(sum, r.total_energy.value(), 1e-9);
+  EXPECT_NEAR(sum, r.total_energy.value(), test::kNumericTol);
 }
 
 TEST_F(EngineTest, CapacityFactorShedsServersAndEnergy) {
@@ -258,8 +260,8 @@ TEST_F(EngineTest, SecondaryMetering) {
   ClosestRouter router(*distances_, 2);
   const RunResult r = engine.run(workload, router);
   EXPECT_NEAR(r.secondary_total,
-              700.0 * r.cluster_energy[0] + 300.0 * r.cluster_energy[1], 1e-6);
-  EXPECT_NEAR(r.cluster_secondary[0], 700.0 * r.cluster_energy[0], 1e-9);
+              700.0 * r.cluster_energy[0] + 300.0 * r.cluster_energy[1], test::kSumTol);
+  EXPECT_NEAR(r.cluster_secondary[0], 700.0 * r.cluster_energy[0], test::kNumericTol);
 }
 
 TEST_F(EngineTest, RejectsUncoveredPricePeriod) {

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "base/units.h"
+#include "test_support.h"
 
 namespace cebis {
 namespace {
@@ -64,7 +65,7 @@ TEST(Units, IntensityTimesEnergyIsEmissions) {
 }
 
 TEST(Units, FiveMinuteConstant) {
-  EXPECT_NEAR(kFiveMinutes.value() * 12.0, kOneHour.value(), 1e-12);
+  EXPECT_NEAR(kFiveMinutes.value() * 12.0, kOneHour.value(), test::kTightTol);
 }
 
 TEST(Units, DefaultConstructedIsZero) {

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "geo/us_states.h"
+#include "test_support.h"
 
 namespace cebis::geo {
 namespace {
@@ -34,7 +35,7 @@ TEST(StateRegistry, PointWeightsNormalized) {
       EXPECT_GT(p.weight, 0.0) << s.code;
       sum += p.weight;
     }
-    EXPECT_NEAR(sum, 1.0, 1e-9) << s.code;
+    EXPECT_NEAR(sum, 1.0, test::kNumericTol) << s.code;
   }
 }
 

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "stats/descriptive.h"
+#include "test_support.h"
 #include "weather/weather_runner.h"
 
 namespace cebis::weather {
@@ -80,7 +81,7 @@ TEST(CoolingModel, PueRampsWithTemperature) {
   EXPECT_DOUBLE_EQ(effective_pue(p, p.chiller_above_c), p.pue_chiller);
   EXPECT_DOUBLE_EQ(effective_pue(p, 40.0), p.pue_chiller);
   const double mid = effective_pue(p, (p.free_below_c + p.chiller_above_c) / 2.0);
-  EXPECT_NEAR(mid, (p.pue_free + p.pue_chiller) / 2.0, 1e-9);
+  EXPECT_NEAR(mid, (p.pue_free + p.pue_chiller) / 2.0, test::kNumericTol);
   // Monotone.
   double prev = 0.0;
   for (double t = -10.0; t <= 40.0; t += 2.0) {

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "test_support.h"
 #include "traffic/trace_generator.h"
 #include "traffic/workload_stats.h"
 
@@ -41,7 +42,7 @@ TEST_F(WorkloadStatsTest, ProfileOrdering) {
     EXPECT_LE(p.p95.value(), p.peak.value());
     EXPECT_LT(p.peak.value(), p.capacity.value());  // headroom > 1
     EXPECT_GT(p.servers, 0);
-    EXPECT_NEAR(p.capacity.value() / p.peak.value(), 1.30, 1e-9);
+    EXPECT_NEAR(p.capacity.value() / p.peak.value(), 1.30, test::kNumericTol);
   }
 }
 
@@ -50,7 +51,7 @@ TEST_F(WorkloadStatsTest, ServersMatchCapacity) {
   config.hits_per_server = 250.0;
   const auto profiles = build_cluster_profiles(*loads_, config);
   for (const auto& p : profiles) {
-    EXPECT_GE(p.servers * 250.0, p.capacity.value() - 1e-6);
+    EXPECT_GE(p.servers * 250.0, p.capacity.value() - test::kSumTol);
     EXPECT_LT((p.servers - 1) * 250.0, p.capacity.value());
   }
 }
