@@ -7,6 +7,7 @@
 // recovers.
 
 #include "bench_common.h"
+#include "core/observers.h"
 #include "market/forecast.h"
 
 int main(int argc, char** argv) {
@@ -18,36 +19,34 @@ int main(int argc, char** argv) {
 
   const core::Fixture& fx = bench::fixture(seed);
 
-  core::Scenario s;
-  s.energy = energy::google_params();
-  s.workload = core::WorkloadKind::kTrace24Day;
-  s.enforce_p95 = false;
-  s.distance_threshold = Km{1500.0};
+  core::ScenarioSpec s{
+      .router = "price-aware",
+      .config = core::PriceAwareConfig{.distance_threshold = Km{1500.0}},
+      .energy = energy::google_params(),
+      .workload = core::WorkloadKind::kTrace24Day,
+      .enforce_p95 = false,
+  };
 
   // Perfect (delay 0) and stale (delay 1) routing.
   s.delay_hours = 0;
-  const double perfect = core::run_price_aware(fx, s).total_cost.value();
+  const double perfect = core::run_scenario(fx, s).total_cost.value();
   s.delay_hours = 1;
-  const double stale = core::run_price_aware(fx, s).total_cost.value();
+  const double stale = core::run_scenario(fx, s).total_cost.value();
 
   // Forecast-based: route on one-hour-ahead forecasts (information lag
-  // baked in), bill real dollars through the secondary meter.
+  // baked in), bill real dollars through a secondary meter.
   const Period window = trace_period();
   const Period training{window.begin - 56 * 24, window.begin};
   const market::PriceSet forecasts =
       market::one_hour_ahead_forecasts(fx.prices, training, window);
 
-  core::EngineConfig cfg;
-  cfg.energy = s.energy;
-  cfg.enforce_p95 = false;
-  cfg.delay_hours = 0;  // the forecast set already encodes the lag
-  core::PriceAwareConfig rcfg;
-  rcfg.distance_threshold = s.distance_threshold;
-  core::SimulationEngine engine(fx.clusters, forecasts, fx.distances, cfg,
-                                &fx.prices);
-  core::PriceAwareRouter router(fx.distances, fx.clusters.size(), rcfg);
-  core::TraceWorkload workload(fx.trace, fx.allocation);
-  const double forecast_cost = engine.run(workload, router).secondary_total;
+  core::ScenarioSpec forecast_spec = s;
+  forecast_spec.delay_hours = 0;  // the forecast set already encodes the lag
+  forecast_spec.routing_prices = &forecasts;
+  core::SecondaryMeter dollars(fx.prices);
+  forecast_spec.observers.push_back(&dollars);
+  (void)core::run_scenario(fx, forecast_spec);
+  const double forecast_cost = dollars.total();
 
   // Forecast accuracy context.
   const market::PriceForecaster forecaster(fx.prices, training);

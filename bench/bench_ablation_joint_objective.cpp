@@ -1,87 +1,78 @@
 // Ablation (paper §8 "Implementing Joint Optimization"): hard distance
 // threshold vs a soft distance penalty in the objective. Both trace a
 // cost-vs-mean-distance frontier; an integrated traffic-engineering
-// framework would use the soft form.
+// framework would use the soft form. Both schemes are registry routers,
+// so the whole frontier is one batched sweep over one shared engine.
+
+#include <vector>
 
 #include "bench_common.h"
 #include "core/joint_router.h"
 
-namespace {
-
-using namespace cebis;
-
-struct FrontierPoint {
-  double knob = 0.0;
-  double cost = 0.0;
-  double mean_km = 0.0;
-};
-
-FrontierPoint run_joint(const core::Fixture& fx, double lambda) {
-  core::EngineConfig cfg;
-  cfg.energy = energy::optimistic_future_params();
-  cfg.enforce_p95 = false;
-  core::SimulationEngine engine(fx.clusters, fx.prices, fx.distances, cfg);
-  core::JointObjectiveConfig jcfg;
-  jcfg.lambda_usd_per_mwh_km = lambda;
-  core::JointObjectiveRouter router(fx.distances, fx.clusters.size(), jcfg);
-  core::TraceWorkload workload(fx.trace, fx.allocation);
-  const core::RunResult r = engine.run(workload, router);
-  return {lambda, r.total_cost.value(), r.mean_distance_km};
-}
-
-FrontierPoint run_threshold(const core::Fixture& fx, double km) {
-  core::Scenario s;
-  s.energy = energy::optimistic_future_params();
-  s.workload = core::WorkloadKind::kTrace24Day;
-  s.enforce_p95 = false;
-  s.distance_threshold = Km{km};
-  const core::RunResult r = core::run_price_aware(fx, s);
-  return {km, r.total_cost.value(), r.mean_distance_km};
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
+  using namespace cebis;
   const std::uint64_t seed = bench::seed_from_args(argc, argv);
   bench::header("Ablation: joint objective vs hard threshold",
                 "Cost vs mean client-server distance frontiers, 24-day "
                 "trace, (0%,1.1), relax 95/5");
 
   const core::Fixture& fx = bench::fixture(seed);
-  const double base_cost = [&fx] {
-    core::Scenario s;
-    s.energy = energy::optimistic_future_params();
-    s.workload = core::WorkloadKind::kTrace24Day;
-    return core::run_baseline(fx, s).total_cost.value();
-  }();
+  const std::vector<double> thresholds = {0.0, 500.0, 1000.0, 1500.0, 2500.0};
+  const std::vector<double> lambdas = {0.2, 0.05, 0.02, 0.01, 0.005, 0.0};
+
+  std::vector<core::ScenarioSpec> specs;
+  const core::ScenarioSpec base{
+      .router = "baseline",
+      .energy = energy::optimistic_future_params(),
+      .workload = core::WorkloadKind::kTrace24Day,
+      .enforce_p95 = false,
+  };
+  specs.push_back(base);
+  for (const double km : thresholds) {
+    core::ScenarioSpec s = base;
+    s.router = "price-aware";
+    s.config = core::PriceAwareConfig{.distance_threshold = Km{km}};
+    specs.push_back(s);
+  }
+  for (const double lambda : lambdas) {
+    core::ScenarioSpec s = base;
+    s.router = "joint-objective";
+    s.config = core::JointObjectiveConfig{.lambda_usd_per_mwh_km = lambda};
+    specs.push_back(s);
+  }
+  core::SweepStats stats;
+  const std::vector<core::RunResult> runs = core::run_scenarios(fx, specs, &stats);
+  const double base_cost = runs[0].total_cost.value();
 
   io::Table table({"scheme", "knob", "normalized cost", "mean dist (km)"});
   io::CsvWriter csv(bench::csv_path("ablation_joint_objective"));
   csv.row({"scheme", "knob", "normalized_cost", "mean_distance_km"});
 
-  for (double km : {0.0, 500.0, 1000.0, 1500.0, 2500.0}) {
-    const FrontierPoint p = run_threshold(fx, km);
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    const core::RunResult& r = runs[1 + i];
     char k[16], c[16], d[16];
-    std::snprintf(k, sizeof(k), "theta=%.0f", p.knob);
-    std::snprintf(c, sizeof(c), "%.3f", p.cost / base_cost);
-    std::snprintf(d, sizeof(d), "%.0f", p.mean_km);
+    std::snprintf(k, sizeof(k), "theta=%.0f", thresholds[i]);
+    std::snprintf(c, sizeof(c), "%.3f", r.total_cost.value() / base_cost);
+    std::snprintf(d, sizeof(d), "%.0f", r.mean_distance_km);
     table.add_row({"hard threshold", k, c, d});
-    csv.row({"threshold", io::format_number(p.knob, 0),
-             io::format_number(p.cost / base_cost, 4),
-             io::format_number(p.mean_km, 1)});
+    csv.row({"threshold", io::format_number(thresholds[i], 0),
+             io::format_number(r.total_cost.value() / base_cost, 4),
+             io::format_number(r.mean_distance_km, 1)});
   }
-  for (double lambda : {0.2, 0.05, 0.02, 0.01, 0.005, 0.0}) {
-    const FrontierPoint p = run_joint(fx, lambda);
+  for (std::size_t i = 0; i < lambdas.size(); ++i) {
+    const core::RunResult& r = runs[1 + thresholds.size() + i];
     char k[20], c[16], d[16];
-    std::snprintf(k, sizeof(k), "lambda=%.3f", p.knob);
-    std::snprintf(c, sizeof(c), "%.3f", p.cost / base_cost);
-    std::snprintf(d, sizeof(d), "%.0f", p.mean_km);
+    std::snprintf(k, sizeof(k), "lambda=%.3f", lambdas[i]);
+    std::snprintf(c, sizeof(c), "%.3f", r.total_cost.value() / base_cost);
+    std::snprintf(d, sizeof(d), "%.0f", r.mean_distance_km);
     table.add_row({"soft penalty", k, c, d});
-    csv.row({"joint", io::format_number(p.knob, 4),
-             io::format_number(p.cost / base_cost, 4),
-             io::format_number(p.mean_km, 1)});
+    csv.row({"joint", io::format_number(lambdas[i], 4),
+             io::format_number(r.total_cost.value() / base_cost, 4),
+             io::format_number(r.mean_distance_km, 1)});
   }
   std::printf("%s\n", table.render().c_str());
+  std::printf("sweep: %zu runs over %zu engine(s)\n", stats.runs,
+              stats.engines_built);
   std::printf(
       "Reading: both knobs sweep the same frontier ends (closest-cluster to\n"
       "pure price chasing). At matched mean distance the soft penalty tends\n"

@@ -100,13 +100,16 @@ int main(int argc, char** argv) {
 
   for (double km : {0.0, 500.0, 1000.0, 1500.0, 2000.0, 2500.0}) {
     // Akamai-like: compare price-aware vs closest on the real clusters.
-    core::Scenario s;
-    s.energy = energy::optimistic_future_params();
-    s.workload = core::WorkloadKind::kTrace24Day;
-    s.enforce_p95 = false;
-    s.distance_threshold = Km{km};
-    const double ak_base = core::run_closest(fx, s).total_cost.value();
-    const double ak = core::run_price_aware(fx, s).total_cost.value() / ak_base;
+    core::ScenarioSpec s{
+        .router = "closest",
+        .energy = energy::optimistic_future_params(),
+        .workload = core::WorkloadKind::kTrace24Day,
+        .enforce_p95 = false,
+    };
+    const double ak_base = core::run_scenario(fx, s).total_cost.value();
+    s.router = "price-aware";
+    s.config = core::PriceAwareConfig{.distance_threshold = Km{km}};
+    const double ak = core::run_scenario(fx, s).total_cost.value() / ak_base;
 
     const double ev = normalized_cost(fx, even_clusters, km);
     const double co = normalized_cost(fx, coastal_clusters, km);

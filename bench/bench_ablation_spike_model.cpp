@@ -4,6 +4,8 @@
 // savings measure how much of the paper's effect needs price *spikes*
 // versus plain level differences and diurnal structure.
 
+#include <vector>
+
 #include "bench_common.h"
 #include "market/market_simulator.h"
 
@@ -39,13 +41,15 @@ int main(int argc, char** argv) {
       {"(65%, 1.3)", energy::google_params()},
   };
   for (const Row& row : rows) {
-    core::Scenario s;
-    s.energy = row.params;
-    s.workload = core::WorkloadKind::kTrace24Day;
-    s.enforce_p95 = false;
-    s.distance_threshold = Km{1500.0};
-    const double full = core::price_aware_savings(fx, s).savings_percent;
-    const double nospike = core::price_aware_savings(fx_calm, s).savings_percent;
+    const core::ScenarioSpec spec{
+        .router = "price-aware",
+        .config = core::PriceAwareConfig{.distance_threshold = Km{1500.0}},
+        .energy = row.params,
+        .workload = core::WorkloadKind::kTrace24Day,
+        .enforce_p95 = false,
+    };
+    const double full = core::scenario_savings(fx, spec).savings_percent;
+    const double nospike = core::scenario_savings(fx_calm, spec).savings_percent;
     char f_s[16], n_s[16];
     std::snprintf(f_s, sizeof(f_s), "%.2f", full);
     std::snprintf(n_s, sizeof(n_s), "%.2f", nospike);

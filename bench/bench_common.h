@@ -5,6 +5,7 @@
 // prints the same rows/series the paper reports and writes a CSV copy
 // (cebis_<figure>.csv in the working directory) for replotting.
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -16,9 +17,24 @@
 
 namespace cebis::bench {
 
-/// Default seed; override with argv[1].
+/// Default seed 2009; override with argv[1]. Rejects non-numeric or
+/// out-of-range input (strtoull would silently map garbage to 0) and
+/// always reports the seed actually used.
 inline std::uint64_t seed_from_args(int argc, char** argv) {
-  return argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2009;
+  std::uint64_t seed = 2009;
+  if (argc > 1) {
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long parsed = std::strtoull(argv[1], &end, 10);
+    if (end == argv[1] || *end != '\0' || errno == ERANGE) {
+      std::fprintf(stderr, "invalid seed '%s': expected a base-10 unsigned integer\n",
+                   argv[1]);
+      std::exit(2);
+    }
+    seed = parsed;
+  }
+  std::printf("seed: %llu\n", static_cast<unsigned long long>(seed));
+  return seed;
 }
 
 /// The shared experiment fixture (prices + trace + clusters), built once

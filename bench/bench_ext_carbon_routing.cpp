@@ -15,11 +15,12 @@ int main(int argc, char** argv) {
   const carbon::CarbonIntensityModel intensity_model(seed);
   const market::PriceSet intensity = intensity_model.generate(study_period());
 
-  core::Scenario s;
-  s.energy = energy::optimistic_future_params();
-  s.workload = core::WorkloadKind::kTrace24Day;
-  s.enforce_p95 = false;
-  s.distance_threshold = Km{2500.0};
+  const core::ScenarioSpec s{
+      .config = core::PriceAwareConfig{.distance_threshold = Km{2500.0}},
+      .energy = energy::optimistic_future_params(),
+      .workload = core::WorkloadKind::kTrace24Day,
+      .enforce_p95 = false,
+  };
 
   const carbon::CarbonRunSummary baseline =
       carbon::run_baseline_carbon(fx, intensity, s);

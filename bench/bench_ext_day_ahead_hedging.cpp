@@ -4,6 +4,7 @@
 // contract, and negawatt bidding.
 
 #include "bench_common.h"
+#include "core/observers.h"
 #include "demand_response/negawatt_market.h"
 #include "stats/descriptive.h"
 
@@ -15,40 +16,37 @@ int main(int argc, char** argv) {
                 "elasticity, price-aware routing at 1500 km");
 
   const core::Fixture& fx = bench::fixture(seed);
-  core::Scenario s;
-  s.energy = energy::google_params();
-  s.workload = core::WorkloadKind::kTrace24Day;
-  s.enforce_p95 = false;
+  core::ScenarioSpec s{
+      .energy = energy::google_params(),
+      .workload = core::WorkloadKind::kTrace24Day,
+      .enforce_p95 = false,
+  };
 
-  // One routed run with per-hour energies.
-  core::EngineConfig cfg;
-  cfg.energy = s.energy;
-  cfg.enforce_p95 = false;
-  cfg.record_hourly = true;
-  core::SimulationEngine engine(fx.clusters, fx.prices, fx.distances, cfg);
-  core::PriceAwareConfig rcfg;
-  rcfg.distance_threshold = s.distance_threshold;
-  core::PriceAwareRouter router(fx.distances, fx.clusters.size(), rcfg);
-  core::TraceWorkload workload(fx.trace, fx.allocation);
-  const core::RunResult run = engine.run(workload, router);
+  // One routed run with per-hour energies (recorder observer).
+  core::HourlyEnergyRecorder recorder;
+  core::ScenarioSpec routed = s;
+  routed.router = "price-aware";
+  routed.observers.push_back(&recorder);
+  const core::RunResult run = core::run_scenario(fx, routed);
 
-  const Period window = workload.period();
+  const Period window = core::scenario_period(fx, s);
+  const std::size_t n_hours = run.hourly_energy.hours();
   // Predicted per-hour energy: hour-of-week average of the realized
   // series (the operator's demand prior).
   std::vector<std::vector<double>> pred(
-      run.hourly_energy.size(), std::vector<double>(fx.clusters.size(), 0.0));
+      n_hours, std::vector<double>(fx.clusters.size(), 0.0));
   {
     std::vector<std::vector<double>> cell_sum(
         7 * 24, std::vector<double>(fx.clusters.size(), 0.0));
     std::vector<int> cell_n(7 * 24, 0);
-    for (std::size_t h = 0; h < run.hourly_energy.size(); ++h) {
+    for (std::size_t h = 0; h < n_hours; ++h) {
       const HourIndex hour = window.begin + static_cast<HourIndex>(h);
       const std::size_t cell =
           static_cast<std::size_t>(weekday(hour)) * 24 +
           static_cast<std::size_t>(hour_of_day(hour));
       ++cell_n[cell];
       for (std::size_t c = 0; c < fx.clusters.size(); ++c) {
-        cell_sum[cell][c] += run.hourly_energy[h][c];
+        cell_sum[cell][c] += run.hourly_energy.at(h, c);
       }
     }
     for (std::size_t h = 0; h < pred.size(); ++h) {
@@ -72,10 +70,10 @@ int main(int argc, char** argv) {
   double day_hedged = 0.0;
   const double flat_rate = 62.0;  // a typical negotiated rate
 
-  for (std::size_t h = 0; h < run.hourly_energy.size(); ++h) {
+  for (std::size_t h = 0; h < n_hours; ++h) {
     const HourIndex hour = window.begin + static_cast<HourIndex>(h);
     for (std::size_t c = 0; c < fx.clusters.size(); ++c) {
-      const double e = run.hourly_energy[h][c];
+      const double e = run.hourly_energy.at(h, c);
       const double rt = fx.prices.rt_at(fx.clusters[c].hub, hour).value();
       const double da = fx.prices.da_at(fx.clusters[c].hub, hour).value();
       cost_rt += e * rt;

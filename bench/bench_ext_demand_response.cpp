@@ -13,10 +13,11 @@ int main(int argc, char** argv) {
                 "24-day window, google-like elasticity");
 
   const core::Fixture& fx = bench::fixture(seed);
-  core::Scenario s;
-  s.energy = energy::google_params();
-  s.workload = core::WorkloadKind::kTrace24Day;
-  s.enforce_p95 = false;
+  const core::ScenarioSpec s{
+      .energy = energy::google_params(),
+      .workload = core::WorkloadKind::kTrace24Day,
+      .enforce_p95 = false,
+  };
 
   std::vector<HubId> hubs;
   for (const auto& c : fx.clusters) hubs.push_back(c.hub);

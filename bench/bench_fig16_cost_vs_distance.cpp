@@ -1,5 +1,8 @@
 // Fig 16: 24-day electricity cost vs distance threshold, (0% idle,
-// PUE 1.1), normalized to the Akamai-like allocation's cost.
+// PUE 1.1), normalized to the Akamai-like allocation's cost. One batched
+// run_scenarios call; the relaxed runs share the baseline's engine.
+
+#include <vector>
 
 #include "bench_common.h"
 
@@ -11,25 +14,37 @@ int main(int argc, char** argv) {
                 "1.1 PUE)");
 
   const core::Fixture& fx = bench::fixture(seed);
+  const std::vector<double> thresholds = {0.0,    250.0,  500.0,  750.0,
+                                          1000.0, 1100.0, 1250.0, 1500.0,
+                                          1750.0, 2000.0, 2250.0, 2500.0};
 
-  core::Scenario s;
-  s.energy = energy::optimistic_future_params();
-  s.workload = core::WorkloadKind::kTrace24Day;
-  const double base_cost = core::run_baseline(fx, s).total_cost.value();
+  std::vector<core::ScenarioSpec> specs;
+  const core::ScenarioSpec base{
+      .router = "baseline",
+      .energy = energy::optimistic_future_params(),
+      .workload = core::WorkloadKind::kTrace24Day,
+  };
+  specs.push_back(base);
+  for (const double km : thresholds) {
+    for (const bool follow : {true, false}) {
+      core::ScenarioSpec s = base;
+      s.router = "price-aware";
+      s.config = core::PriceAwareConfig{.distance_threshold = Km{km}};
+      s.enforce_p95 = follow;
+      specs.push_back(s);
+    }
+  }
+  const std::vector<core::RunResult> runs = core::run_scenarios(fx, specs);
+  const double base_cost = runs[0].total_cost.value();
 
   io::Table table({"threshold (km)", "follow 95/5", "relax 95/5"});
   io::CsvWriter csv(bench::csv_path("fig16_cost_vs_distance"));
   csv.row({"threshold_km", "normalized_cost_follow", "normalized_cost_relax"});
 
-  for (double km : {0.0, 250.0, 500.0, 750.0, 1000.0, 1100.0, 1250.0, 1500.0,
-                    1750.0, 2000.0, 2250.0, 2500.0}) {
-    s.distance_threshold = Km{km};
-    s.enforce_p95 = true;
-    const double follow =
-        core::run_price_aware(fx, s).total_cost.value() / base_cost;
-    s.enforce_p95 = false;
-    const double relax =
-        core::run_price_aware(fx, s).total_cost.value() / base_cost;
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    const double km = thresholds[i];
+    const double follow = runs[1 + 2 * i].total_cost.value() / base_cost;
+    const double relax = runs[1 + 2 * i + 1].total_cost.value() / base_cost;
 
     char km_s[16], f_s[16], r_s[16];
     std::snprintf(km_s, sizeof(km_s), "%.0f", km);

@@ -1,7 +1,9 @@
 // Fig 17: client-server distances vs the optimizer's distance threshold
 // (mean and 99th percentile, with and without the 95/5 constraints).
 // Reference lines from the paper: Boston-DC ~650 km, Boston-Chicago
-// ~1400 km.
+// ~1400 km. One batched run_scenarios call across the whole grid.
+
+#include <vector>
 
 #include "bench_common.h"
 
@@ -13,11 +15,27 @@ int main(int argc, char** argv) {
                 "(0% idle, 1.1 PUE)");
 
   const core::Fixture& fx = bench::fixture(seed);
+  const std::vector<double> thresholds = {0.0,    250.0,  500.0,  750.0,
+                                          1000.0, 1100.0, 1250.0, 1500.0,
+                                          1750.0, 2000.0, 2250.0, 2500.0};
 
-  core::Scenario s;
-  s.energy = energy::optimistic_future_params();
-  s.workload = core::WorkloadKind::kTrace24Day;
-  const core::RunResult base = core::run_baseline(fx, s);
+  std::vector<core::ScenarioSpec> specs;
+  const core::ScenarioSpec base{
+      .router = "baseline",
+      .energy = energy::optimistic_future_params(),
+      .workload = core::WorkloadKind::kTrace24Day,
+  };
+  specs.push_back(base);
+  for (const double km : thresholds) {
+    for (const bool follow : {true, false}) {
+      core::ScenarioSpec s = base;
+      s.router = "price-aware";
+      s.config = core::PriceAwareConfig{.distance_threshold = Km{km}};
+      s.enforce_p95 = follow;
+      specs.push_back(s);
+    }
+  }
+  const std::vector<core::RunResult> runs = core::run_scenarios(fx, specs);
 
   io::Table table({"threshold (km)", "mean", "p99", "mean (ignore 95/5)",
                    "p99 (ignore 95/5)"});
@@ -25,13 +43,10 @@ int main(int argc, char** argv) {
   csv.row({"threshold_km", "mean_km_follow", "p99_km_follow", "mean_km_relax",
            "p99_km_relax"});
 
-  for (double km : {0.0, 250.0, 500.0, 750.0, 1000.0, 1100.0, 1250.0, 1500.0,
-                    1750.0, 2000.0, 2250.0, 2500.0}) {
-    s.distance_threshold = Km{km};
-    s.enforce_p95 = true;
-    const core::RunResult follow = core::run_price_aware(fx, s);
-    s.enforce_p95 = false;
-    const core::RunResult relax = core::run_price_aware(fx, s);
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    const double km = thresholds[i];
+    const core::RunResult& follow = runs[1 + 2 * i];
+    const core::RunResult& relax = runs[1 + 2 * i + 1];
 
     char km_s[16], m_f[16], p_f[16], m_r[16], p_r[16];
     std::snprintf(km_s, sizeof(km_s), "%.0f", km);
@@ -48,7 +63,7 @@ int main(int argc, char** argv) {
   }
   std::printf("%s\n", table.render().c_str());
   std::printf("baseline (Akamai-like) mean distance: %.0f km\n",
-              base.mean_distance_km);
+              runs[0].mean_distance_km);
   std::printf("reference: Boston-DC ~650 km (~20 ms RTT), Boston-Chicago "
               "~1400 km.\nPaper shape: distances rise with the threshold; at "
               "1100 km the p99 stays within ~800 km of clients.\n");

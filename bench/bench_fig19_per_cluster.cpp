@@ -1,7 +1,10 @@
 // Fig 19: change in per-cluster cost for 39-month simulations at four
 // distance thresholds ((0% idle, 1.1 PUE), 95/5 constraints followed).
 // Expected shape: NYC sheds the most cost, magnitudes grow with the
-// threshold, cheap hubs (Chicago/Texas) absorb load.
+// threshold, cheap hubs (Chicago/Texas) absorb load. One baseline run
+// feeds every threshold's comparison.
+
+#include <vector>
 
 #include "bench_common.h"
 
@@ -13,11 +16,23 @@ int main(int argc, char** argv) {
                 "39-month synthetic workload, follow 95/5");
 
   const core::Fixture& fx = bench::fixture(seed);
+  const std::vector<double> thresholds = {500.0, 1000.0, 1500.0, 2000.0};
 
-  core::Scenario s;
-  s.energy = energy::optimistic_future_params();
-  s.workload = core::WorkloadKind::kSynthetic39Month;
-  s.enforce_p95 = true;
+  std::vector<core::ScenarioSpec> specs;
+  const core::ScenarioSpec base{
+      .router = "baseline",
+      .energy = energy::optimistic_future_params(),
+      .workload = core::WorkloadKind::kSynthetic39Month,
+  };
+  specs.push_back(base);
+  for (const double km : thresholds) {
+    core::ScenarioSpec s = base;
+    s.router = "price-aware";
+    s.config = core::PriceAwareConfig{.distance_threshold = Km{km}};
+    s.enforce_p95 = true;
+    specs.push_back(s);
+  }
+  const std::vector<core::RunResult> runs = core::run_scenarios(fx, specs);
 
   io::CsvWriter csv(bench::csv_path("fig19_per_cluster"));
   {
@@ -31,9 +46,9 @@ int main(int argc, char** argv) {
   for (const auto& c : fx.clusters) header_cells.emplace_back(c.label);
   io::Table table(header_cells);
 
-  for (double km : {500.0, 1000.0, 1500.0, 2000.0}) {
-    s.distance_threshold = Km{km};
-    const core::SavingsReport r = core::price_aware_savings(fx, s);
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    const double km = thresholds[i];
+    const core::SavingsReport r = core::compare(runs[0], runs[1 + i]);
     // Built with += rather than chained + to dodge GCC 12's -Wrestrict
     // false positive (PR105329) on temporary string concatenation.
     std::string row_label = "<";

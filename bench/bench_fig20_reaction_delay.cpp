@@ -3,6 +3,8 @@
 // immediate to next-hour reaction, growth toward ~1-1.5%, and a local
 // minimum at 24 hours (day-ahead autocorrelation).
 
+#include <vector>
+
 #include "bench_common.h"
 
 int main(int argc, char** argv) {
@@ -13,29 +15,34 @@ int main(int argc, char** argv) {
                 "PUE), 1500 km threshold, 24-day trace");
 
   const core::Fixture& fx = bench::fixture(seed);
+  const std::vector<int> delays = {0,  1,  2,  3,  6,  9,  12, 15,
+                                   18, 21, 23, 24, 25, 27, 30};
 
-  core::Scenario s;
-  s.energy = energy::google_params();
-  s.workload = core::WorkloadKind::kTrace24Day;
-  s.enforce_p95 = false;
-  s.distance_threshold = Km{1500.0};
-
-  s.delay_hours = 0;
-  const double fresh = core::run_price_aware(fx, s).total_cost.value();
+  std::vector<core::ScenarioSpec> specs;
+  for (const int delay : delays) {
+    specs.push_back(core::ScenarioSpec{
+        .router = "price-aware",
+        .config = core::PriceAwareConfig{.distance_threshold = Km{1500.0}},
+        .energy = energy::google_params(),
+        .workload = core::WorkloadKind::kTrace24Day,
+        .enforce_p95 = false,
+        .delay_hours = delay,
+    });
+  }
+  const std::vector<core::RunResult> runs = core::run_scenarios(fx, specs);
+  const double fresh = runs[0].total_cost.value();
 
   io::Table table({"delay (h)", "cost increase (%)"});
   io::CsvWriter csv(bench::csv_path("fig20_reaction_delay"));
   csv.row({"delay_hours", "cost_increase_pct"});
 
-  for (int delay : {0, 1, 2, 3, 6, 9, 12, 15, 18, 21, 23, 24, 25, 27, 30}) {
-    s.delay_hours = delay;
-    const double cost = core::run_price_aware(fx, s).total_cost.value();
-    const double increase = 100.0 * (cost / fresh - 1.0);
+  for (std::size_t i = 0; i < delays.size(); ++i) {
+    const double increase = 100.0 * (runs[i].total_cost.value() / fresh - 1.0);
     char d_s[8], i_s[16];
-    std::snprintf(d_s, sizeof(d_s), "%d", delay);
+    std::snprintf(d_s, sizeof(d_s), "%d", delays[i]);
     std::snprintf(i_s, sizeof(i_s), "%.3f", increase);
     table.add_row({d_s, i_s});
-    csv.row({std::to_string(delay), io::format_number(increase, 4)});
+    csv.row({std::to_string(delays[i]), io::format_number(increase, 4)});
   }
   std::printf("%s\n", table.render().c_str());
   std::printf(

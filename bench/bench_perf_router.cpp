@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "core/experiment.h"
 
 namespace {
@@ -44,12 +46,14 @@ BENCHMARK(BM_PriceAwareRoute)->Arg(0)->Arg(1500)->Arg(5000);
 
 void BM_TraceSimulation24Day(benchmark::State& state) {
   const core::Fixture& fx = fixture();
-  core::Scenario s;
-  s.energy = energy::optimistic_future_params();
-  s.workload = core::WorkloadKind::kTrace24Day;
-  s.enforce_p95 = state.range(0) != 0;
+  const core::ScenarioSpec s{
+      .router = "price-aware",
+      .energy = energy::optimistic_future_params(),
+      .workload = core::WorkloadKind::kTrace24Day,
+      .enforce_p95 = state.range(0) != 0,
+  };
   for (auto _ : state) {
-    const core::RunResult r = core::run_price_aware(fx, s);
+    const core::RunResult r = core::run_scenario(fx, s);
     benchmark::DoNotOptimize(r.total_cost.value());
   }
   state.SetItemsProcessed(state.iterations() * trace_period().hours() * 12);
@@ -58,17 +62,52 @@ BENCHMARK(BM_TraceSimulation24Day)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond
 
 void BM_Synthetic39MonthSimulation(benchmark::State& state) {
   const core::Fixture& fx = fixture();
-  core::Scenario s;
-  s.energy = energy::optimistic_future_params();
-  s.workload = core::WorkloadKind::kSynthetic39Month;
-  s.enforce_p95 = false;
+  const core::ScenarioSpec s{
+      .router = "price-aware",
+      .energy = energy::optimistic_future_params(),
+      .workload = core::WorkloadKind::kSynthetic39Month,
+      .enforce_p95 = false,
+  };
   for (auto _ : state) {
-    const core::RunResult r = core::run_price_aware(fx, s);
+    const core::RunResult r = core::run_scenario(fx, s);
     benchmark::DoNotOptimize(r.total_cost.value());
   }
   state.SetItemsProcessed(state.iterations() * study_period().hours());
 }
 BENCHMARK(BM_Synthetic39MonthSimulation)->Unit(benchmark::kMillisecond);
+
+// A fig16-style batched threshold sweep: run_scenarios shares one
+// engine/workload across all points, versus rebuilding per run_scenario
+// call. The items are simulated trace hours across the whole sweep.
+void BM_BatchedThresholdSweep(benchmark::State& state) {
+  const core::Fixture& fx = fixture();
+  std::vector<core::ScenarioSpec> specs;
+  for (const double km : {0.0, 500.0, 1000.0, 1500.0, 2000.0, 2500.0}) {
+    specs.push_back(core::ScenarioSpec{
+        .router = "price-aware",
+        .config = core::PriceAwareConfig{.distance_threshold = Km{km}},
+        .energy = energy::optimistic_future_params(),
+        .workload = core::WorkloadKind::kTrace24Day,
+        .enforce_p95 = false,
+    });
+  }
+  const bool batched = state.range(0) != 0;
+  for (auto _ : state) {
+    if (batched) {
+      const auto runs = core::run_scenarios(fx, specs);
+      benchmark::DoNotOptimize(runs.back().total_cost.value());
+    } else {
+      for (const auto& spec : specs) {
+        const core::RunResult r = core::run_scenario(fx, spec);
+        benchmark::DoNotOptimize(r.total_cost.value());
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(specs.size()) *
+                          trace_period().hours());
+}
+BENCHMARK(BM_BatchedThresholdSweep)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -28,11 +28,12 @@ int main(int argc, char** argv) {
   const carbon::CarbonIntensityModel intensity_model(seed);
   const market::PriceSet intensity = intensity_model.generate(study_period());
 
-  core::Scenario scenario;
-  scenario.energy = energy::optimistic_future_params();
-  scenario.workload = core::WorkloadKind::kTrace24Day;
-  scenario.enforce_p95 = false;
-  scenario.distance_threshold = Km{2500.0};
+  const core::ScenarioSpec scenario{
+      .config = core::PriceAwareConfig{.distance_threshold = Km{2500.0}},
+      .energy = energy::optimistic_future_params(),
+      .workload = core::WorkloadKind::kTrace24Day,
+      .enforce_p95 = false,
+  };
 
   const auto baseline =
       carbon::run_baseline_carbon(fixture, intensity, scenario);

@@ -37,8 +37,12 @@ bool has_flag(int argc, char** argv, const char* flag) {
 int main(int argc, char** argv) {
   using namespace cebis;
 
-  core::Scenario scenario;
-  scenario.distance_threshold = Km{arg_value(argc, argv, "--threshold", 1500.0)};
+  core::PriceAwareConfig router_cfg;
+  router_cfg.distance_threshold = Km{arg_value(argc, argv, "--threshold", 1500.0)};
+
+  core::ScenarioSpec scenario;
+  scenario.router = "price-aware";
+  scenario.config = router_cfg;
   scenario.energy.idle_fraction = arg_value(argc, argv, "--idle", 0.0);
   scenario.energy.pue = arg_value(argc, argv, "--pue", 1.1);
   scenario.delay_hours = static_cast<int>(arg_value(argc, argv, "--delay", 1.0));
@@ -54,8 +58,8 @@ int main(int argc, char** argv) {
                                        ? "24-day 5-minute trace"
                                        : "39-month synthetic (hour-of-week)");
   std::printf("  threshold: %.0f km, price threshold $%.0f/MWh, delay %d h\n",
-              scenario.distance_threshold.value(),
-              scenario.price_threshold.value(), scenario.delay_hours);
+              router_cfg.distance_threshold.value(),
+              router_cfg.price_threshold.value(), scenario.delay_hours);
   std::printf("  energy:    idle %.0f%%, PUE %.2f  (inelasticity P0/P1 = %.2f)\n",
               100.0 * scenario.energy.idle_fraction, scenario.energy.pue,
               energy::ClusterEnergyModel(scenario.energy).inelasticity());
@@ -63,8 +67,13 @@ int main(int argc, char** argv) {
               scenario.enforce_p95 ? "follow baseline constraints" : "relaxed");
 
   const core::Fixture fixture = core::Fixture::make(seed);
-  const core::RunResult base = core::run_baseline(fixture, scenario);
-  const core::RunResult opt = core::run_price_aware(fixture, scenario);
+  core::ScenarioSpec baseline = scenario;
+  baseline.router = "baseline";
+  baseline.config = std::monostate{};
+  const core::ScenarioSpec specs[] = {baseline, scenario};
+  const std::vector<core::RunResult> runs = core::run_scenarios(fixture, specs);
+  const core::RunResult& base = runs[0];
+  const core::RunResult& opt = runs[1];
   const core::SavingsReport report = core::compare(base, opt);
 
   std::printf("electric bill: $%.0f -> $%.0f   savings %.2f%%\n",

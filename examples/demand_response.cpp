@@ -20,10 +20,11 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2009;
 
   const core::Fixture fixture = core::Fixture::make(seed);
-  core::Scenario scenario;
-  scenario.energy = energy::google_params();
-  scenario.workload = core::WorkloadKind::kTrace24Day;
-  scenario.enforce_p95 = false;
+  const core::ScenarioSpec scenario{
+      .energy = energy::google_params(),
+      .workload = core::WorkloadKind::kTrace24Day,
+      .enforce_p95 = false,
+  };
 
   // --- triggered demand response ----------------------------------------
   std::vector<HubId> hubs;

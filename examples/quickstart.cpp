@@ -1,9 +1,11 @@
 // Quickstart: the end-to-end cebis pipeline in ~40 lines of API use.
 //
 // Builds the experiment fixture (synthetic wholesale market + Akamai-like
-// 24-day trace + nine hub clusters), then compares the Akamai-like
-// baseline against the paper's price-conscious router for two energy
-// models, with and without 95/5 bandwidth constraints.
+// 24-day trace + nine hub clusters), describes each run as a
+// ScenarioSpec (router from the registry + config + workload +
+// constraints), then compares the Akamai-like baseline against the
+// paper's price-conscious router for two energy models, with and
+// without 95/5 bandwidth constraints.
 //
 // Usage: quickstart [seed]
 
@@ -42,11 +44,14 @@ int main(int argc, char** argv) {
 
   std::printf("\n24-day trace, 1500 km distance threshold, $5/MWh price threshold\n");
   for (const Case& c : cases) {
-    core::Scenario scenario;
-    scenario.energy = c.energy;
-    scenario.enforce_p95 = c.enforce_p95;
-    scenario.distance_threshold = Km{1500.0};
-    const core::SavingsReport report = core::price_aware_savings(fixture, scenario);
+    const core::ScenarioSpec spec{
+        .router = "price-aware",
+        .config = core::PriceAwareConfig{.distance_threshold = Km{1500.0}},
+        .energy = c.energy,
+        .workload = core::WorkloadKind::kTrace24Day,
+        .enforce_p95 = c.enforce_p95,
+    };
+    const core::SavingsReport report = core::scenario_savings(fixture, spec);
     std::printf(
         "  %-42s savings %5.1f%%  (mean client-server distance %4.0f -> %4.0f km, "
         "p99 %4.0f km)\n",

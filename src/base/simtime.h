@@ -98,6 +98,8 @@ struct Period {
   [[nodiscard]] constexpr bool contains(HourIndex h) const noexcept {
     return h >= begin && h < end;
   }
+
+  friend constexpr auto operator<=>(const Period&, const Period&) = default;
 };
 
 /// The full 39-month study period: Jan 2006 .. Mar 2009 (28464 hours).

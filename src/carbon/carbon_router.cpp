@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/observers.h"
 #include "stats/descriptive.h"
 
 namespace cebis::carbon {
@@ -54,93 +55,56 @@ market::PriceSet blend_objective(const market::PriceSet& prices,
   return out;
 }
 
-namespace {
-
-CarbonRunSummary summarize(const core::RunResult& run) {
-  CarbonRunSummary s;
-  s.cost_usd = run.total_cost.value();
-  s.carbon_kg = run.secondary_total;
-  s.mean_distance_km = run.mean_distance_km;
-  return s;
-}
-
-std::unique_ptr<core::Workload> make_workload(const core::Fixture& f,
-                                              core::WorkloadKind kind) {
-  if (kind == core::WorkloadKind::kTrace24Day) {
-    return std::make_unique<core::TraceWorkload>(f.trace, f.allocation);
-  }
-  const cebis::Period study = study_period();
-  return std::make_unique<core::SyntheticWorkload39>(
-      f.synthetic, f.allocation, cebis::Period{study.begin + 48, study.end});
-}
-
-}  // namespace
-
 CarbonRunSummary run_blended(const core::Fixture& fixture,
                              const market::PriceSet& intensity,
-                             const core::Scenario& scenario, double alpha) {
+                             const core::ScenarioSpec& scenario, double alpha) {
   const market::PriceSet objective =
       blend_objective(fixture.prices, intensity, alpha);
 
-  // Route by the blended objective; meter dollars as the primary (by
-  // billing against real prices) and kilograms as the secondary. The
-  // engine routes on `prices` passed to it, so we pass the objective and
-  // recover dollars/kg from two secondary-metered runs. Simpler: run
-  // once with objective as routing prices, real prices as secondary,
-  // then once more metering carbon.
-  core::EngineConfig cfg;
-  cfg.energy = scenario.energy;
-  cfg.delay_hours = scenario.delay_hours;
-  cfg.enforce_p95 = scenario.enforce_p95;
-
-  core::PriceAwareConfig rcfg;
-  rcfg.distance_threshold = scenario.distance_threshold;
+  // Route by the blended objective; recover dollars and kilograms from
+  // two stacked secondary meters on the same run (the engine's own
+  // billing is against the objective series and is discarded).
+  core::ScenarioSpec spec = scenario;
+  spec.router = "price-aware";
+  core::PriceAwareConfig rcfg = core::price_aware_config_of(scenario);
   rcfg.price_threshold = UsdPerMwh{0.02};  // objective is normalized ~ O(1)
+  spec.config = rcfg;
+  spec.routing_prices = &objective;
 
-  const traffic::BaselineAllocation* fallback =
-      scenario.enforce_p95 ? &fixture.allocation : nullptr;
+  core::SecondaryMeter dollars(fixture.prices);
+  core::SecondaryMeter kilograms(intensity);
+  spec.observers.push_back(&dollars);
+  spec.observers.push_back(&kilograms);
 
+  const core::RunResult run = core::run_scenario(fixture, spec);
   CarbonRunSummary out;
-  {
-    core::SimulationEngine engine(fixture.clusters, objective, fixture.distances,
-                                  cfg, &fixture.prices);
-    core::PriceAwareRouter router(fixture.distances, fixture.clusters.size(), rcfg,
-                                  fallback);
-    const core::RunResult run =
-        engine.run(*make_workload(fixture, scenario.workload), router);
-    out.cost_usd = run.secondary_total;
-    out.mean_distance_km = run.mean_distance_km;
-  }
-  {
-    core::SimulationEngine engine(fixture.clusters, objective, fixture.distances,
-                                  cfg, &intensity);
-    core::PriceAwareRouter router(fixture.distances, fixture.clusters.size(), rcfg,
-                                  fallback);
-    const core::RunResult run =
-        engine.run(*make_workload(fixture, scenario.workload), router);
-    out.carbon_kg = run.secondary_total;
-  }
+  out.cost_usd = dollars.total();
+  out.carbon_kg = kilograms.total();
+  out.mean_distance_km = run.mean_distance_km;
   return out;
 }
 
 CarbonRunSummary run_baseline_carbon(const core::Fixture& fixture,
                                      const market::PriceSet& intensity,
-                                     const core::Scenario& scenario) {
-  core::EngineConfig cfg;
-  cfg.energy = scenario.energy;
-  cfg.delay_hours = scenario.delay_hours;
-  cfg.enforce_p95 = false;
-  core::SimulationEngine engine(fixture.clusters, fixture.prices, fixture.distances,
-                                cfg, &intensity);
-  core::AkamaiLikeRouter router(fixture.allocation);
-  const core::RunResult run =
-      engine.run(*make_workload(fixture, scenario.workload), router);
-  return summarize(run);
+                                     const core::ScenarioSpec& scenario) {
+  core::ScenarioSpec spec = scenario;
+  spec.router = "baseline";
+  spec.config = std::monostate{};
+
+  core::SecondaryMeter kilograms(intensity);
+  spec.observers.push_back(&kilograms);
+
+  const core::RunResult run = core::run_scenario(fixture, spec);
+  CarbonRunSummary out;
+  out.cost_usd = run.total_cost.value();
+  out.carbon_kg = kilograms.total();
+  out.mean_distance_km = run.mean_distance_km;
+  return out;
 }
 
 std::vector<TradeOffPoint> trade_off_curve(const core::Fixture& fixture,
                                            const market::PriceSet& intensity,
-                                           const core::Scenario& scenario,
+                                           const core::ScenarioSpec& scenario,
                                            int points) {
   if (points < 2) throw std::invalid_argument("trade_off_curve: points < 2");
   std::vector<TradeOffPoint> out;

@@ -3,7 +3,9 @@
 
 // §8 "Environmental Cost": route by environmental impact instead of (or
 // blended with) dollars. Reuses the full §6 simulation machinery by
-// synthesizing the routing objective as a per-hub hourly series.
+// synthesizing the routing objective as a per-hub hourly series and
+// metering dollars and kilograms through stacked SecondaryMeter
+// observers on one run.
 
 #include "carbon/carbon_intensity.h"
 #include "core/experiment.h"
@@ -33,21 +35,23 @@ struct TradeOffPoint {
                                                double alpha);
 
 /// Runs the price-aware router against the blended objective and meters
-/// both dollars and kilograms. `scenario.enforce_p95` etc. apply.
+/// both dollars and kilograms in a single run. The spec's enforce_p95,
+/// workload and price-aware config apply (the price threshold is
+/// rescaled internally: the objective is normalized to ~O(1)).
 [[nodiscard]] CarbonRunSummary run_blended(const core::Fixture& fixture,
                                            const market::PriceSet& intensity,
-                                           const core::Scenario& scenario,
+                                           const core::ScenarioSpec& scenario,
                                            double alpha);
 
 /// Baseline (Akamai-like) metering of both dollars and kilograms.
 [[nodiscard]] CarbonRunSummary run_baseline_carbon(const core::Fixture& fixture,
                                                    const market::PriceSet& intensity,
-                                                   const core::Scenario& scenario);
+                                                   const core::ScenarioSpec& scenario);
 
 /// Sweep alpha over [0,1] to trace the §8 trade-off curve.
 [[nodiscard]] std::vector<TradeOffPoint> trade_off_curve(
     const core::Fixture& fixture, const market::PriceSet& intensity,
-    const core::Scenario& scenario, int points = 5);
+    const core::ScenarioSpec& scenario, int points = 5);
 
 }  // namespace cebis::carbon
 

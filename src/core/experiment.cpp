@@ -1,7 +1,11 @@
 #include "core/experiment.h"
 
+#include <algorithm>
+#include <map>
 #include <stdexcept>
+#include <utility>
 
+#include "core/router_registry.h"
 #include "stats/descriptive.h"
 
 namespace cebis::core {
@@ -15,28 +19,37 @@ std::vector<geo::LatLon> cluster_locations(const std::vector<Cluster>& clusters)
   return out;
 }
 
-std::unique_ptr<Workload> make_workload(const Fixture& f, WorkloadKind kind) {
-  switch (kind) {
+/// The synthetic replay window for a spec: an explicit override, or the
+/// study period with a 48h front margin so delayed routing (hour -
+/// delay) stays inside the priced period.
+Period synthetic_window_of(const ScenarioSpec& spec) {
+  if (spec.synthetic_window.hours() > 0) return spec.synthetic_window;
+  const Period study = study_period();
+  return Period{study.begin + 48, study.end};
+}
+
+std::unique_ptr<Workload> make_workload(const Fixture& f, const ScenarioSpec& spec) {
+  switch (spec.workload) {
     case WorkloadKind::kTrace24Day:
       return std::make_unique<TraceWorkload>(f.trace, f.allocation);
-    case WorkloadKind::kSynthetic39Month: {
-      // Leave a 48h front margin inside the priced study period so
-      // delayed routing (hour - delay) stays covered.
-      const Period study = study_period();
-      return std::make_unique<SyntheticWorkload39>(
-          f.synthetic, f.allocation, Period{study.begin + 48, study.end});
-    }
+    case WorkloadKind::kSynthetic39Month:
+      return std::make_unique<SyntheticWorkload39>(f.synthetic, f.allocation,
+                                                   synthetic_window_of(spec));
   }
   throw std::invalid_argument("make_workload: bad kind");
 }
 
-EngineConfig engine_config(const Scenario& s) {
-  EngineConfig cfg;
-  cfg.energy = s.energy;
-  cfg.delay_hours = s.delay_hours;
-  cfg.enforce_p95 = s.enforce_p95;
-  return cfg;
-}
+/// Everything the engine construction depends on. Two scenarios with
+/// equal keys (and no engine hooks) share one engine.
+struct EngineKey {
+  std::string cluster_tag;  ///< "" = fixture clusters; else the router name
+  bool enforce_p95 = true;
+  int delay_hours = 1;
+  const market::PriceSet* routing_prices = nullptr;
+  energy::EnergyModelParams energy;
+
+  friend bool operator==(const EngineKey&, const EngineKey&) = default;
+};
 
 }  // namespace
 
@@ -81,46 +94,145 @@ std::size_t Fixture::cheapest_cluster() const {
   return best;
 }
 
+std::vector<RunResult> run_scenarios(const Fixture& fixture,
+                                     std::span<const ScenarioSpec> specs,
+                                     SweepStats* stats) {
+  const RouterRegistry& registry = RouterRegistry::instance();
+  SweepStats local;
+  std::vector<RunResult> out;
+  out.reserve(specs.size());
+
+  // Workloads shared per (kind, synthetic window); engines per EngineKey.
+  std::map<std::pair<WorkloadKind, Period>, std::unique_ptr<Workload>> workloads;
+  std::vector<std::pair<EngineKey, std::unique_ptr<SimulationEngine>>> engines;
+
+  for (const ScenarioSpec& spec : specs) {
+    const RouterEntry& entry = registry.at(spec.router);
+    const bool enforce = spec.enforce_p95 && !entry.forces_relaxed_p95;
+    const market::PriceSet& prices =
+        spec.routing_prices != nullptr ? *spec.routing_prices : fixture.prices;
+
+    const Period window = spec.workload == WorkloadKind::kSynthetic39Month
+                              ? synthetic_window_of(spec)
+                              : Period{0, 0};
+    auto wit = workloads.find({spec.workload, window});
+    if (wit == workloads.end()) {
+      wit = workloads
+                .emplace(std::make_pair(spec.workload, window),
+                         make_workload(fixture, spec))
+                .first;
+      ++local.workloads_built;
+    }
+
+    EngineConfig cfg;
+    cfg.energy = spec.energy;
+    cfg.delay_hours = spec.delay_hours;
+    cfg.enforce_p95 = enforce;
+    cfg.capacity_factor = spec.capacity_factor;
+    cfg.pue_of = spec.pue_of;
+
+    auto make_engine = [&] {
+      std::vector<Cluster> clusters =
+          entry.clusters ? entry.clusters(fixture, spec) : fixture.clusters;
+      ++local.engines_built;
+      return std::make_unique<SimulationEngine>(std::move(clusters), prices,
+                                                fixture.distances, cfg);
+    };
+
+    // Engine hooks are opaque std::functions - scenarios carrying them
+    // cannot prove key equality, so they get a private engine.
+    SimulationEngine* engine = nullptr;
+    std::unique_ptr<SimulationEngine> private_engine;
+    if (spec.capacity_factor || spec.pue_of) {
+      private_engine = make_engine();
+      engine = private_engine.get();
+    } else {
+      EngineKey key{entry.clusters ? spec.router : std::string{}, enforce,
+                    spec.delay_hours, spec.routing_prices, spec.energy};
+      auto found = std::find_if(engines.begin(), engines.end(),
+                                [&key](const auto& e) { return e.first == key; });
+      if (found == engines.end()) {
+        engines.emplace_back(std::move(key), make_engine());
+        found = std::prev(engines.end());
+      }
+      engine = found->second.get();
+    }
+
+    const std::unique_ptr<Router> router = entry.make(fixture, spec);
+    out.push_back(engine->run(*wit->second, *router, spec.observers));
+    ++local.runs;
+  }
+
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+RunResult run_scenario(const Fixture& fixture, const ScenarioSpec& spec) {
+  std::vector<RunResult> results = run_scenarios(fixture, {&spec, 1});
+  return std::move(results.front());
+}
+
+Period scenario_period(const Fixture& fixture, const ScenarioSpec& spec) {
+  switch (spec.workload) {
+    case WorkloadKind::kTrace24Day:
+      return fixture.trace.period();
+    case WorkloadKind::kSynthetic39Month:
+      return synthetic_window_of(spec);
+  }
+  throw std::invalid_argument("scenario_period: bad kind");
+}
+
+SavingsReport scenario_savings(const Fixture& fixture, const ScenarioSpec& spec) {
+  ScenarioSpec baseline = spec;
+  baseline.router = "baseline";
+  baseline.config = std::monostate{};
+  baseline.routing_prices = nullptr;
+  baseline.observers.clear();
+  const ScenarioSpec pair[] = {std::move(baseline), spec};
+  std::vector<RunResult> results = run_scenarios(fixture, pair);
+  return compare(results[0], results[1]);
+}
+
+// --- Deprecated fixed-function shims ---------------------------------------
+
+namespace {
+
+ScenarioSpec from_legacy(const Scenario& s, std::string router) {
+  ScenarioSpec spec;
+  spec.router = std::move(router);
+  spec.energy = s.energy;
+  spec.workload = s.workload;
+  spec.enforce_p95 = s.enforce_p95;
+  spec.delay_hours = s.delay_hours;
+  if (spec.router == "price-aware") {
+    PriceAwareConfig cfg;
+    cfg.distance_threshold = s.distance_threshold;
+    cfg.price_threshold = s.price_threshold;
+    spec.config = cfg;
+  }
+  return spec;
+}
+
+}  // namespace
+
 RunResult run_baseline(const Fixture& f, const Scenario& s) {
-  // The baseline allocation ignores prices/limits, so constraints off.
-  EngineConfig cfg = engine_config(s);
-  cfg.enforce_p95 = false;
-  SimulationEngine engine(f.clusters, f.prices, f.distances, cfg);
-  AkamaiLikeRouter router(f.allocation);
-  return engine.run(*make_workload(f, s.workload), router);
+  return run_scenario(f, from_legacy(s, "baseline"));
 }
 
 RunResult run_price_aware(const Fixture& f, const Scenario& s) {
-  SimulationEngine engine(f.clusters, f.prices, f.distances, engine_config(s));
-  PriceAwareConfig cfg;
-  cfg.distance_threshold = s.distance_threshold;
-  cfg.price_threshold = s.price_threshold;
-  // Constrained runs fall back to the baseline pipeline when candidate
-  // clusters are exhausted (see PriceAwareRouter docs).
-  const traffic::BaselineAllocation* fallback =
-      s.enforce_p95 ? &f.allocation : nullptr;
-  PriceAwareRouter router(f.distances, f.clusters.size(), cfg, fallback);
-  return engine.run(*make_workload(f, s.workload), router);
+  return run_scenario(f, from_legacy(s, "price-aware"));
 }
 
 RunResult run_closest(const Fixture& f, const Scenario& s) {
-  SimulationEngine engine(f.clusters, f.prices, f.distances, engine_config(s));
-  ClosestRouter router(f.distances, f.clusters.size());
-  return engine.run(*make_workload(f, s.workload), router);
+  return run_scenario(f, from_legacy(s, "closest"));
 }
 
 RunResult run_static_cheapest(const Fixture& f, const Scenario& s) {
-  const std::size_t target = f.cheapest_cluster();
-  EngineConfig cfg = engine_config(s);
-  cfg.enforce_p95 = false;  // servers are relocated; 95/5 baselines moot
-  SimulationEngine engine(consolidate_clusters(f.clusters, target), f.prices,
-                          f.distances, cfg);
-  StaticCheapestRouter router(target);
-  return engine.run(*make_workload(f, s.workload), router);
+  return run_scenario(f, from_legacy(s, "static-cheapest"));
 }
 
 SavingsReport price_aware_savings(const Fixture& f, const Scenario& s) {
-  return compare(run_baseline(f, s), run_price_aware(f, s));
+  return scenario_savings(f, from_legacy(s, "price-aware"));
 }
 
 }  // namespace cebis::core

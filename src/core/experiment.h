@@ -1,17 +1,22 @@
 #ifndef CEBIS_CORE_EXPERIMENT_H
 #define CEBIS_CORE_EXPERIMENT_H
 
-// One-stop experiment fixture and scenario runners. Benches and
+// One-stop experiment fixture and the scenario runner. Benches and
 // integration tests build a Fixture once (prices for the study period,
 // the 24-day trace, the baseline allocation, clusters and distance
-// model) and then run scenarios against it.
+// model), describe each run as a ScenarioSpec (router name + config
+// variant + workload + constraints, see core/scenario.h), and execute
+// them - singly via run_scenario or as a batched sweep via
+// run_scenarios, which reuses engines and workloads across scenarios
+// that share a (clusters, prices, constraints, energy) key.
 
 #include <cstdint>
 #include <memory>
+#include <span>
+#include <vector>
 
-#include "core/baseline_routers.h"
-#include "core/price_aware_router.h"
 #include "core/savings.h"
+#include "core/scenario.h"
 #include "core/simulation.h"
 #include "market/market_simulator.h"
 #include "traffic/trace_generator.h"
@@ -39,10 +44,44 @@ struct Fixture {
   [[nodiscard]] std::size_t cheapest_cluster() const;
 };
 
-enum class WorkloadKind {
-  kTrace24Day,       ///< 5-minute trace, 24 days (paper §6.2)
-  kSynthetic39Month, ///< hourly synthetic workload, Jan 2006 - Mar 2009 (§6.3)
+/// What a batched sweep actually constructed (the sweep contract: one
+/// engine/workload per distinct scenario key, not one per scenario).
+struct SweepStats {
+  std::size_t engines_built = 0;
+  std::size_t workloads_built = 0;
+  std::size_t runs = 0;
 };
+
+/// Runs one scenario against the fixture.
+[[nodiscard]] RunResult run_scenario(const Fixture& fixture,
+                                     const ScenarioSpec& spec);
+
+/// Runs a sweep, returning results in spec order. Workloads are built
+/// once per distinct (kind, window) and engines once per distinct
+/// (clusters, routing prices, constraints, delay, energy model) key;
+/// scenarios carrying engine hooks (capacity_factor / pue_of) get a
+/// private engine. Results are identical to calling run_scenario per
+/// spec. `stats`, when given, reports what was constructed.
+[[nodiscard]] std::vector<RunResult> run_scenarios(
+    const Fixture& fixture, std::span<const ScenarioSpec> specs,
+    SweepStats* stats = nullptr);
+
+/// Convenience: the spec's run compared against the "baseline" router
+/// under the same energy model, workload and delay.
+[[nodiscard]] SavingsReport scenario_savings(const Fixture& fixture,
+                                             const ScenarioSpec& spec);
+
+/// The hour window the spec's workload covers (the trace window, or the
+/// synthetic replay window including any override). Settlement code
+/// maps absolute hours to RunResult::hourly_energy rows with it.
+[[nodiscard]] Period scenario_period(const Fixture& fixture,
+                                     const ScenarioSpec& spec);
+
+// --- Deprecated fixed-function API ----------------------------------------
+//
+// Thin shims over run_scenario, kept so pre-registry call sites keep
+// compiling. New code should build a ScenarioSpec: the knobs below
+// duplicate PriceAwareConfig and only parameterize one router.
 
 struct Scenario {
   energy::EnergyModelParams energy;
@@ -53,20 +92,19 @@ struct Scenario {
   WorkloadKind workload = WorkloadKind::kTrace24Day;
 };
 
-/// Baseline (Akamai-like) run: same energy model and workload, static
-/// allocation, no constraints needed (it defines them).
+/// Deprecated: run_scenario with router "baseline".
 [[nodiscard]] RunResult run_baseline(const Fixture& f, const Scenario& s);
 
-/// The price-conscious optimizer run.
+/// Deprecated: run_scenario with router "price-aware".
 [[nodiscard]] RunResult run_price_aware(const Fixture& f, const Scenario& s);
 
-/// Closest-cluster (distance-optimal) run.
+/// Deprecated: run_scenario with router "closest".
 [[nodiscard]] RunResult run_closest(const Fixture& f, const Scenario& s);
 
-/// Static solution: all servers and traffic moved to the cheapest hub.
+/// Deprecated: run_scenario with router "static-cheapest".
 [[nodiscard]] RunResult run_static_cheapest(const Fixture& f, const Scenario& s);
 
-/// Convenience: baseline vs price-aware savings for a scenario.
+/// Deprecated: scenario_savings with router "price-aware".
 [[nodiscard]] SavingsReport price_aware_savings(const Fixture& f, const Scenario& s);
 
 }  // namespace cebis::core

@@ -1,0 +1,48 @@
+#include "core/observers.h"
+
+namespace cebis::core {
+
+void SecondaryMeter::on_run_begin(Period /*period*/,
+                                  std::span<const Cluster> clusters,
+                                  int /*steps_per_hour*/) {
+  clusters_ = clusters;
+  rate_.assign(clusters.size(), 0.0);
+  per_cluster_.assign(clusters.size(), 0.0);
+  have_hour_ = false;
+  total_ = 0.0;
+}
+
+void SecondaryMeter::on_step(const StepView& view) {
+  if (!have_hour_ || view.hour != cached_hour_) {
+    cached_hour_ = view.hour;
+    have_hour_ = true;
+    for (std::size_t c = 0; c < clusters_.size(); ++c) {
+      rate_[c] = series_.rt_at(clusters_[c].hub, view.hour).value();
+    }
+  }
+  for (std::size_t c = 0; c < clusters_.size(); ++c) {
+    const double metered = rate_[c] * view.energy_mwh[c];
+    per_cluster_[c] += metered;
+    total_ += metered;
+  }
+}
+
+void HourlyEnergyRecorder::on_run_begin(Period period,
+                                        std::span<const Cluster> clusters,
+                                        int /*steps_per_hour*/) {
+  begin_ = period.begin;
+  energy_ = HourlyEnergy(static_cast<std::size_t>(period.hours()), clusters.size());
+}
+
+void HourlyEnergyRecorder::on_step(const StepView& view) {
+  const auto row = static_cast<std::size_t>(view.hour - begin_);
+  for (std::size_t c = 0; c < energy_.clusters(); ++c) {
+    energy_.at(row, c) += view.energy_mwh[c];
+  }
+}
+
+void HourlyEnergyRecorder::on_run_end(RunResult& result) {
+  result.hourly_energy = energy_;
+}
+
+}  // namespace cebis::core

@@ -1,0 +1,94 @@
+#ifndef CEBIS_CORE_SCENARIO_H
+#define CEBIS_CORE_SCENARIO_H
+
+// Declarative scenario description. A ScenarioSpec names a registered
+// router, carries its per-router configuration as a variant, and fixes
+// the workload, constraints and energy model - one value object for one
+// cell of the paper's {router} x {workload} x {constraint/delay/
+// threshold} results matrix (§6). Extension mechanisms compose onto the
+// same spec: a routing-objective override (carbon blend, weather-
+// adjusted prices, forecasts), engine hooks (demand-response capacity
+// shedding, weather-dependent PUE), and any number of StepObservers.
+//
+// Specs are plain copyable values; C++20 designated initializers give
+// readable literals:
+//
+//   core::ScenarioSpec spec{
+//       .router = "price-aware",
+//       .config = core::PriceAwareConfig{.distance_threshold = Km{2500.0}},
+//       .energy = energy::optimistic_future_params(),
+//       .enforce_p95 = false,
+//   };
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/joint_router.h"
+#include "core/price_aware_router.h"
+#include "core/step_observer.h"
+#include "energy/energy_model.h"
+
+namespace cebis::market {
+struct PriceSet;
+}  // namespace cebis::market
+
+namespace cebis::core {
+
+enum class WorkloadKind {
+  kTrace24Day,       ///< 5-minute trace, 24 days (paper §6.2)
+  kSynthetic39Month, ///< hourly synthetic workload, Jan 2006 - Mar 2009 (§6.3)
+};
+
+/// Per-router configuration. std::monostate means "router defaults";
+/// a populated alternative must match the router named in the spec
+/// (the registry factory throws on a mismatch).
+using RouterConfig =
+    std::variant<std::monostate, PriceAwareConfig, JointObjectiveConfig>;
+
+struct ScenarioSpec {
+  /// RouterRegistry name: "baseline", "price-aware", "closest",
+  /// "static-cheapest", "joint-objective", or any registered extension.
+  std::string router = "price-aware";
+  RouterConfig config{};
+
+  energy::EnergyModelParams energy;
+  WorkloadKind workload = WorkloadKind::kTrace24Day;
+  bool enforce_p95 = true;
+  int delay_hours = 1;
+
+  /// For kSynthetic39Month only: replay window override (must lie inside
+  /// the priced study period). Zero-length = the full study window.
+  Period synthetic_window{0, 0};
+
+  // --- per-scenario composition ---------------------------------------
+  /// Routes on this series instead of the fixture's real prices (billing
+  /// stays whatever the series says - attach a SecondaryMeter over the
+  /// real prices to recover dollars). Must outlive the run.
+  const market::PriceSet* routing_prices = nullptr;
+  /// Engine hooks (see EngineConfig). Scenarios carrying hooks are not
+  /// engine-cache-shareable in run_scenarios.
+  std::function<double(std::size_t, HourIndex)> capacity_factor;
+  std::function<double(std::size_t, HourIndex)> pue_of;
+  /// Observers attached to this scenario's run, caller-owned, invoked in
+  /// order.
+  std::vector<StepObserver*> observers;
+};
+
+/// The PriceAwareConfig inside `spec.config`: defaults when monostate,
+/// throws std::invalid_argument when another alternative is populated.
+[[nodiscard]] inline PriceAwareConfig price_aware_config_of(
+    const ScenarioSpec& spec) {
+  if (std::holds_alternative<std::monostate>(spec.config)) {
+    return PriceAwareConfig{};
+  }
+  if (const auto* cfg = std::get_if<PriceAwareConfig>(&spec.config)) return *cfg;
+  throw std::invalid_argument(
+      "price_aware_config_of: spec carries a non-price-aware config");
+}
+
+}  // namespace cebis::core
+
+#endif  // CEBIS_CORE_SCENARIO_H

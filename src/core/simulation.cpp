@@ -49,13 +49,11 @@ class DistanceStats {
 SimulationEngine::SimulationEngine(std::vector<Cluster> clusters,
                                    const market::PriceSet& prices,
                                    const geo::DistanceModel& distances,
-                                   EngineConfig config,
-                                   const market::PriceSet* secondary)
+                                   EngineConfig config)
     : clusters_(std::move(clusters)),
       prices_(prices),
       distances_(distances),
-      config_(config),
-      secondary_(secondary) {
+      config_(std::move(config)) {
   if (clusters_.empty()) throw std::invalid_argument("SimulationEngine: no clusters");
   if (config_.delay_hours < 0) {
     throw std::invalid_argument("SimulationEngine: negative delay");
@@ -65,7 +63,8 @@ SimulationEngine::SimulationEngine(std::vector<Cluster> clusters,
   }
 }
 
-RunResult SimulationEngine::run(const Workload& workload, Router& router) const {
+RunResult SimulationEngine::run(const Workload& workload, Router& router,
+                                std::span<StepObserver* const> observers) const {
   const Period period = workload.period();
   const Period priced{period.begin - config_.delay_hours, period.end};
   for (const Cluster& c : clusters_) {
@@ -85,8 +84,10 @@ RunResult SimulationEngine::run(const Workload& workload, Router& router) const 
   // Routing context buffers.
   std::vector<double> demand(n_states, 0.0);
   std::vector<double> price(n_clusters, 0.0);
+  std::vector<double> bill_price(n_clusters, 0.0);
   std::vector<double> capacity(n_clusters, 0.0);
   std::vector<double> cap_factor(n_clusters, 1.0);
+  std::vector<double> step_energy(n_clusters, 0.0);
   std::vector<double> p95_limit;
   std::vector<std::uint8_t> can_burst;
   for (std::size_t c = 0; c < n_clusters; ++c) {
@@ -107,14 +108,12 @@ RunResult SimulationEngine::run(const Workload& workload, Router& router) const 
   RunResult result;
   result.cluster_cost.assign(n_clusters, 0.0);
   result.cluster_energy.assign(n_clusters, 0.0);
-  result.cluster_secondary.assign(n_clusters, 0.0);
   DistanceStats dist_stats;
   std::vector<std::vector<double>> load_history(n_clusters);
   for (auto& v : load_history) v.reserve(static_cast<std::size_t>(workload.steps()));
 
-  if (config_.record_hourly) {
-    result.hourly_energy.assign(static_cast<std::size_t>(period.hours()),
-                                std::vector<double>(n_clusters, 0.0));
+  for (StepObserver* obs : observers) {
+    obs->on_run_begin(period, clusters_, sph);
   }
 
   HourIndex cached_hour = period.begin - 1;
@@ -126,6 +125,8 @@ RunResult SimulationEngine::run(const Workload& workload, Router& router) const 
       for (std::size_t c = 0; c < n_clusters; ++c) {
         price[c] =
             prices_.rt_at(clusters_[c].hub, hour - config_.delay_hours).value();
+        // Billing uses the concurrent price, not the stale routing price.
+        bill_price[c] = prices_.rt_at(clusters_[c].hub, hour).value();
         double factor = 1.0;
         if (config_.capacity_factor) {
           factor = std::clamp(config_.capacity_factor(c, hour), 0.0, 1.0);
@@ -160,6 +161,7 @@ RunResult SimulationEngine::run(const Workload& workload, Router& router) const 
       const Cluster& cluster = clusters_[c];
       const double load = alloc.cluster_total(c);
       load_history[c].push_back(load);
+      step_energy[c] = 0.0;
       const double active_servers =
           static_cast<double>(cluster.servers) * cap_factor[c];
       if (active_servers <= 0.0 || cluster.capacity.value() <= 0.0) {
@@ -180,25 +182,20 @@ RunResult SimulationEngine::run(const Workload& workload, Router& router) const 
         per_server_mwh = model.energy(u, 1, dt).value();
       }
       const MegawattHours e = MegawattHours{per_server_mwh * active_servers};
-      if (config_.record_hourly) {
-        result.hourly_energy[static_cast<std::size_t>(hour - period.begin)][c] +=
-            e.value();
-      }
-      // Billing uses the concurrent price, not the stale routing price.
-      const UsdPerMwh bill_price = prices_.rt_at(cluster.hub, hour);
-      const Usd cost = bill_price * e;
+      const Usd cost = UsdPerMwh{bill_price[c]} * e;
+      step_energy[c] = e.value();
       result.cluster_energy[c] += e.value();
       result.cluster_cost[c] += cost.value();
       result.total_energy += e;
       result.total_cost += cost;
-      if (secondary_ != nullptr) {
-        const double rate = secondary_->rt_at(cluster.hub, hour).value();
-        result.cluster_secondary[c] += rate * e.value();
-        result.secondary_total += rate * e.value();
-      }
     }
     if (overflowed) ++result.overflow_steps;
     if (config_.enforce_p95) budgets.record_all(alloc.cluster_totals());
+
+    if (!observers.empty()) {
+      const StepView view{hour, step, dt, alloc, step_energy, bill_price};
+      for (StepObserver* obs : observers) obs->on_step(view);
+    }
 
     // Distance metrics, weighted by assigned traffic.
     for (std::size_t s = 0; s < n_states; ++s) {
@@ -220,6 +217,7 @@ RunResult SimulationEngine::run(const Workload& workload, Router& router) const 
   for (std::size_t c = 0; c < n_clusters; ++c) {
     result.realized_p95[c] = stats::p95(load_history[c]);
   }
+  for (StepObserver* obs : observers) obs->on_run_end(result);
   return result;
 }
 

@@ -9,12 +9,18 @@
 // Routing uses prices stale by `delay_hours` (the paper conservatively
 // assumes the system reacts to the previous hour's prices); billing
 // always uses the concurrent price.
+//
+// Everything beyond the primary dollar accounting - secondary meters,
+// per-hour energy recording, figure series - is layered on via the
+// StepObserver pipeline (see core/step_observer.h and core/observers.h).
 
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "core/cluster.h"
 #include "core/routing.h"
+#include "core/step_observer.h"
 #include "core/workload.h"
 #include "energy/energy_model.h"
 #include "geo/distance_model.h"
@@ -36,10 +42,38 @@ struct EngineConfig {
   /// overriding energy.pue. Used by the weather extension: free cooling
   /// lowers the PUE when the ambient temperature allows it.
   std::function<double(std::size_t, HourIndex)> pue_of;
+};
 
-  /// Record per-hour, per-cluster energy into RunResult::hourly_energy
-  /// (needed for demand-response settlement).
-  bool record_hourly = false;
+/// Per-hour, per-cluster energy in one flat row-major buffer (one
+/// allocation per run instead of one vector per hour). Hours are
+/// relative to the recorded workload period.
+class HourlyEnergy {
+ public:
+  HourlyEnergy() = default;
+  HourlyEnergy(std::size_t hours, std::size_t clusters)
+      : clusters_(clusters), data_(hours * clusters, 0.0) {}
+
+  [[nodiscard]] double at(std::size_t hour, std::size_t cluster) const {
+    return data_[hour * clusters_ + cluster];
+  }
+  [[nodiscard]] double& at(std::size_t hour, std::size_t cluster) {
+    return data_[hour * clusters_ + cluster];
+  }
+  /// All clusters' energy for one hour.
+  [[nodiscard]] std::span<const double> row(std::size_t hour) const {
+    return std::span<const double>(data_).subspan(hour * clusters_, clusters_);
+  }
+
+  [[nodiscard]] std::size_t hours() const noexcept {
+    return clusters_ == 0 ? 0 : data_.size() / clusters_;
+  }
+  [[nodiscard]] std::size_t clusters() const noexcept { return clusters_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+  [[nodiscard]] std::span<const double> data() const noexcept { return data_; }
+
+ private:
+  std::size_t clusters_ = 0;
+  std::vector<double> data_;
 };
 
 /// Aggregated outcome of one simulation run.
@@ -63,15 +97,9 @@ struct RunResult {
   /// overloaded past capacity (should be zero in healthy setups).
   std::int64_t overflow_steps = 0;
 
-  /// Secondary metering (see SimulationEngine constructor): the same
-  /// energy billed against a second per-hub series - e.g. carbon
-  /// intensity, giving kg CO2 while total_cost stays in dollars.
-  double secondary_total = 0.0;
-  std::vector<double> cluster_secondary;
-
-  /// Per-hour, per-cluster energy in MWh ([hour][cluster], hour relative
-  /// to the workload period); filled when EngineConfig::record_hourly.
-  std::vector<std::vector<double>> hourly_energy;
+  /// Per-hour, per-cluster energy; empty unless a HourlyEnergyRecorder
+  /// observer was attached to the run (see core/observers.h).
+  HourlyEnergy hourly_energy;
 };
 
 class SimulationEngine {
@@ -79,16 +107,13 @@ class SimulationEngine {
   /// `prices.period` must cover [workload.begin - delay, workload.end).
   /// `distances` is the states x clusters model used for the Fig 17
   /// distance metrics.
-  /// `secondary`, if given, is a second per-hub hourly series (same
-  /// layout as `prices`) metered into RunResult::secondary_total without
-  /// influencing routing. Used by the carbon extension to meter
-  /// emissions next to dollars (or, with the roles swapped, dollars next
-  /// to emissions).
   SimulationEngine(std::vector<Cluster> clusters, const market::PriceSet& prices,
-                   const geo::DistanceModel& distances, EngineConfig config,
-                   const market::PriceSet* secondary = nullptr);
+                   const geo::DistanceModel& distances, EngineConfig config);
 
-  [[nodiscard]] RunResult run(const Workload& workload, Router& router) const;
+  /// Runs the workload through the router. `observers` are invoked in
+  /// order at run begin, after every step's accounting, and at run end.
+  [[nodiscard]] RunResult run(const Workload& workload, Router& router,
+                              std::span<StepObserver* const> observers = {}) const;
 
   [[nodiscard]] const std::vector<Cluster>& clusters() const noexcept {
     return clusters_;
@@ -99,7 +124,6 @@ class SimulationEngine {
   const market::PriceSet& prices_;
   const geo::DistanceModel& distances_;
   EngineConfig config_;
-  const market::PriceSet* secondary_ = nullptr;
 };
 
 }  // namespace cebis::core

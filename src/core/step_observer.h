@@ -1,0 +1,54 @@
+#ifndef CEBIS_CORE_STEP_OBSERVER_H
+#define CEBIS_CORE_STEP_OBSERVER_H
+
+// Per-step observation pipeline for the simulation engine. An observer
+// sees every accounted interval of a run (hour, allocation, per-cluster
+// energy, billing prices) and aggregates whatever a scenario needs on
+// top of the primary dollar accounting: secondary meters (carbon
+// kilograms, real dollars when the engine routes on a synthetic
+// objective), per-hour energy recording for demand-response settlement,
+// figure series capture. Observers compose - a scenario attaches any
+// number of them to one run - and replace the former fixed-function
+// hooks (EngineConfig::record_hourly, the secondary PriceSet pointer).
+
+#include <cstdint>
+#include <span>
+
+#include "base/simtime.h"
+#include "base/units.h"
+#include "core/cluster.h"
+#include "core/routing.h"
+
+namespace cebis::core {
+
+struct RunResult;
+
+/// Read-only view of one accounted simulation step.
+struct StepView {
+  HourIndex hour = 0;      ///< absolute hour containing this step
+  std::int64_t step = 0;   ///< step index within the run, from 0
+  Hours dt{0.0};           ///< step duration
+  const Allocation& allocation;           ///< the router's assignment
+  std::span<const double> energy_mwh;     ///< per-cluster energy this step
+  std::span<const double> billing_price;  ///< concurrent $/MWh per cluster
+};
+
+/// Hook interface invoked by SimulationEngine::run. Observers are called
+/// in the order they were passed: on_run_begin once before stepping,
+/// on_step after each interval's accounting, on_run_end once after the
+/// loop (where an observer may fold its aggregate into the RunResult).
+/// The clusters span stays valid for the whole run.
+class StepObserver {
+ public:
+  virtual ~StepObserver() = default;
+
+  virtual void on_run_begin(Period /*period*/,
+                            std::span<const Cluster> /*clusters*/,
+                            int /*steps_per_hour*/) {}
+  virtual void on_step(const StepView& view) = 0;
+  virtual void on_run_end(RunResult& /*result*/) {}
+};
+
+}  // namespace cebis::core
+
+#endif  // CEBIS_CORE_STEP_OBSERVER_H

@@ -1,59 +1,36 @@
 #include "demand_response/dr_policy.h"
 
 #include <algorithm>
-#include <memory>
 #include <stdexcept>
+
+#include "core/observers.h"
 
 namespace cebis::demand_response {
 
-namespace {
-
-std::unique_ptr<core::Workload> make_workload(const core::Fixture& f,
-                                              core::WorkloadKind kind) {
-  if (kind == core::WorkloadKind::kTrace24Day) {
-    return std::make_unique<core::TraceWorkload>(f.trace, f.allocation);
-  }
-  const cebis::Period study = study_period();
-  return std::make_unique<core::SyntheticWorkload39>(
-      f.synthetic, f.allocation, cebis::Period{study.begin + 48, study.end});
-}
-
-}  // namespace
-
 DrSettlement simulate_participation(const core::Fixture& fixture,
-                                    const core::Scenario& scenario,
+                                    const core::ScenarioSpec& scenario,
                                     std::span<const DrEvent> events,
                                     const DrPolicyConfig& config) {
   if (config.shed_capacity_factor < 0.0 || config.shed_capacity_factor > 1.0) {
     throw std::invalid_argument("simulate_participation: bad shed factor");
   }
 
-  core::EngineConfig cfg;
-  cfg.energy = scenario.energy;
-  cfg.delay_hours = scenario.delay_hours;
-  cfg.enforce_p95 = scenario.enforce_p95;
-  cfg.record_hourly = true;
+  // Run A: no demand response. Run B: events shed servers at the
+  // affected clusters. Same spec otherwise; each records hourly energy.
+  core::HourlyEnergyRecorder hourly_a;
+  core::HourlyEnergyRecorder hourly_b;
 
-  core::PriceAwareConfig rcfg;
-  rcfg.distance_threshold = scenario.distance_threshold;
-  rcfg.price_threshold = scenario.price_threshold;
-  const traffic::BaselineAllocation* fallback =
-      scenario.enforce_p95 ? &fixture.allocation : nullptr;
+  core::ScenarioSpec spec_a = scenario;
+  spec_a.router = "price-aware";
+  spec_a.config = core::price_aware_config_of(scenario);
 
-  const auto workload = make_workload(fixture, scenario.workload);
-
-  // Run A: no demand response.
-  core::RunResult run_a;
-  {
-    core::SimulationEngine engine(fixture.clusters, fixture.prices,
-                                  fixture.distances, cfg);
-    core::PriceAwareRouter router(fixture.distances, fixture.clusters.size(), rcfg,
-                                  fallback);
-    run_a = engine.run(*workload, router);
-  }
-
-  // Run B: events shed servers at the affected clusters.
-  cfg.capacity_factor = [&events, &config](std::size_t cluster, HourIndex hour) {
+  core::ScenarioSpec spec_b = spec_a;
+  // Append to (not replace) any caller-composed observers; they see
+  // both runs in order.
+  spec_a.observers.push_back(&hourly_a);
+  spec_b.observers.push_back(&hourly_b);
+  spec_b.capacity_factor = [&events, &config](std::size_t cluster,
+                                              HourIndex hour) {
     for (const DrEvent& e : events) {
       if (e.cluster == cluster && e.active(hour)) {
         return config.shed_capacity_factor;
@@ -61,17 +38,14 @@ DrSettlement simulate_participation(const core::Fixture& fixture,
     }
     return 1.0;
   };
-  core::RunResult run_b;
-  {
-    core::SimulationEngine engine(fixture.clusters, fixture.prices,
-                                  fixture.distances, cfg);
-    core::PriceAwareRouter router(fixture.distances, fixture.clusters.size(), rcfg,
-                                  fallback);
-    run_b = engine.run(*workload, router);
-  }
+
+  const core::ScenarioSpec specs[] = {spec_a, spec_b};
+  const std::vector<core::RunResult> runs = core::run_scenarios(fixture, specs);
+  const core::RunResult& run_a = runs[0];
+  const core::RunResult& run_b = runs[1];
 
   // --- settlement ---------------------------------------------------------
-  const Period window = workload->period();
+  const Period window = core::scenario_period(fixture, scenario);
   const auto hours = static_cast<double>(window.hours());
   const DrTerms& terms = config.terms;
 
@@ -91,8 +65,8 @@ DrSettlement simulate_participation(const core::Fixture& fixture,
       const HourIndex hour = e.start + h;
       if (!window.contains(hour)) continue;
       const auto idx = static_cast<std::size_t>(hour - window.begin);
-      delivered +=
-          run_a.hourly_energy[idx][e.cluster] - run_b.hourly_energy[idx][e.cluster];
+      delivered += run_a.hourly_energy.at(idx, e.cluster) -
+                   run_b.hourly_energy.at(idx, e.cluster);
     }
     delivered = std::max(0.0, delivered);
     const double committed = terms.required_reduction * enrolled_mw[e.cluster] *

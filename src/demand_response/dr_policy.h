@@ -35,9 +35,11 @@ struct DrPolicyConfig {
 
 /// Simulates participation: baseline run (price-aware routing, no DR)
 /// versus a run where each event suspends (1 - shed_capacity_factor) of
-/// the cluster's servers and the router routes around it.
+/// the cluster's servers and the router routes around it. Both runs go
+/// through the scenario pipeline with HourlyEnergyRecorder observers;
+/// the spec's price-aware config, workload and constraints apply.
 [[nodiscard]] DrSettlement simulate_participation(
-    const core::Fixture& fixture, const core::Scenario& scenario,
+    const core::Fixture& fixture, const core::ScenarioSpec& scenario,
     std::span<const DrEvent> events, const DrPolicyConfig& config = {});
 
 }  // namespace cebis::demand_response

@@ -1,31 +1,16 @@
 #include "demand_response/negawatt_market.h"
 
 #include <algorithm>
-#include <memory>
 
+#include "core/observers.h"
 #include "energy/energy_model.h"
 
 namespace cebis::demand_response {
 
-namespace {
-
-std::unique_ptr<core::Workload> make_workload(const core::Fixture& f,
-                                              core::WorkloadKind kind) {
-  if (kind == core::WorkloadKind::kTrace24Day) {
-    return std::make_unique<core::TraceWorkload>(f.trace, f.allocation);
-  }
-  const cebis::Period study = study_period();
-  return std::make_unique<core::SyntheticWorkload39>(
-      f.synthetic, f.allocation, cebis::Period{study.begin + 48, study.end});
-}
-
-}  // namespace
-
 std::vector<NegawattBid> plan_bids(const core::Fixture& fixture,
-                                   const core::Scenario& scenario,
+                                   const core::ScenarioSpec& scenario,
                                    const NegawattStrategy& strategy) {
-  const auto workload = make_workload(fixture, scenario.workload);
-  const Period window = workload->period();
+  const Period window = core::scenario_period(fixture, scenario);
   const energy::ClusterEnergyModel model(scenario.energy);
   const std::size_t n_states = fixture.synthetic.state_count();
 
@@ -61,54 +46,45 @@ std::vector<NegawattBid> plan_bids(const core::Fixture& fixture,
 }
 
 NegawattSettlement settle_bids(const core::Fixture& fixture,
-                               const core::Scenario& scenario,
+                               const core::ScenarioSpec& scenario,
                                std::span<const NegawattBid> bids,
                                double shed_capacity_factor) {
-  core::EngineConfig cfg;
-  cfg.energy = scenario.energy;
-  cfg.delay_hours = scenario.delay_hours;
-  cfg.enforce_p95 = scenario.enforce_p95;
-  cfg.record_hourly = true;
+  // Run A: business as usual. Run B: bid hours shed servers at the
+  // bidding clusters. Hourly energy recorded on both for settlement.
+  core::HourlyEnergyRecorder hourly_a;
+  core::HourlyEnergyRecorder hourly_b;
 
-  core::PriceAwareConfig rcfg;
-  rcfg.distance_threshold = scenario.distance_threshold;
-  rcfg.price_threshold = scenario.price_threshold;
-  const traffic::BaselineAllocation* fallback =
-      scenario.enforce_p95 ? &fixture.allocation : nullptr;
-  const auto workload = make_workload(fixture, scenario.workload);
+  core::ScenarioSpec spec_a = scenario;
+  spec_a.router = "price-aware";
+  spec_a.config = core::price_aware_config_of(scenario);
 
-  core::RunResult run_a;
-  {
-    core::SimulationEngine engine(fixture.clusters, fixture.prices,
-                                  fixture.distances, cfg);
-    core::PriceAwareRouter router(fixture.distances, fixture.clusters.size(), rcfg,
-                                  fallback);
-    run_a = engine.run(*workload, router);
-  }
-  cfg.capacity_factor = [&bids, shed_capacity_factor](std::size_t cluster,
-                                                      HourIndex hour) {
+  core::ScenarioSpec spec_b = spec_a;
+  // Append to (not replace) any caller-composed observers; they see
+  // both runs in order.
+  spec_a.observers.push_back(&hourly_a);
+  spec_b.observers.push_back(&hourly_b);
+  spec_b.capacity_factor = [&bids, shed_capacity_factor](std::size_t cluster,
+                                                         HourIndex hour) {
     for (const NegawattBid& b : bids) {
       if (b.cluster == cluster && b.hour == hour) return shed_capacity_factor;
     }
     return 1.0;
   };
-  core::RunResult run_b;
-  {
-    core::SimulationEngine engine(fixture.clusters, fixture.prices,
-                                  fixture.distances, cfg);
-    core::PriceAwareRouter router(fixture.distances, fixture.clusters.size(), rcfg,
-                                  fallback);
-    run_b = engine.run(*workload, router);
-  }
 
-  const Period window = workload->period();
+  const core::ScenarioSpec specs[] = {spec_a, spec_b};
+  const std::vector<core::RunResult> runs = core::run_scenarios(fixture, specs);
+  const core::RunResult& run_a = runs[0];
+  const core::RunResult& run_b = runs[1];
+
+  const Period window = core::scenario_period(fixture, scenario);
   NegawattSettlement s;
   s.bids = static_cast<int>(bids.size());
   for (const NegawattBid& b : bids) {
     if (!window.contains(b.hour)) continue;
     const auto idx = static_cast<std::size_t>(b.hour - window.begin);
-    const double delivered = std::max(
-        0.0, run_a.hourly_energy[idx][b.cluster] - run_b.hourly_energy[idx][b.cluster]);
+    const double delivered =
+        std::max(0.0, run_a.hourly_energy.at(idx, b.cluster) -
+                          run_b.hourly_energy.at(idx, b.cluster));
     const double credited = std::min(delivered, b.mw);
     const double shortfall = std::max(0.0, b.mw - delivered);
     s.offered_mwh += b.mw;

@@ -47,13 +47,13 @@ struct NegawattSettlement {
 /// Plans next-day bids over the scenario window using the synthetic
 /// hour-of-week demand profile as the predictor.
 [[nodiscard]] std::vector<NegawattBid> plan_bids(const core::Fixture& fixture,
-                                                 const core::Scenario& scenario,
+                                                 const core::ScenarioSpec& scenario,
                                                  const NegawattStrategy& strategy);
 
 /// Executes the bids (shedding at bid hours) and settles DA revenue vs
 /// RT shortfall.
 [[nodiscard]] NegawattSettlement settle_bids(const core::Fixture& fixture,
-                                             const core::Scenario& scenario,
+                                             const core::ScenarioSpec& scenario,
                                              std::span<const NegawattBid> bids,
                                              double shed_capacity_factor = 0.25);
 

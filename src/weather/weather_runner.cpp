@@ -1,48 +1,29 @@
 #include "weather/weather_runner.h"
 
-#include <memory>
+#include <stdexcept>
+
+#include "core/observers.h"
 
 namespace cebis::weather {
 
 namespace {
 
-std::unique_ptr<core::Workload> make_workload(const core::Fixture& f,
-                                              core::WorkloadKind kind) {
-  if (kind == core::WorkloadKind::kTrace24Day) {
-    return std::make_unique<core::TraceWorkload>(f.trace, f.allocation);
-  }
-  const Period study = study_period();
-  return std::make_unique<core::SyntheticWorkload39>(
-      f.synthetic, f.allocation, Period{study.begin + 48, study.end});
-}
-
-core::EngineConfig weather_engine_config(const core::Fixture& fixture,
-                                         const market::PriceSet& temperatures,
-                                         const CoolingModelParams& cooling,
-                                         const core::Scenario& scenario) {
-  core::EngineConfig cfg;
-  cfg.energy = scenario.energy;
-  // The weather extension needs chillers that work in proportion to the
-  // heat dissipated (see EnergyModelParams::cooling_tracks_load);
-  // otherwise shifting load cannot shift cooling energy.
-  cfg.energy.cooling_tracks_load = true;
-  cfg.delay_hours = scenario.delay_hours;
-  cfg.enforce_p95 = scenario.enforce_p95;
-  cfg.pue_of = [&fixture, &temperatures, cooling](std::size_t cluster,
-                                                  HourIndex hour) {
+/// The shared scenario plumbing: weather-dependent PUE accounting needs
+/// chillers that work in proportion to the heat dissipated (see
+/// EnergyModelParams::cooling_tracks_load), plus the pue_of hook.
+core::ScenarioSpec weather_spec(const core::Fixture& fixture,
+                                const market::PriceSet& temperatures,
+                                const CoolingModelParams& cooling,
+                                const core::ScenarioSpec& scenario) {
+  core::ScenarioSpec spec = scenario;
+  spec.energy.cooling_tracks_load = true;
+  spec.pue_of = [&fixture, &temperatures, cooling](std::size_t cluster,
+                                                   HourIndex hour) {
     const double ambient =
         temperatures.rt_at(fixture.clusters[cluster].hub, hour).value();
     return effective_pue(cooling, ambient);
   };
-  return cfg;
-}
-
-WeatherRunSummary summarize(const core::RunResult& run, bool cost_is_secondary) {
-  WeatherRunSummary s;
-  s.cost_usd = cost_is_secondary ? run.secondary_total : run.total_cost.value();
-  s.energy_mwh = run.total_energy.value();
-  s.mean_distance_km = run.mean_distance_km;
-  return s;
+  return spec;
 }
 
 /// The series the router ranks clusters by, under each objective.
@@ -61,32 +42,22 @@ market::PriceSet routing_objective_series(const core::Fixture& fixture,
   throw std::logic_error("routing_objective_series: price-only has no series");
 }
 
-}  // namespace
-
-WeatherRunSummary run_weather(const core::Fixture& fixture,
-                              const market::PriceSet& temperatures,
-                              const CoolingModelParams& cooling,
-                              const core::Scenario& scenario,
-                              RoutingObjective objective) {
-  const core::EngineConfig cfg =
-      weather_engine_config(fixture, temperatures, cooling, scenario);
-
-  core::PriceAwareConfig rcfg;
-  rcfg.distance_threshold = scenario.distance_threshold;
-  rcfg.price_threshold = scenario.price_threshold;
-  const traffic::BaselineAllocation* fallback =
-      scenario.enforce_p95 ? &fixture.allocation : nullptr;
+WeatherRunSummary run_objective(const core::Fixture& fixture,
+                                const market::PriceSet& temperatures,
+                                const CoolingModelParams& cooling,
+                                core::ScenarioSpec spec,
+                                RoutingObjective objective) {
+  spec.router = "price-aware";
+  core::PriceAwareConfig rcfg = core::price_aware_config_of(spec);
 
   if (objective == RoutingObjective::kPriceOnly) {
-    core::SimulationEngine engine(fixture.clusters, fixture.prices,
-                                  fixture.distances, cfg);
-    core::PriceAwareRouter router(fixture.distances, fixture.clusters.size(), rcfg,
-                                  fallback);
-    return summarize(engine.run(*make_workload(fixture, scenario.workload), router),
-                     /*cost_is_secondary=*/false);
+    spec.config = rcfg;
+    const core::RunResult run = core::run_scenario(fixture, spec);
+    return WeatherRunSummary{run.total_cost.value(), run.total_energy.value(),
+                             run.mean_distance_km};
   }
 
-  // Route by the weather objective, bill real dollars through the
+  // Route by the weather objective, bill real dollars through a
   // secondary meter. The cooling-only objective is O(1)-scaled (PUE), so
   // shrink the price threshold accordingly.
   const market::PriceSet series =
@@ -94,60 +65,51 @@ WeatherRunSummary run_weather(const core::Fixture& fixture,
   if (objective == RoutingObjective::kCoolingOnly) {
     rcfg.price_threshold = UsdPerMwh{0.01};
   }
-  core::SimulationEngine engine(fixture.clusters, series, fixture.distances,
-                                cfg, &fixture.prices);
-  core::PriceAwareRouter router(fixture.distances, fixture.clusters.size(), rcfg,
-                                fallback);
-  return summarize(engine.run(*make_workload(fixture, scenario.workload), router),
-                   /*cost_is_secondary=*/true);
+  spec.config = rcfg;
+  spec.routing_prices = &series;
+  core::SecondaryMeter dollars(fixture.prices);
+  spec.observers.push_back(&dollars);
+  const core::RunResult run = core::run_scenario(fixture, spec);
+  return WeatherRunSummary{dollars.total(), run.total_energy.value(),
+                           run.mean_distance_km};
+}
+
+}  // namespace
+
+WeatherRunSummary run_weather(const core::Fixture& fixture,
+                              const market::PriceSet& temperatures,
+                              const CoolingModelParams& cooling,
+                              const core::ScenarioSpec& scenario,
+                              RoutingObjective objective) {
+  return run_objective(fixture, temperatures, cooling,
+                       weather_spec(fixture, temperatures, cooling, scenario),
+                       objective);
 }
 
 WeatherRunSummary run_weather_window(const core::Fixture& fixture,
                                      const market::PriceSet& temperatures,
                                      const CoolingModelParams& cooling,
-                                     const core::Scenario& scenario,
+                                     const core::ScenarioSpec& scenario,
                                      RoutingObjective objective, Period window) {
-  const core::EngineConfig cfg =
-      weather_engine_config(fixture, temperatures, cooling, scenario);
-  core::PriceAwareConfig rcfg;
-  rcfg.distance_threshold = scenario.distance_threshold;
-  rcfg.price_threshold = scenario.price_threshold;
-  const traffic::BaselineAllocation* fallback =
-      scenario.enforce_p95 ? &fixture.allocation : nullptr;
-  core::SyntheticWorkload39 workload(fixture.synthetic, fixture.allocation,
-                                     window);
-
-  if (objective == RoutingObjective::kPriceOnly) {
-    core::SimulationEngine engine(fixture.clusters, fixture.prices,
-                                  fixture.distances, cfg);
-    core::PriceAwareRouter router(fixture.distances, fixture.clusters.size(),
-                                  rcfg, fallback);
-    return summarize(engine.run(workload, router), /*cost_is_secondary=*/false);
-  }
-  const market::PriceSet series =
-      routing_objective_series(fixture, temperatures, cooling, objective);
-  if (objective == RoutingObjective::kCoolingOnly) {
-    rcfg.price_threshold = UsdPerMwh{0.01};
-  }
-  core::SimulationEngine engine(fixture.clusters, series, fixture.distances,
-                                cfg, &fixture.prices);
-  core::PriceAwareRouter router(fixture.distances, fixture.clusters.size(), rcfg,
-                                fallback);
-  return summarize(engine.run(workload, router), /*cost_is_secondary=*/true);
+  core::ScenarioSpec spec =
+      weather_spec(fixture, temperatures, cooling, scenario);
+  spec.workload = core::WorkloadKind::kSynthetic39Month;
+  spec.synthetic_window = window;
+  return run_objective(fixture, temperatures, cooling, std::move(spec),
+                       objective);
 }
 
 WeatherRunSummary run_weather_baseline(const core::Fixture& fixture,
                                        const market::PriceSet& temperatures,
                                        const CoolingModelParams& cooling,
-                                       const core::Scenario& scenario) {
-  core::EngineConfig cfg =
-      weather_engine_config(fixture, temperatures, cooling, scenario);
-  cfg.enforce_p95 = false;
-  core::SimulationEngine engine(fixture.clusters, fixture.prices,
-                                fixture.distances, cfg);
-  core::AkamaiLikeRouter router(fixture.allocation);
-  return summarize(engine.run(*make_workload(fixture, scenario.workload), router),
-                   /*cost_is_secondary=*/false);
+                                       const core::ScenarioSpec& scenario) {
+  core::ScenarioSpec spec =
+      weather_spec(fixture, temperatures, cooling, scenario);
+  spec.router = "baseline";
+  spec.config = std::monostate{};
+  const core::RunResult run = core::run_scenario(fixture, spec);
+  return WeatherRunSummary{run.total_cost.value(), run.total_energy.value(),
+                           run.mean_distance_km};
 }
 
 }  // namespace cebis::weather

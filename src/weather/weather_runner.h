@@ -2,8 +2,10 @@
 #define CEBIS_WEATHER_WEATHER_RUNNER_H
 
 // Experiment runner for the §8 weather extension: simulations where the
-// effective PUE tracks the hourly ambient temperature, with a router
-// that optionally folds the cooling overhead into its objective.
+// effective PUE tracks the hourly ambient temperature (a pue_of hook on
+// the scenario), with a router that optionally folds the cooling
+// overhead into its objective (a routing_prices override plus a
+// SecondaryMeter for real dollars).
 
 #include "core/experiment.h"
 #include "weather/cooling_model.h"
@@ -30,13 +32,13 @@ enum class RoutingObjective {
 [[nodiscard]] WeatherRunSummary run_weather(const core::Fixture& fixture,
                                             const market::PriceSet& temperatures,
                                             const CoolingModelParams& cooling,
-                                            const core::Scenario& scenario,
+                                            const core::ScenarioSpec& scenario,
                                             RoutingObjective objective);
 
 /// Akamai-like baseline under the same weather-dependent PUE.
 [[nodiscard]] WeatherRunSummary run_weather_baseline(
     const core::Fixture& fixture, const market::PriceSet& temperatures,
-    const CoolingModelParams& cooling, const core::Scenario& scenario);
+    const CoolingModelParams& cooling, const core::ScenarioSpec& scenario);
 
 /// Like run_weather, but over an explicit window of the synthetic
 /// hour-of-week workload (e.g. a summer month, where chillers actually
@@ -44,7 +46,7 @@ enum class RoutingObjective {
 /// free-cools).
 [[nodiscard]] WeatherRunSummary run_weather_window(
     const core::Fixture& fixture, const market::PriceSet& temperatures,
-    const CoolingModelParams& cooling, const core::Scenario& scenario,
+    const CoolingModelParams& cooling, const core::ScenarioSpec& scenario,
     RoutingObjective objective, Period window);
 
 }  // namespace cebis::weather

@@ -30,12 +30,12 @@ class DrTest : public ::testing::Test {
     return hubs;
   }
 
-  static core::Scenario scenario() {
-    core::Scenario s;
-    s.energy = energy::google_params();
-    s.workload = core::WorkloadKind::kTrace24Day;
-    s.enforce_p95 = false;
-    return s;
+  static core::ScenarioSpec scenario() {
+    return core::ScenarioSpec{
+        .energy = energy::google_params(),
+        .workload = core::WorkloadKind::kTrace24Day,
+        .enforce_p95 = false,
+    };
   }
 };
 

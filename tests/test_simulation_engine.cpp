@@ -8,6 +8,7 @@
 #include <cmath>
 
 #include "core/baseline_routers.h"
+#include "core/observers.h"
 #include "core/price_aware_router.h"
 #include "core/simulation.h"
 #include "test_support.h"
@@ -159,7 +160,6 @@ TEST_F(EngineTest, RoutingUsesStalePriceBillingUsesCurrent) {
   EngineConfig cfg;
   cfg.energy = energy::fully_proportional_params();
   cfg.enforce_p95 = false;
-  cfg.record_hourly = true;
 
   PriceAwareConfig rcfg;
   rcfg.distance_threshold = Km{5000.0};
@@ -213,17 +213,20 @@ TEST_F(EngineTest, HourlyRecordingSumsToTotals) {
   EngineConfig cfg;
   cfg.energy = energy::google_params();
   cfg.enforce_p95 = false;
-  cfg.record_hourly = true;
   SimulationEngine engine(clusters_, prices, *distances_, cfg);
   ConstWorkload workload(window, {10000.0, 5000.0}, 12);
   ClosestRouter router(*distances_, 2);
-  const RunResult r = engine.run(workload, router);
-  ASSERT_EQ(r.hourly_energy.size(), 10u);
+  HourlyEnergyRecorder recorder;
+  StepObserver* observers[] = {&recorder};
+  const RunResult r = engine.run(workload, router, observers);
+  ASSERT_EQ(r.hourly_energy.hours(), 10u);
+  ASSERT_EQ(r.hourly_energy.clusters(), 2u);
   double sum = 0.0;
-  for (const auto& hour : r.hourly_energy) {
-    for (double v : hour) sum += v;
-  }
+  for (double v : r.hourly_energy.data()) sum += v;
   EXPECT_NEAR(sum, r.total_energy.value(), test::kNumericTol);
+  // The recorder's own buffer matches what it published.
+  EXPECT_EQ(recorder.energy().data().size(), r.hourly_energy.data().size());
+  EXPECT_DOUBLE_EQ(recorder.energy().at(0, 0), r.hourly_energy.at(0, 0));
 }
 
 TEST_F(EngineTest, CapacityFactorShedsServersAndEnergy) {
@@ -255,13 +258,15 @@ TEST_F(EngineTest, SecondaryMetering) {
   EngineConfig cfg;
   cfg.energy = energy::google_params();
   cfg.enforce_p95 = false;
-  SimulationEngine engine(clusters_, prices, *distances_, cfg, &carbon);
+  SimulationEngine engine(clusters_, prices, *distances_, cfg);
   ConstWorkload workload(window, {1000.0, 1000.0}, 1);
   ClosestRouter router(*distances_, 2);
-  const RunResult r = engine.run(workload, router);
-  EXPECT_NEAR(r.secondary_total,
+  SecondaryMeter meter(carbon);
+  StepObserver* observers[] = {&meter};
+  const RunResult r = engine.run(workload, router, observers);
+  EXPECT_NEAR(meter.total(),
               700.0 * r.cluster_energy[0] + 300.0 * r.cluster_energy[1], test::kSumTol);
-  EXPECT_NEAR(r.cluster_secondary[0], 700.0 * r.cluster_energy[0], test::kNumericTol);
+  EXPECT_NEAR(meter.per_cluster()[0], 700.0 * r.cluster_energy[0], test::kNumericTol);
 }
 
 TEST_F(EngineTest, RejectsUncoveredPricePeriod) {

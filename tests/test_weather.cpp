@@ -145,13 +145,13 @@ class WeatherRoutingTest : public ::testing::Test {
   static core::Fixture* fixture_;
   static market::PriceSet* temps_;
 
-  static core::Scenario scenario() {
-    core::Scenario s;
-    s.energy = energy::google_params();
-    s.workload = core::WorkloadKind::kTrace24Day;
-    s.enforce_p95 = false;
-    s.distance_threshold = Km{2500.0};
-    return s;
+  static core::ScenarioSpec scenario() {
+    return core::ScenarioSpec{
+        .config = core::PriceAwareConfig{.distance_threshold = Km{2500.0}},
+        .energy = energy::google_params(),
+        .workload = core::WorkloadKind::kTrace24Day,
+        .enforce_p95 = false,
+    };
   }
 };
 
