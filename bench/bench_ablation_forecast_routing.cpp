@@ -38,21 +38,21 @@ int main(int argc, char** argv) {
   const Period window = trace_period();
   const Period training{window.begin - 56 * 24, window.begin};
   const market::PriceSet forecasts =
-      market::one_hour_ahead_forecasts(fx.prices, training, window);
+      market::one_hour_ahead_forecasts(fx.prices(), training, window);
 
   core::ScenarioSpec forecast_spec = s;
   forecast_spec.delay_hours = 0;  // the forecast set already encodes the lag
   forecast_spec.routing_prices = &forecasts;
-  core::SecondaryMeter dollars(fx.prices);
+  core::SecondaryMeter dollars(fx.prices());
   forecast_spec.observers.push_back(&dollars);
   (void)core::run_scenario(fx, forecast_spec);
   const double forecast_cost = dollars.total();
 
   // Forecast accuracy context.
-  const market::PriceForecaster forecaster(fx.prices, training);
+  const market::PriceForecaster forecaster(fx.prices(), training);
   const HubId nyc = market::HubRegistry::instance().by_code("NYC");
   const auto acc =
-      market::evaluate_forecaster(fx.prices, forecaster, nyc, window);
+      market::evaluate_forecaster(fx.prices(), forecaster, nyc, window);
 
   io::Table table({"routing information", "24-day cost ($)", "vs perfect (%)"});
   auto row = [&table, perfect](const char* label, double cost) {

@@ -46,10 +46,10 @@ double normalized_cost(const core::Fixture& fx,
   cfg.enforce_p95 = false;
 
   core::TraceWorkload workload(fx.trace, fx.allocation);
-  const core::SimulationEngine engine(clusters, fx.prices, distances, cfg);
+  const core::SimulationEngine engine(clusters, fx.prices(), distances, cfg);
 
   core::ClosestRouter closest(distances, clusters.size());
-  core::SimulationEngine base_engine(clusters, fx.prices, distances, cfg);
+  core::SimulationEngine base_engine(clusters, fx.prices(), distances, cfg);
   const double base = base_engine.run(workload, closest).total_cost.value();
 
   core::PriceAwareConfig rcfg;

@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
 
   core::Fixture fx = core::Fixture::make(seed);
   core::Fixture fx_calm = core::Fixture::make(seed);
-  fx_calm.prices = calm_sim.generate(study_period());
+  fx_calm.set_prices(calm_sim.generate(study_period()));
 
   io::Table table({"energy model", "savings full (%)", "savings no-spikes (%)"});
   io::CsvWriter csv(bench::csv_path("ablation_spike_model"));

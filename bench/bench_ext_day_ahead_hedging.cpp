@@ -74,8 +74,8 @@ int main(int argc, char** argv) {
     const HourIndex hour = window.begin + static_cast<HourIndex>(h);
     for (std::size_t c = 0; c < fx.clusters.size(); ++c) {
       const double e = run.hourly_energy.at(h, c);
-      const double rt = fx.prices.rt_at(fx.clusters[c].hub, hour).value();
-      const double da = fx.prices.da_at(fx.clusters[c].hub, hour).value();
+      const double rt = fx.prices().rt_at(fx.clusters[c].hub, hour).value();
+      const double da = fx.prices().da_at(fx.clusters[c].hub, hour).value();
       cost_rt += e * rt;
       cost_hedged += pred[h][c] * da + (e - pred[h][c]) * rt;
       cost_flat += e * flat_rate;

@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   std::vector<HubId> hubs;
   for (const auto& c : fx.clusters) hubs.push_back(c.hub);
   const auto events =
-      demand_response::generate_events(fx.prices, hubs, trace_period());
+      demand_response::generate_events(fx.prices(), hubs, trace_period());
 
   std::printf("events called by the RTOs over the window: %zu\n", events.size());
   for (const auto& e : events) {
@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
                 hour_label(e.start).c_str(),
                 std::string(fx.clusters[e.cluster].label).c_str(),
                 e.duration_hours,
-                fx.prices.rt_at(fx.clusters[e.cluster].hub, e.start).value());
+                fx.prices().rt_at(fx.clusters[e.cluster].hub, e.start).value());
   }
 
   const demand_response::DrSettlement settle =

@@ -27,8 +27,8 @@ int main(int argc, char** argv) {
   for (std::size_t c = 0; c < fx.clusters.size(); ++c) {
     const HubId hub = fx.clusters[c].hub;
     const market::HourlySeries hourly(
-        window, std::vector<double>(fx.prices.rt[hub.index()].slice(window).begin(),
-                                    fx.prices.rt[hub.index()].slice(window).end()));
+        window, std::vector<double>(fx.prices().rt[hub.index()].slice(window).begin(),
+                                    fx.prices().rt[hub.index()].slice(window).end()));
     fm[c] = sim.five_minute_series(hub, hourly);
   }
 
@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
     for (std::size_t c = 0; c < n_clusters; ++c) {
       // Hourly routing reacts to the previous hour; 5-minute routing to
       // the previous 5-minute interval.
-      hourly_price[c] = fx.prices.rt_at(fx.clusters[c].hub, hour - 1).value();
+      hourly_price[c] = fx.prices().rt_at(fx.clusters[c].hub, hour - 1).value();
       const std::int64_t fm_idx = std::max<std::int64_t>(0, step - 1);
       fm_price[c] = fm[c][static_cast<std::size_t>(fm_idx)];
     }

@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
   std::vector<HubId> hubs;
   for (const auto& c : fixture.clusters) hubs.push_back(c.hub);
   const auto events =
-      demand_response::generate_events(fixture.prices, hubs, trace_period());
+      demand_response::generate_events(fixture.prices(), hubs, trace_period());
   std::printf("RTO load-reduction events over the 24-day window: %zu\n",
               events.size());
 

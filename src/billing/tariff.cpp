@@ -1,0 +1,66 @@
+#include "billing/tariff.h"
+
+#include <stdexcept>
+
+#include "stats/percentile.h"
+
+namespace cebis::billing {
+
+TariffBill bill_hourly_load(const TariffSchedule& schedule, Period period,
+                            std::span<const double> mwh,
+                            std::span<const double> spot) {
+  if (static_cast<std::int64_t>(mwh.size()) != period.hours()) {
+    throw std::invalid_argument(
+        "bill_hourly_load: series length does not match the period");
+  }
+  if (schedule.demand_percentile <= 0.0 || schedule.demand_percentile > 100.0) {
+    throw std::invalid_argument(
+        "bill_hourly_load: demand percentile outside (0, 100]");
+  }
+  if (schedule.demand_usd_per_kw_month.value() < 0.0 ||
+      schedule.energy_adder.value() < 0.0) {
+    throw std::invalid_argument("bill_hourly_load: negative rate");
+  }
+  if (schedule.index_to_wholesale && spot.size() != mwh.size()) {
+    throw std::invalid_argument(
+        "bill_hourly_load: wholesale-indexed schedule needs a parallel spot series");
+  }
+
+  TariffBill bill;
+  for (std::size_t i = 0; i < mwh.size(); ++i) {
+    const double rate = schedule.energy_adder.value() +
+                        (schedule.index_to_wholesale ? spot[i] : 0.0);
+    bill.energy += UsdPerMwh{rate} * MegawattHours{mwh[i]};
+  }
+
+  if (schedule.demand_usd_per_kw_month.value() <= 0.0) return bill;
+
+  // Demand: split the period by calendar month; billed kW is the chosen
+  // percentile of that month's hourly average power (1 MWh in one hour =
+  // 1 MW = 1000 kW).
+  std::vector<double> month_kw;
+  int current_month = month_index(period.begin);
+  const auto flush = [&](int month) {
+    if (month_kw.empty()) return;
+    MonthlyDemand md;
+    md.month_index = month;
+    md.billed_kw = stats::percentile(month_kw, schedule.demand_percentile);
+    md.charge = schedule.demand_usd_per_kw_month * md.billed_kw;
+    bill.demand += md.charge;
+    bill.months.push_back(md);
+    month_kw.clear();
+  };
+  for (std::size_t i = 0; i < mwh.size(); ++i) {
+    const HourIndex h = period.begin + static_cast<std::int64_t>(i);
+    const int month = month_index(h);
+    if (month != current_month) {
+      flush(current_month);
+      current_month = month;
+    }
+    month_kw.push_back(mwh[i] * 1000.0);
+  }
+  flush(current_month);
+  return bill;
+}
+
+}  // namespace cebis::billing

@@ -1,0 +1,71 @@
+#ifndef CEBIS_BILLING_TARIFF_H
+#define CEBIS_BILLING_TARIFF_H
+
+// Retail electricity tariffs with demand charges.
+//
+// The paper bills energy at the hourly wholesale price (assumption 2,
+// §2.2). Real commercial tariffs add a *demand charge*: a monthly fee
+// per kW of billed demand, where the billed demand is the peak (or a
+// high percentile, composing with the 95/5 idiom of
+// percentile_billing.h) of the month's hourly average power. Demand
+// charges change the optimization objective entirely - flattening the
+// load profile can matter more than chasing cheap hours (Xu & Li,
+// arXiv:1307.5442) - and are what the storage subsystem's peak-shaving
+// policy attacks.
+//
+// bill_hourly_load() bills one cluster's hourly energy series (the
+// shape RunResult::hourly_energy rows flatten to) over a period,
+// splitting demand by calendar month via base/simtime.h.
+
+#include <span>
+#include <vector>
+
+#include "base/simtime.h"
+#include "base/units.h"
+
+namespace cebis::billing {
+
+struct TariffSchedule {
+  /// Bill energy at the concurrent hourly wholesale price (the paper's
+  /// model). When false, energy is billed at `energy_adder` alone (a
+  /// flat retail rate).
+  bool index_to_wholesale = true;
+  /// Flat $/MWh added to every billed MWh (retail adder, or the whole
+  /// rate when not indexed).
+  UsdPerMwh energy_adder{0.0};
+  /// Monthly demand charge per kW of billed demand. Zero disables the
+  /// demand component (pure energy tariff).
+  Usd demand_usd_per_kw_month{0.0};
+  /// Billed demand = this percentile of the month's hourly kW series,
+  /// in (0, 100]. 100 bills the true monthly peak; 95 composes with the
+  /// billed_rate_p95 idiom (drop the top 5% of hours).
+  double demand_percentile = 100.0;
+};
+
+/// One month's demand line item.
+struct MonthlyDemand {
+  int month_index = 0;  ///< simtime month index (0 = Jan 2006)
+  double billed_kw = 0.0;
+  Usd charge;
+};
+
+struct TariffBill {
+  Usd energy;
+  Usd demand;
+  std::vector<MonthlyDemand> months;
+
+  [[nodiscard]] Usd total() const noexcept { return energy + demand; }
+};
+
+/// Bills an hourly MWh series over `period` (mwh.size() must equal
+/// period.hours()). `spot` is the concurrent $/MWh series, parallel to
+/// `mwh`; required when the schedule is wholesale-indexed, ignored
+/// otherwise. Throws std::invalid_argument on shape or schedule errors.
+[[nodiscard]] TariffBill bill_hourly_load(const TariffSchedule& schedule,
+                                          Period period,
+                                          std::span<const double> mwh,
+                                          std::span<const double> spot = {});
+
+}  // namespace cebis::billing
+
+#endif  // CEBIS_BILLING_TARIFF_H

@@ -59,7 +59,7 @@ CarbonRunSummary run_blended(const core::Fixture& fixture,
                              const market::PriceSet& intensity,
                              const core::ScenarioSpec& scenario, double alpha) {
   const market::PriceSet objective =
-      blend_objective(fixture.prices, intensity, alpha);
+      blend_objective(fixture.prices(), intensity, alpha);
 
   // Route by the blended objective; recover dollars and kilograms from
   // two stacked secondary meters on the same run (the engine's own
@@ -71,7 +71,7 @@ CarbonRunSummary run_blended(const core::Fixture& fixture,
   spec.config = rcfg;
   spec.routing_prices = &objective;
 
-  core::SecondaryMeter dollars(fixture.prices);
+  core::SecondaryMeter dollars(fixture.prices());
   core::SecondaryMeter kilograms(intensity);
   spec.observers.push_back(&dollars);
   spec.observers.push_back(&kilograms);

@@ -7,6 +7,7 @@
 
 #include "core/router_registry.h"
 #include "stats/descriptive.h"
+#include "storage/storage_controller.h"
 
 namespace cebis::core {
 
@@ -54,14 +55,12 @@ struct EngineKey {
 }  // namespace
 
 Fixture Fixture::make(std::uint64_t seed) {
-  market::MarketSimulator market_sim(seed);
   traffic::TraceGenerator trace_gen(seed + 1);
 
-  // The engine reads prices at hour - delay; pad the front so delays up
-  // to 48h stay inside the generated period.
-  Period priced = study_period();
-
-  market::PriceSet prices = market_sim.generate(priced);
+  // Prices are materialized lazily (window-invariant generator): a
+  // 24-day scenario only ever pays for the hours it replays, while the
+  // first full-study request builds the whole 39-month history.
+  auto history = std::make_shared<market::LazyPriceHistory>(seed);
   traffic::TrafficTrace trace = trace_gen.generate(trace_period());
   traffic::BaselineAllocation allocation(seed + 2);
   traffic::ClusterLoads loads = traffic::baseline_cluster_loads(trace, allocation);
@@ -71,7 +70,7 @@ Fixture Fixture::make(std::uint64_t seed) {
   traffic::SyntheticWorkload synthetic(trace);
 
   return Fixture{seed,
-                 std::move(prices),
+                 std::move(history),
                  std::move(trace),
                  std::move(allocation),
                  std::move(loads),
@@ -81,11 +80,12 @@ Fixture Fixture::make(std::uint64_t seed) {
 }
 
 std::size_t Fixture::cheapest_cluster() const {
+  const market::PriceSet& full = prices();
   std::size_t best = 0;
   double best_mean = std::numeric_limits<double>::infinity();
   for (std::size_t c = 0; c < clusters.size(); ++c) {
     const double mean =
-        stats::mean(prices.rt.at(clusters[c].hub.index()).values());
+        stats::mean(full.rt.at(clusters[c].hub.index()).values());
     if (mean < best_mean) {
       best_mean = mean;
       best = c;
@@ -93,6 +93,19 @@ std::size_t Fixture::cheapest_cluster() const {
   }
   return best;
 }
+
+namespace {
+
+/// The price window one spec needs: its workload period plus the front
+/// margin delayed routing reads (hour - delay).
+Period priced_window_of(const Fixture& fixture, const ScenarioSpec& spec) {
+  const Period p = spec.workload == WorkloadKind::kSynthetic39Month
+                       ? synthetic_window_of(spec)
+                       : fixture.trace.period();
+  return Period{p.begin - spec.delay_hours, p.end};
+}
+
+}  // namespace
 
 std::vector<RunResult> run_scenarios(const Fixture& fixture,
                                      std::span<const ScenarioSpec> specs,
@@ -102,6 +115,42 @@ std::vector<RunResult> run_scenarios(const Fixture& fixture,
   std::vector<RunResult> out;
   out.reserve(specs.size());
 
+  // Materialize the union of the fixture-priced windows up front, so
+  // every spec in the sweep shares one PriceSet (maximal engine reuse)
+  // and short sweeps never build the full 39-month history.
+  const market::PriceSet* fixture_prices = nullptr;
+  {
+    bool any = false;
+    Period need{0, 0};
+    for (const ScenarioSpec& spec : specs) {
+      if (spec.routing_prices != nullptr) {
+        if (spec.storage.has_value()) {
+          // The StorageController meters StepView::billing_price, which
+          // under a routing_prices override is a synthetic objective, so
+          // the tariff bill (and the policies' price thresholds) would
+          // not be dollars. Refuse up front - before any spec in the
+          // sweep has burned engine time - rather than bill nonsense; a
+          // real-dollar spot override on StorageSpec is the extension
+          // point if this composition is ever needed.
+          throw std::invalid_argument(
+              "run_scenarios: ScenarioSpec::storage cannot compose with a "
+              "routing_prices override (the tariff would be billed in "
+              "objective units, not dollars)");
+        }
+        continue;
+      }
+      const Period w = priced_window_of(fixture, spec);
+      if (!any) {
+        need = w;
+        any = true;
+      } else {
+        need.begin = std::min(need.begin, w.begin);
+        need.end = std::max(need.end, w.end);
+      }
+    }
+    if (any) fixture_prices = &fixture.prices_covering(need);
+  }
+
   // Workloads shared per (kind, synthetic window); engines per EngineKey.
   std::map<std::pair<WorkloadKind, Period>, std::unique_ptr<Workload>> workloads;
   std::vector<std::pair<EngineKey, std::unique_ptr<SimulationEngine>>> engines;
@@ -110,7 +159,7 @@ std::vector<RunResult> run_scenarios(const Fixture& fixture,
     const RouterEntry& entry = registry.at(spec.router);
     const bool enforce = spec.enforce_p95 && !entry.forces_relaxed_p95;
     const market::PriceSet& prices =
-        spec.routing_prices != nullptr ? *spec.routing_prices : fixture.prices;
+        spec.routing_prices != nullptr ? *spec.routing_prices : *fixture_prices;
 
     const Period window = spec.workload == WorkloadKind::kSynthetic39Month
                               ? synthetic_window_of(spec)
@@ -148,7 +197,7 @@ std::vector<RunResult> run_scenarios(const Fixture& fixture,
       engine = private_engine.get();
     } else {
       EngineKey key{entry.clusters ? spec.router : std::string{}, enforce,
-                    spec.delay_hours, spec.routing_prices, spec.energy};
+                    spec.delay_hours, &prices, spec.energy};
       auto found = std::find_if(engines.begin(), engines.end(),
                                 [&key](const auto& e) { return e.first == key; });
       if (found == engines.end()) {
@@ -159,7 +208,16 @@ std::vector<RunResult> run_scenarios(const Fixture& fixture,
     }
 
     const std::unique_ptr<Router> router = entry.make(fixture, spec);
-    out.push_back(engine->run(*wit->second, *router, spec.observers));
+    if (spec.storage.has_value()) {
+      // Battery storage composes as one more observer on the run; its
+      // raw/net tariff accounting lands in RunResult::storage.
+      storage::StorageController controller(*spec.storage);
+      std::vector<StepObserver*> observers = spec.observers;
+      observers.push_back(&controller);
+      out.push_back(engine->run(*wit->second, *router, observers));
+    } else {
+      out.push_back(engine->run(*wit->second, *router, spec.observers));
+    }
     ++local.runs;
   }
 
@@ -188,6 +246,7 @@ SavingsReport scenario_savings(const Fixture& fixture, const ScenarioSpec& spec)
   baseline.config = std::monostate{};
   baseline.routing_prices = nullptr;
   baseline.observers.clear();
+  baseline.storage.reset();
   const ScenarioSpec pair[] = {std::move(baseline), spec};
   std::vector<RunResult> results = run_scenarios(fixture, pair);
   return compare(results[0], results[1]);

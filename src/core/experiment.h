@@ -2,13 +2,14 @@
 #define CEBIS_CORE_EXPERIMENT_H
 
 // One-stop experiment fixture and the scenario runner. Benches and
-// integration tests build a Fixture once (prices for the study period,
-// the 24-day trace, the baseline allocation, clusters and distance
-// model), describe each run as a ScenarioSpec (router name + config
-// variant + workload + constraints, see core/scenario.h), and execute
-// them - singly via run_scenario or as a batched sweep via
-// run_scenarios, which reuses engines and workloads across scenarios
-// that share a (clusters, prices, constraints, energy) key.
+// integration tests build a Fixture once (a lazily materialized price
+// history for the study period, the 24-day trace, the baseline
+// allocation, clusters and distance model), describe each run as a
+// ScenarioSpec (router name + config variant + workload + constraints,
+// see core/scenario.h), and execute them - singly via run_scenario or
+// as a batched sweep via run_scenarios, which reuses engines and
+// workloads across scenarios that share a (clusters, prices,
+// constraints, energy) key.
 
 #include <cstdint>
 #include <memory>
@@ -18,6 +19,7 @@
 #include "core/savings.h"
 #include "core/scenario.h"
 #include "core/simulation.h"
+#include "market/lazy_price_history.h"
 #include "market/market_simulator.h"
 #include "traffic/trace_generator.h"
 
@@ -26,7 +28,10 @@ namespace cebis::core {
 struct Fixture {
   std::uint64_t seed = 2009;
 
-  market::PriceSet prices;  ///< full study period, all hourly hubs
+  /// Lazily materialized price history (see market/lazy_price_history.h).
+  /// Access through prices()/prices_covering(), which materialize on
+  /// demand; shared so Fixture copies stay cheap and consistent.
+  std::shared_ptr<market::LazyPriceHistory> price_history;
   traffic::TrafficTrace trace;
   traffic::BaselineAllocation allocation;
   traffic::ClusterLoads baseline_loads;
@@ -34,10 +39,28 @@ struct Fixture {
   geo::DistanceModel distances;  ///< states x clusters
   traffic::SyntheticWorkload synthetic;
 
-  /// Builds everything deterministically from one seed. Generates the
-  /// full 39-month price history (so 24-day and 39-month scenarios see
-  /// identical hours) and the 24-day trace.
+  /// Builds everything deterministically from one seed. The 24-day
+  /// trace is generated eagerly; the 39-month price history is
+  /// materialized on first use (window-invariant, so 24-day and
+  /// 39-month scenarios see identical hours).
   [[nodiscard]] static Fixture make(std::uint64_t seed = 2009);
+
+  /// The full study-period price set (materializes it on first call).
+  [[nodiscard]] const market::PriceSet& prices() const {
+    return price_history->full();
+  }
+  /// A price set covering at least `need` - the lazy path scenario runs
+  /// take; short windows avoid materializing the whole history.
+  [[nodiscard]] const market::PriceSet& prices_covering(Period need) const {
+    return price_history->cover(need);
+  }
+  /// Replaces the price history with an explicit set (ablations).
+  /// NOTE: the history is shared across Fixture copies, so pinning
+  /// reaches every copy - use an independently made Fixture for an
+  /// alternate market (as bench_ablation_spike_model does).
+  void set_prices(market::PriceSet prices) {
+    price_history->pin(std::move(prices));
+  }
 
   /// Index of the cluster whose hub has the lowest mean RT price over
   /// the study period (the static relocation target of §6.3).

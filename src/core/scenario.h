@@ -21,21 +21,48 @@
 //   };
 
 #include <functional>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <variant>
 #include <vector>
 
+#include "billing/tariff.h"
 #include "core/joint_router.h"
 #include "core/price_aware_router.h"
 #include "core/step_observer.h"
 #include "energy/energy_model.h"
+#include "storage/policy.h"
 
 namespace cebis::market {
 struct PriceSet;
 }  // namespace cebis::market
 
 namespace cebis::core {
+
+/// Per-scenario energy-storage composition: a battery behind the meter
+/// at every cluster, a charge/discharge policy from the PolicyRegistry,
+/// and the tariff the (raw and net-of-battery) load is billed under.
+/// When a spec carries one, the scenario runner attaches a
+/// storage::StorageController to the run and folds its raw/net tariff
+/// accounting into RunResult::storage.
+struct StorageSpec {
+  /// Battery applied to every cluster; zero capacity means "metering
+  /// only" (raw == net), the natural no-battery baseline.
+  storage::BatteryParams battery;
+  /// Optional per-cluster override (size must match the cluster count
+  /// when non-empty).
+  std::vector<storage::BatteryParams> per_cluster;
+  /// PolicyRegistry name: "arbitrage", "peak-shaving", "lyapunov", or
+  /// any registered extension.
+  std::string policy = "lyapunov";
+  storage::PolicyConfig policy_config{};
+  billing::TariffSchedule tariff;
+  /// Under a demand-charge tariff, clamp charging so the net grid draw
+  /// never exceeds the month's already-established peak power (charging
+  /// must not create the very peaks the battery exists to shave).
+  bool cap_charge_at_peak = true;
+};
 
 enum class WorkloadKind {
   kTrace24Day,       ///< 5-minute trace, 24 days (paper §6.2)
@@ -75,6 +102,12 @@ struct ScenarioSpec {
   /// Observers attached to this scenario's run, caller-owned, invoked in
   /// order.
   std::vector<StepObserver*> observers;
+  /// Battery storage + tariff composition (see StorageSpec). The
+  /// "price_aware+storage" router requires it; any other router accepts
+  /// it as an add-on meter. Incompatible with `routing_prices` (the
+  /// tariff meters the engine's billing price, which under an override
+  /// is a synthetic objective, not dollars - run_scenarios throws).
+  std::optional<StorageSpec> storage;
 };
 
 /// The PriceAwareConfig inside `spec.config`: defaults when monostate,

@@ -76,6 +76,30 @@ class HourlyEnergy {
   std::vector<double> data_;
 };
 
+/// Net-of-battery tariff accounting for a run that carried a
+/// StorageSpec (see storage/storage_controller.h, which fills this in
+/// at run end). "Raw" bills the load as the engine accounted it; "net"
+/// bills the grid draw after the per-cluster batteries acted.
+struct StorageOutcome {
+  bool engaged = false;  ///< true when a StorageController observed the run
+
+  Usd raw_energy;   ///< tariff energy charge, no battery
+  Usd raw_demand;   ///< tariff demand charge, no battery
+  Usd net_energy;   ///< tariff energy charge, net of battery
+  Usd net_demand;   ///< tariff demand charge, net of battery
+
+  double charged_mwh = 0.0;     ///< grid energy drawn into batteries
+  double discharged_mwh = 0.0;  ///< battery energy served to load
+  double loss_mwh = 0.0;        ///< round-trip conversion losses
+  double final_soc_mwh = 0.0;   ///< fleet state of charge at run end
+
+  std::vector<double> cluster_raw_usd;  ///< per-cluster raw total bill
+  std::vector<double> cluster_net_usd;  ///< per-cluster net total bill
+
+  [[nodiscard]] Usd raw_total() const noexcept { return raw_energy + raw_demand; }
+  [[nodiscard]] Usd net_total() const noexcept { return net_energy + net_demand; }
+};
+
 /// Aggregated outcome of one simulation run.
 struct RunResult {
   Usd total_cost;
@@ -100,6 +124,10 @@ struct RunResult {
   /// Per-hour, per-cluster energy; empty unless a HourlyEnergyRecorder
   /// observer was attached to the run (see core/observers.h).
   HourlyEnergy hourly_energy;
+
+  /// Raw vs net-of-battery tariff accounting; engaged only when the
+  /// scenario carried a StorageSpec (see core/scenario.h).
+  StorageOutcome storage;
 };
 
 class SimulationEngine {

@@ -32,7 +32,7 @@ std::vector<NegawattBid> plan_bids(const core::Fixture& fixture,
     for (std::size_t c = 0; c < fixture.clusters.size(); ++c) {
       const auto& cluster = fixture.clusters[c];
       if (cluster.servers == 0) continue;
-      const double da = fixture.prices.da_at(cluster.hub, h).value();
+      const double da = fixture.prices().da_at(cluster.hub, h).value();
       if (da < strategy.strike.value()) continue;
       const double u = std::min(1.0, load[c] / cluster.capacity.value());
       const double variable_w = model.power(u, cluster.servers).value() -
@@ -92,7 +92,7 @@ NegawattSettlement settle_bids(const core::Fixture& fixture,
     s.shortfall_mwh += shortfall;
     s.da_revenue += Usd{credited * b.da_price};
     const double rt =
-        fixture.prices.rt_at(fixture.clusters[b.cluster].hub, b.hour).value();
+        fixture.prices().rt_at(fixture.clusters[b.cluster].hub, b.hour).value();
     s.rt_shortfall_cost += Usd{shortfall * rt};
   }
   s.net_revenue = s.da_revenue - s.rt_shortfall_cost -

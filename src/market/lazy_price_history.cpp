@@ -1,0 +1,39 @@
+#include "market/lazy_price_history.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace cebis::market {
+
+const PriceSet& LazyPriceHistory::cover(Period need) const {
+  if (pinned_) return *current_;
+
+  // Clamp to the study period: the generator refuses pre-epoch hours,
+  // and hours past the study end were never priced under the eager
+  // fixture either (access beyond the set throws, as before).
+  const Period study = study_period();
+  Period want{std::max(need.begin, study.begin), std::min(need.end, study.end)};
+  if (want.end < want.begin) want.end = want.begin;
+
+  if (current_ != nullptr && current_->period.begin <= want.begin &&
+      current_->period.end >= want.end) {
+    return *current_;
+  }
+
+  Period window = want;
+  if (current_ != nullptr) {
+    window.begin = std::min(window.begin, current_->period.begin);
+    window.end = std::max(window.end, current_->period.end);
+  }
+  sets_.push_back(std::make_unique<PriceSet>(sim_.generate(window)));
+  current_ = sets_.back().get();
+  return *current_;
+}
+
+void LazyPriceHistory::pin(PriceSet set) {
+  sets_.push_back(std::make_unique<PriceSet>(std::move(set)));
+  current_ = sets_.back().get();
+  pinned_ = true;
+}
+
+}  // namespace cebis::market

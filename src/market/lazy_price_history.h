@@ -1,0 +1,70 @@
+#ifndef CEBIS_MARKET_LAZY_PRICE_HISTORY_H
+#define CEBIS_MARKET_LAZY_PRICE_HISTORY_H
+
+// Lazily materialized study-period price history.
+//
+// The experiment fixture used to generate the full 39-month PriceSet
+// eagerly, even when a scenario only replays the 24-day trace window.
+// MarketSimulator::generate is window-invariant by construction (prices
+// for an hour do not depend on the requested window), so the history
+// can instead be materialized on demand: cover(period) generates the
+// smallest window requested so far that contains every request, and
+// full() materializes the whole study period.
+//
+// Growth is monotone and previously returned sets are retained (stable
+// addresses), so a `const PriceSet&` handed to a SimulationEngine stays
+// valid after a later, wider request. Not thread-safe - the simulator
+// is single-threaded by design (see the determinism guard in
+// tests/test_router_fuzz.cpp).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "base/simtime.h"
+#include "market/market_simulator.h"
+#include "market/price_series.h"
+
+namespace cebis::market {
+
+class LazyPriceHistory {
+ public:
+  explicit LazyPriceHistory(std::uint64_t seed) : sim_(seed) {}
+
+  /// The narrowest materialized set covering `need` (clamped to the
+  /// study period). Reuses the current widest set when it already
+  /// covers the request; otherwise generates the union window.
+  [[nodiscard]] const PriceSet& cover(Period need) const;
+
+  /// The full study-period set (what the eager fixture always built).
+  [[nodiscard]] const PriceSet& full() const { return cover(study_period()); }
+
+  /// Replaces the history with an explicit set (ablations that swap in
+  /// a differently parameterized market). Subsequent cover()/full()
+  /// calls return the pinned set unconditionally.
+  void pin(PriceSet set);
+
+  /// Hours covered by the current widest materialized set (0 before the
+  /// first request). Lets tests assert that short-window scenarios did
+  /// not pay for the full history.
+  [[nodiscard]] std::int64_t materialized_hours() const noexcept {
+    return current_ != nullptr ? current_->period.hours() : 0;
+  }
+  /// How many sets have been generated (regenerations due to widening
+  /// included; pinning counts as one).
+  [[nodiscard]] std::size_t generations() const noexcept {
+    return sets_.size();
+  }
+
+ private:
+  MarketSimulator sim_;
+  // Grow-only: older, narrower sets are kept alive so references handed
+  // out earlier never dangle.
+  mutable std::vector<std::unique_ptr<PriceSet>> sets_;
+  mutable const PriceSet* current_ = nullptr;
+  bool pinned_ = false;
+};
+
+}  // namespace cebis::market
+
+#endif  // CEBIS_MARKET_LAZY_PRICE_HISTORY_H

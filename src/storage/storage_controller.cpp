@@ -1,0 +1,157 @@
+#include "storage/storage_controller.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "billing/tariff.h"
+#include "stats/percentile.h"
+
+namespace cebis::storage {
+
+StorageController::StorageController(core::StorageSpec spec)
+    : spec_(std::move(spec)) {
+  if (!PolicyRegistry::instance().contains(spec_.policy)) {
+    throw std::invalid_argument("StorageController: unknown policy '" +
+                                spec_.policy + "'");
+  }
+  // Validate battery parameters and the policy config eagerly so a bad
+  // spec fails at construction, not mid-sweep - including begin()-time
+  // checks like the Lyapunov band-vs-efficiency guard.
+  (void)Battery(spec_.battery);
+  make_policy(spec_.policy, spec_.policy_config)->begin(spec_.battery);
+  for (const BatteryParams& p : spec_.per_cluster) {
+    (void)Battery(p);
+    make_policy(spec_.policy, spec_.policy_config)->begin(p);
+  }
+}
+
+StorageController::~StorageController() = default;
+
+void StorageController::on_run_begin(Period period,
+                                     std::span<const core::Cluster> clusters,
+                                     int /*steps_per_hour*/) {
+  const std::size_t n = clusters.size();
+  if (!spec_.per_cluster.empty() && spec_.per_cluster.size() != n) {
+    throw std::invalid_argument(
+        "StorageController: per_cluster battery override does not match the "
+        "cluster count");
+  }
+  period_ = period;
+  batteries_.clear();
+  policies_.clear();
+  for (std::size_t c = 0; c < n; ++c) {
+    const BatteryParams& params =
+        spec_.per_cluster.empty() ? spec_.battery : spec_.per_cluster[c];
+    batteries_.emplace_back(params);
+    policies_.push_back(make_policy(spec_.policy, spec_.policy_config));
+    policies_.back()->begin(params);
+  }
+  const auto hours = static_cast<std::size_t>(period.hours());
+  raw_mwh_.assign(n, std::vector<double>(hours, 0.0));
+  net_mwh_.assign(n, std::vector<double>(hours, 0.0));
+  spot_.assign(n, std::vector<double>(hours, 0.0));
+  hour_net_mwh_.assign(n, 0.0);
+  month_hours_mwh_.assign(n, {});
+  month_level_mwh_.assign(n, 0.0);
+  guard_hour_ = period.begin;
+  guard_month_ = -1;
+  outcome_ = core::StorageOutcome{};
+}
+
+void StorageController::on_step(const core::StepView& view) {
+  const auto row = static_cast<std::size_t>(view.hour - period_.begin);
+  const bool guard_peaks =
+      spec_.cap_charge_at_peak &&
+      spec_.tariff.demand_usd_per_kw_month.value() > 0.0;
+  if (guard_peaks && view.hour != guard_hour_) {
+    // Fold the completed hour into the month's demand measurement and
+    // refresh the established billed level (the tariff's percentile of
+    // the completed net hours); a new calendar month starts fresh.
+    const int month = month_index(view.hour);
+    const bool new_month = month != guard_month_ && guard_month_ != -1;
+    for (std::size_t c = 0; c < batteries_.size(); ++c) {
+      if (new_month) {
+        month_hours_mwh_[c].clear();
+      } else {
+        month_hours_mwh_[c].push_back(hour_net_mwh_[c]);
+      }
+      month_level_mwh_[c] =
+          month_hours_mwh_[c].empty()
+              ? 0.0
+              : stats::percentile(month_hours_mwh_[c],
+                                  spec_.tariff.demand_percentile);
+      hour_net_mwh_[c] = 0.0;
+    }
+    guard_hour_ = view.hour;
+    guard_month_ = month;
+  } else if (guard_peaks && guard_month_ == -1) {
+    guard_month_ = month_index(view.hour);
+  }
+
+  for (std::size_t c = 0; c < batteries_.size(); ++c) {
+    const double load = view.energy_mwh[c];
+    const double price = view.billing_price[c];
+    spot_[c][row] = price;
+
+    PolicyContext ctx;
+    ctx.hour = view.hour;
+    ctx.dt = view.dt;
+    ctx.price_usd_per_mwh = price;
+    ctx.load_mwh = load;
+    ctx.battery = &batteries_[c];
+    const double intent = policies_[c]->decide(ctx);
+
+    double grid = load;
+    if (intent > 0.0) {
+      double request = intent;
+      if (guard_peaks) {
+        // Charging may fill the hour only up to the month's established
+        // billed-demand level - it must never set the billed demand
+        // itself. The budget is enforced cumulatively over the hour AND
+        // pro-rata per step, so early-hour charging cannot eat the
+        // budget the rest of the hour's load still needs.
+        const double budget =
+            std::min(month_level_mwh_[c] * view.dt.value(),
+                     month_level_mwh_[c] - hour_net_mwh_[c]) -
+            load;
+        request = std::min(request, std::max(0.0, budget));
+      }
+      grid += batteries_[c].charge(MegawattHours{request}, view.dt).value();
+    } else if (intent < 0.0) {
+      // Discharge serves local load only (no export to the grid).
+      const double request = std::min(-intent, load);
+      grid -= batteries_[c].discharge(MegawattHours{request}, view.dt).value();
+    }
+
+    raw_mwh_[c][row] += load;
+    net_mwh_[c][row] += grid;
+    if (guard_peaks) hour_net_mwh_[c] += grid;
+  }
+}
+
+void StorageController::on_run_end(core::RunResult& result) {
+  const std::size_t n = batteries_.size();
+  outcome_.engaged = true;
+  outcome_.cluster_raw_usd.assign(n, 0.0);
+  outcome_.cluster_net_usd.assign(n, 0.0);
+  for (std::size_t c = 0; c < n; ++c) {
+    const billing::TariffBill raw =
+        billing::bill_hourly_load(spec_.tariff, period_, raw_mwh_[c], spot_[c]);
+    const billing::TariffBill net =
+        billing::bill_hourly_load(spec_.tariff, period_, net_mwh_[c], spot_[c]);
+    outcome_.raw_energy += raw.energy;
+    outcome_.raw_demand += raw.demand;
+    outcome_.net_energy += net.energy;
+    outcome_.net_demand += net.demand;
+    outcome_.cluster_raw_usd[c] = raw.total().value();
+    outcome_.cluster_net_usd[c] = net.total().value();
+    outcome_.charged_mwh += batteries_[c].total_charged().value();
+    outcome_.discharged_mwh += batteries_[c].total_discharged().value();
+    outcome_.loss_mwh += batteries_[c].conversion_loss().value();
+    outcome_.final_soc_mwh += batteries_[c].soc().value();
+  }
+  result.storage = outcome_;
+}
+
+}  // namespace cebis::storage

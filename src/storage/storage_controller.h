@@ -1,0 +1,83 @@
+#ifndef CEBIS_STORAGE_STORAGE_CONTROLLER_H
+#define CEBIS_STORAGE_STORAGE_CONTROLLER_H
+
+// StepObserver that puts a battery behind the meter at every cluster.
+//
+// Each accounted interval it sees the cluster's grid energy and the
+// concurrent billing price, asks the scenario's charge policy for an
+// intent, clamps it against the battery's physical limits (and, under a
+// demand-charge tariff, against the month's established peak so
+// charging never creates a new billing peak), and accumulates two
+// hourly load series per cluster: the raw draw the engine accounted and
+// the net draw after the battery acted. At run end both series are
+// billed under the scenario's tariff (billing/tariff.h) and the
+// raw-vs-net comparison is folded into RunResult::storage.
+//
+// The controller never influences routing or the engine's own dollar
+// accounting - it composes with SecondaryMeter and HourlyEnergyRecorder
+// like any other observer. Scenarios normally engage it declaratively
+// via ScenarioSpec::storage (run_scenarios attaches one per run), but
+// it can be attached by hand like any StepObserver.
+
+#include <memory>
+#include <vector>
+
+#include "core/scenario.h"
+#include "core/simulation.h"
+#include "core/step_observer.h"
+#include "storage/battery.h"
+#include "storage/policy.h"
+
+namespace cebis::storage {
+
+class StorageController final : public core::StepObserver {
+ public:
+  /// Validates the spec eagerly (policy name, per-cluster override
+  /// shape is checked at run begin). Throws std::invalid_argument.
+  explicit StorageController(core::StorageSpec spec);
+  ~StorageController() override;
+
+  void on_run_begin(Period period, std::span<const core::Cluster> clusters,
+                    int steps_per_hour) override;
+  void on_step(const core::StepView& view) override;
+  void on_run_end(core::RunResult& result) override;
+
+  /// The accounting of the last completed run (also folded into the
+  /// RunResult). engaged is false before the first run ends.
+  [[nodiscard]] const core::StorageOutcome& outcome() const noexcept {
+    return outcome_;
+  }
+  /// Per-cluster batteries of the current/last run (post-run state of
+  /// charge inspection).
+  [[nodiscard]] const std::vector<Battery>& batteries() const noexcept {
+    return batteries_;
+  }
+
+ private:
+  core::StorageSpec spec_;
+  core::StorageOutcome outcome_;
+
+  Period period_{0, 0};
+  std::vector<Battery> batteries_;
+  std::vector<std::unique_ptr<ChargePolicy>> policies_;
+  std::vector<std::vector<double>> raw_mwh_;   // [cluster][hour]
+  std::vector<std::vector<double>> net_mwh_;   // [cluster][hour]
+  std::vector<std::vector<double>> spot_;      // [cluster][hour]
+
+  // Peak guard state: demand is billed on *hourly* energy at the
+  // tariff's demand percentile, so the guard compares the accumulating
+  // hour against the month's established *billed* level - the
+  // configured percentile of the completed net hours (the max for a
+  // plain peak tariff). A step-power cap would let charging inside a
+  // peak hour's quiet steps raise the billed demand; a max-peak cap
+  // would let it lift mid-distribution hours past a percentile meter.
+  std::vector<double> hour_net_mwh_;   // current hour's net draw
+  std::vector<std::vector<double>> month_hours_mwh_;  // completed net hours
+  std::vector<double> month_level_mwh_;  // billed level of those hours
+  HourIndex guard_hour_ = 0;
+  int guard_month_ = -1;
+};
+
+}  // namespace cebis::storage
+
+#endif  // CEBIS_STORAGE_STORAGE_CONTROLLER_H

@@ -33,7 +33,7 @@ market::PriceSet routing_objective_series(const core::Fixture& fixture,
                                           RoutingObjective objective) {
   switch (objective) {
     case RoutingObjective::kPriceTimesOverhead:
-      return weather_adjusted_objective(fixture.prices, temperatures, cooling);
+      return weather_adjusted_objective(fixture.prices(), temperatures, cooling);
     case RoutingObjective::kCoolingOnly:
       return effective_pue_series(temperatures, cooling);
     case RoutingObjective::kPriceOnly:
@@ -67,7 +67,7 @@ WeatherRunSummary run_objective(const core::Fixture& fixture,
   }
   spec.config = rcfg;
   spec.routing_prices = &series;
-  core::SecondaryMeter dollars(fixture.prices);
+  core::SecondaryMeter dollars(fixture.prices());
   spec.observers.push_back(&dollars);
   const core::RunResult run = core::run_scenario(fixture, spec);
   return WeatherRunSummary{dollars.total(), run.total_energy.value(),

@@ -120,9 +120,9 @@ core::Fixture* CarbonRoutingTest::fixture_ = nullptr;
 market::PriceSet* CarbonRoutingTest::intensity_ = nullptr;
 
 TEST_F(CarbonRoutingTest, BlendValidation) {
-  EXPECT_THROW((void)blend_objective(fixture_->prices, *intensity_, -0.1),
+  EXPECT_THROW((void)blend_objective(fixture_->prices(), *intensity_, -0.1),
                std::invalid_argument);
-  EXPECT_THROW((void)blend_objective(fixture_->prices, *intensity_, 1.1),
+  EXPECT_THROW((void)blend_objective(fixture_->prices(), *intensity_, 1.1),
                std::invalid_argument);
 }
 

@@ -44,7 +44,7 @@ core::Fixture* DrTest::fixture_ = nullptr;
 TEST_F(DrTest, EventsTrackPriceSpikes) {
   const auto hubs = cluster_hubs();
   const auto events =
-      generate_events(fixture_->prices, hubs, trace_period());
+      generate_events(fixture_->prices(), hubs, trace_period());
   ASSERT_FALSE(events.empty());
   for (const auto& e : events) {
     EXPECT_LT(e.cluster, fixture_->clusters.size());
@@ -54,10 +54,10 @@ TEST_F(DrTest, EventsTrackPriceSpikes) {
     EXPECT_LE(e.duration_hours, 4);
     // The triggering hour really is expensive relative to the window:
     // above the hub's 95th percentile over the trace window.
-    const auto& series = fixture_->prices.rt[fixture_->clusters[e.cluster].hub.index()];
+    const auto& series = fixture_->prices().rt[fixture_->clusters[e.cluster].hub.index()];
     const double p95 = stats::percentile(series.slice(trace_period()), 95.0);
     const double p =
-        fixture_->prices.rt_at(fixture_->clusters[e.cluster].hub, e.start).value();
+        fixture_->prices().rt_at(fixture_->clusters[e.cluster].hub, e.start).value();
     EXPECT_GT(p, p95);
   }
 }
@@ -66,7 +66,7 @@ TEST_F(DrTest, CooldownSpacesEvents) {
   const auto hubs = cluster_hubs();
   EventGeneratorParams params;
   params.cooldown_hours = 24;
-  const auto events = generate_events(fixture_->prices, hubs, trace_period(), params);
+  const auto events = generate_events(fixture_->prices(), hubs, trace_period(), params);
   for (std::size_t i = 0; i < events.size(); ++i) {
     for (std::size_t j = i + 1; j < events.size(); ++j) {
       if (events[i].cluster != events[j].cluster) continue;
@@ -81,18 +81,18 @@ TEST_F(DrTest, EventGeneratorValidation) {
   EventGeneratorParams bad;
   bad.trigger_percentile = 100.0;
   EXPECT_THROW(
-      (void)generate_events(fixture_->prices, hubs, trace_period(), bad),
+      (void)generate_events(fixture_->prices(), hubs, trace_period(), bad),
       std::invalid_argument);
   bad = EventGeneratorParams{};
   bad.max_duration_hours = 0;
   EXPECT_THROW(
-      (void)generate_events(fixture_->prices, hubs, trace_period(), bad),
+      (void)generate_events(fixture_->prices(), hubs, trace_period(), bad),
       std::invalid_argument);
 }
 
 TEST_F(DrTest, ParticipationDeliversReductionsAndRevenue) {
   const auto hubs = cluster_hubs();
-  const auto events = generate_events(fixture_->prices, hubs, trace_period());
+  const auto events = generate_events(fixture_->prices(), hubs, trace_period());
   const DrSettlement s =
       simulate_participation(*fixture_, scenario(), events);
   EXPECT_EQ(s.events, static_cast<int>(events.size()));

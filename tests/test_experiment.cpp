@@ -1,5 +1,7 @@
 // End-to-end integration: the full fixture and the paper's headline
-// qualitative results (§6.2/§6.3) as properties.
+// qualitative results (§6.2/§6.3) as properties, expressed through the
+// ScenarioSpec pipeline (the deprecated fixed-function shims keep their
+// one equivalence test in test_scenario_api.cpp).
 
 #include <gtest/gtest.h>
 
@@ -18,12 +20,13 @@ class ExperimentTest : public ::testing::Test {
   }
   static Fixture* fixture_;
 
-  static Scenario base_scenario() {
-    Scenario s;
-    s.energy = energy::optimistic_future_params();
-    s.distance_threshold = Km{1500.0};
-    s.workload = WorkloadKind::kTrace24Day;
-    return s;
+  static ScenarioSpec base_spec(double threshold_km = 1500.0) {
+    return ScenarioSpec{
+        .router = "price-aware",
+        .config = PriceAwareConfig{.distance_threshold = Km{threshold_km}},
+        .energy = energy::optimistic_future_params(),
+        .workload = WorkloadKind::kTrace24Day,
+    };
   }
 };
 
@@ -31,7 +34,7 @@ Fixture* ExperimentTest::fixture_ = nullptr;
 
 TEST_F(ExperimentTest, FixtureShapes) {
   EXPECT_EQ(fixture_->clusters.size(), traffic::kClusterCount);
-  EXPECT_EQ(fixture_->prices.period.hours(), study_period().hours());
+  EXPECT_EQ(fixture_->prices().period.hours(), study_period().hours());
   EXPECT_EQ(fixture_->trace.period().hours(), trace_period().hours());
   EXPECT_EQ(fixture_->distances.site_count(), traffic::kClusterCount);
 }
@@ -43,14 +46,14 @@ TEST_F(ExperimentTest, CheapestClusterIsChicago) {
 }
 
 TEST_F(ExperimentTest, PriceAwareSavesMoney) {
-  Scenario s = base_scenario();
+  ScenarioSpec s = base_spec();
   s.enforce_p95 = false;
-  const SavingsReport relax = price_aware_savings(*fixture_, s);
+  const SavingsReport relax = scenario_savings(*fixture_, s);
   EXPECT_GT(relax.savings_percent, 10.0);
   EXPECT_LT(relax.savings_percent, 50.0);
 
   s.enforce_p95 = true;
-  const SavingsReport follow = price_aware_savings(*fixture_, s);
+  const SavingsReport follow = scenario_savings(*fixture_, s);
   // §6.2: constraints reduce but do not eliminate savings.
   EXPECT_GT(follow.savings_percent, 2.0);
   EXPECT_LT(follow.savings_percent, relax.savings_percent);
@@ -60,11 +63,11 @@ TEST_F(ExperimentTest, SavingsShrinkWithInelasticity) {
   // Fig 15's monotone structure across energy models.
   double prev = 1e9;
   for (const auto& scn : energy::fig15_scenarios()) {
-    Scenario s = base_scenario();
+    ScenarioSpec s = base_spec();
     s.energy.idle_fraction = scn.idle_fraction;
     s.energy.pue = scn.pue;
     s.enforce_p95 = false;
-    const SavingsReport r = price_aware_savings(*fixture_, s);
+    const SavingsReport r = scenario_savings(*fixture_, s);
     EXPECT_LE(r.savings_percent, prev + 1.0) << scn.label;  // small tolerance
     EXPECT_GE(r.savings_percent, 0.0) << scn.label;
     prev = r.savings_percent;
@@ -75,15 +78,15 @@ TEST_F(ExperimentTest, GoogleElasticityMatchesPaperBand) {
   // §6.2: "at Google's published elasticity level (65% idle, 1.3 PUE),
   // the maximum savings have dropped to 5%" (relaxed); with 95/5
   // constraints the intro's "at least 2%" bound applies loosely.
-  Scenario s = base_scenario();
+  ScenarioSpec s = base_spec();
   s.energy = energy::google_params();
   s.enforce_p95 = false;
-  const SavingsReport relax = price_aware_savings(*fixture_, s);
+  const SavingsReport relax = scenario_savings(*fixture_, s);
   EXPECT_GT(relax.savings_percent, 2.0);
   EXPECT_LT(relax.savings_percent, 9.0);
 
   s.enforce_p95 = true;
-  const SavingsReport follow = price_aware_savings(*fixture_, s);
+  const SavingsReport follow = scenario_savings(*fixture_, s);
   EXPECT_GT(follow.savings_percent, 0.5);
   EXPECT_LT(follow.savings_percent, relax.savings_percent);
 }
@@ -92,10 +95,9 @@ TEST_F(ExperimentTest, WiderThresholdNeverLosesMoney) {
   // Fig 16's monotone cost decrease.
   double prev = 1e9;
   for (double km : {0.0, 500.0, 1500.0, 2500.0}) {
-    Scenario s = base_scenario();
-    s.distance_threshold = Km{km};
+    ScenarioSpec s = base_spec(km);
     s.enforce_p95 = false;
-    const RunResult r = run_price_aware(*fixture_, s);
+    const RunResult r = run_scenario(*fixture_, s);
     EXPECT_LE(r.total_cost.value(), prev * 1.01) << km;
     prev = r.total_cost.value();
   }
@@ -103,21 +105,20 @@ TEST_F(ExperimentTest, WiderThresholdNeverLosesMoney) {
 
 TEST_F(ExperimentTest, DistancesGrowWithThreshold) {
   // Fig 17: mean and p99 distances rise with the threshold.
-  Scenario s = base_scenario();
+  ScenarioSpec s = base_spec(0.0);
   s.enforce_p95 = false;
-  s.distance_threshold = Km{0.0};
-  const RunResult tight = run_price_aware(*fixture_, s);
-  s.distance_threshold = Km{2500.0};
-  const RunResult wide = run_price_aware(*fixture_, s);
+  const RunResult tight = run_scenario(*fixture_, s);
+  s.config = PriceAwareConfig{.distance_threshold = Km{2500.0}};
+  const RunResult wide = run_scenario(*fixture_, s);
   EXPECT_GE(wide.mean_distance_km, tight.mean_distance_km);
   EXPECT_GE(wide.p99_distance_km, tight.p99_distance_km);
 }
 
 TEST_F(ExperimentTest, ConstrainedRunRespects95_5) {
   // The realized p95 must not exceed the baseline reference.
-  Scenario s = base_scenario();
+  ScenarioSpec s = base_spec();
   s.enforce_p95 = true;
-  const RunResult r = run_price_aware(*fixture_, s);
+  const RunResult r = run_scenario(*fixture_, s);
   for (std::size_t c = 0; c < fixture_->clusters.size(); ++c) {
     EXPECT_LE(r.realized_p95[c],
               fixture_->clusters[c].p95_reference.value() * 1.02)
@@ -127,18 +128,22 @@ TEST_F(ExperimentTest, ConstrainedRunRespects95_5) {
 }
 
 TEST_F(ExperimentTest, TrafficConservedAcrossRouters) {
-  Scenario s = base_scenario();
-  const RunResult base = run_baseline(*fixture_, s);
-  const RunResult opt = run_price_aware(*fixture_, s);
-  const RunResult closest = run_closest(*fixture_, s);
-  EXPECT_NEAR(base.hit_hours, opt.hit_hours, 1e-3);
-  EXPECT_NEAR(base.hit_hours, closest.hit_hours, 1e-3);
+  ScenarioSpec opt = base_spec();
+  ScenarioSpec base = opt;
+  base.router = "baseline";
+  base.config = std::monostate{};
+  ScenarioSpec closest = base;
+  closest.router = "closest";
+  const ScenarioSpec specs[] = {base, opt, closest};
+  const auto runs = run_scenarios(*fixture_, specs);
+  EXPECT_NEAR(runs[0].hit_hours, runs[1].hit_hours, 1e-3);
+  EXPECT_NEAR(runs[0].hit_hours, runs[2].hit_hours, 1e-3);
 }
 
 TEST_F(ExperimentTest, PerClusterDeltasSumToTotalSavings) {
-  Scenario s = base_scenario();
+  ScenarioSpec s = base_spec();
   s.enforce_p95 = true;
-  const SavingsReport r = price_aware_savings(*fixture_, s);
+  const SavingsReport r = scenario_savings(*fixture_, s);
   double sum = 0.0;
   for (double d : r.per_cluster_delta_percent) sum += d;
   EXPECT_NEAR(sum, -r.savings_percent, test::kSumTol);
@@ -147,10 +152,9 @@ TEST_F(ExperimentTest, PerClusterDeltasSumToTotalSavings) {
 TEST_F(ExperimentTest, NycShedsTheMostCost) {
   // Fig 19: the largest per-cluster reduction is at NYC (highest peak
   // prices).
-  Scenario s = base_scenario();
+  ScenarioSpec s = base_spec(2000.0);
   s.enforce_p95 = true;
-  s.distance_threshold = Km{2000.0};
-  const SavingsReport r = price_aware_savings(*fixture_, s);
+  const SavingsReport r = scenario_savings(*fixture_, s);
   std::size_t ny = 0;
   for (std::size_t c = 0; c < fixture_->clusters.size(); ++c) {
     if (fixture_->clusters[c].label == "NY") ny = c;
@@ -171,15 +175,15 @@ TEST_F(ExperimentTest, NycShedsTheMostCost) {
 TEST_F(ExperimentTest, DelayIncreasesCost) {
   // Fig 20: reacting to stale prices costs more; immediate reaction is
   // the cheapest.
-  Scenario s = base_scenario();
+  ScenarioSpec s = base_spec();
   s.energy = energy::google_params();
   s.enforce_p95 = false;
   s.delay_hours = 0;
-  const double fresh = run_price_aware(*fixture_, s).total_cost.value();
+  const double fresh = run_scenario(*fixture_, s).total_cost.value();
   s.delay_hours = 1;
-  const double one = run_price_aware(*fixture_, s).total_cost.value();
+  const double one = run_scenario(*fixture_, s).total_cost.value();
   s.delay_hours = 12;
-  const double twelve = run_price_aware(*fixture_, s).total_cost.value();
+  const double twelve = run_scenario(*fixture_, s).total_cost.value();
   EXPECT_LE(fresh, one + test::kSumTol);
   EXPECT_LT(one, twelve);
 }
@@ -188,16 +192,19 @@ TEST_F(ExperimentTest, SyntheticDynamicBeatsStatic) {
   // §6.3 "Dynamic Beats Static": with relaxed constraints and a wide
   // threshold, the dynamic optimizer undercuts relocating every server
   // to the cheapest market.
-  Scenario s;
-  s.energy = energy::optimistic_future_params();
+  ScenarioSpec s = base_spec(2500.0);
   s.workload = WorkloadKind::kSynthetic39Month;
   s.enforce_p95 = false;
-  s.distance_threshold = Km{2500.0};
-  const RunResult base = run_baseline(*fixture_, s);
-  const RunResult dynamic = run_price_aware(*fixture_, s);
-  const RunResult st = run_static_cheapest(*fixture_, s);
-  const double dyn_norm = dynamic.total_cost.value() / base.total_cost.value();
-  const double static_norm = st.total_cost.value() / base.total_cost.value();
+  ScenarioSpec base = s;
+  base.router = "baseline";
+  base.config = std::monostate{};
+  ScenarioSpec st = base;
+  st.router = "static-cheapest";
+  const ScenarioSpec specs[] = {base, s, st};
+  const auto runs = run_scenarios(*fixture_, specs);
+  const double dyn_norm = runs[1].total_cost.value() / runs[0].total_cost.value();
+  const double static_norm =
+      runs[2].total_cost.value() / runs[0].total_cost.value();
   EXPECT_LT(dyn_norm, static_norm);
   EXPECT_LT(dyn_norm, 0.8);     // large savings at wide thresholds
   EXPECT_GT(static_norm, 0.4);  // static is good but not free

@@ -49,15 +49,17 @@ TEST_P(SeedSweep, MarketStructureHolds) {
 TEST_P(SeedSweep, HeadlineSavingsHold) {
   const core::Fixture fixture = core::Fixture::make(GetParam());
 
-  core::Scenario s;
-  s.energy = energy::optimistic_future_params();
-  s.distance_threshold = Km{1500.0};
-  s.workload = core::WorkloadKind::kTrace24Day;
+  core::ScenarioSpec s{
+      .router = "price-aware",
+      .config = core::PriceAwareConfig{.distance_threshold = Km{1500.0}},
+      .energy = energy::optimistic_future_params(),
+      .workload = core::WorkloadKind::kTrace24Day,
+  };
 
   s.enforce_p95 = false;
-  const double relax = core::price_aware_savings(fixture, s).savings_percent;
+  const double relax = core::scenario_savings(fixture, s).savings_percent;
   s.enforce_p95 = true;
-  const double follow = core::price_aware_savings(fixture, s).savings_percent;
+  const double follow = core::scenario_savings(fixture, s).savings_percent;
 
   // Fig 15 invariants at every seed: meaningful relaxed savings,
   // constraints cut but do not eliminate them.
@@ -69,7 +71,7 @@ TEST_P(SeedSweep, HeadlineSavingsHold) {
   // Google-elasticity band (paper: ~5% relaxed).
   s.energy = energy::google_params();
   s.enforce_p95 = false;
-  const double google = core::price_aware_savings(fixture, s).savings_percent;
+  const double google = core::scenario_savings(fixture, s).savings_percent;
   EXPECT_GT(google, 1.5);
   EXPECT_LT(google, 10.0);
 }

@@ -69,6 +69,51 @@ TEST(BurstBudget, InvariantRealizedP95NeverExceedsReference) {
   EXPECT_LE(stats::p95(realized), 100.0 + test::kNumericTol);
 }
 
+TEST(BurstBudget, RandomizedQuotaAndBilledRateProperties) {
+  // ISSUE 3 satellite: across randomized references, percentiles and
+  // load processes, a driver that bursts only when can_burst() allows it
+  // must (a) never see burst_fraction() exceed the quota at ANY prefix
+  // of the series, and (b) keep the billed rate of the realized series
+  // at or below the reference. (b) needs the series not to END on a
+  // burst - the standard linear-interpolation percentile can otherwise
+  // interpolate into the top exceedance - so each trace closes with one
+  // idle interval, as any real billing month does.
+  stats::Rng rng = test::test_rng(17);
+  for (int trial = 0; trial < 60; ++trial) {
+    const double reference = rng.uniform(10.0, 500.0);
+    const double percentile =
+        (trial % 3 == 0) ? 95.0 : rng.uniform(80.0, 99.0);
+    const double quota = 1.0 - percentile / 100.0;
+    const double burst_appetite = rng.uniform(0.05, 0.9);
+    const int n = 200 + static_cast<int>(rng.uniform(0.0, 2000.0));
+
+    BurstBudget95 budget(reference, percentile);
+    std::vector<double> realized;
+    realized.reserve(static_cast<std::size_t>(n) + 1);
+    for (int i = 0; i < n; ++i) {
+      double load;
+      if (rng.bernoulli(burst_appetite) && budget.can_burst()) {
+        load = reference * rng.uniform(1.0 + 1e-6, 5.0);
+      } else {
+        load = reference * rng.uniform(0.0, 1.0);
+      }
+      budget.record(load);
+      realized.push_back(load);
+      // (a) holds at every prefix, not just at the end.
+      ASSERT_LE(budget.burst_fraction(), quota + test::kTightTol)
+          << trial << " @" << i;
+    }
+    budget.record(0.0);
+    realized.push_back(0.0);
+
+    ASSERT_LE(budget.burst_fraction(), quota + test::kTightTol) << trial;
+    const double billed = percentile == 95.0
+                              ? billed_rate_p95(realized)
+                              : stats::percentile(realized, percentile);
+    EXPECT_LE(billed, reference * (1.0 + 1e-9)) << trial;
+  }
+}
+
 TEST(BurstBudget, CustomPercentile) {
   BurstBudget95 b(10.0, 90.0);  // 90/10 billing
   int bursts = 0;

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <string_view>
 #include <vector>
 
 #include "core/experiment.h"
@@ -110,12 +111,16 @@ TEST_F(ScenarioApiTest, RegistryRejectsBadInput) {
 }
 
 TEST_F(ScenarioApiTest, DeprecatedShimsMatchExplicitSpecs) {
+  // The SOLE remaining coverage of the deprecated fixed-function API
+  // (run_baseline & co): every shim must stay a byte-identical thin
+  // wrapper over the equivalent ScenarioSpec. All other suites use
+  // specs directly.
   Scenario legacy;
   legacy.energy = energy::google_params();
   legacy.distance_threshold = Km{1000.0};
   legacy.enforce_p95 = true;
 
-  const ScenarioSpec spec{
+  ScenarioSpec spec{
       .router = "price-aware",
       .config = PriceAwareConfig{.distance_threshold = Km{1000.0}},
       .energy = energy::google_params(),
@@ -126,6 +131,26 @@ TEST_F(ScenarioApiTest, DeprecatedShimsMatchExplicitSpecs) {
   const RunResult via_spec = run_scenario(*fixture_, spec);
   EXPECT_EQ(via_shim.total_cost.value(), via_spec.total_cost.value());
   EXPECT_EQ(via_shim.mean_distance_km, via_spec.mean_distance_km);
+
+  spec.config = std::monostate{};
+  for (const char* router : {"baseline", "closest", "static-cheapest"}) {
+    spec.router = router;
+    const RunResult shim = router == std::string_view("baseline")
+                               ? run_baseline(*fixture_, legacy)
+                           : router == std::string_view("closest")
+                               ? run_closest(*fixture_, legacy)
+                               : run_static_cheapest(*fixture_, legacy);
+    const RunResult direct = run_scenario(*fixture_, spec);
+    EXPECT_EQ(shim.total_cost.value(), direct.total_cost.value()) << router;
+    EXPECT_EQ(shim.total_energy.value(), direct.total_energy.value()) << router;
+  }
+
+  const SavingsReport shim_savings = price_aware_savings(*fixture_, legacy);
+  spec.router = "price-aware";
+  spec.config = PriceAwareConfig{.distance_threshold = Km{1000.0}};
+  const SavingsReport spec_savings = scenario_savings(*fixture_, spec);
+  EXPECT_EQ(shim_savings.savings_percent, spec_savings.savings_percent);
+  EXPECT_EQ(shim_savings.normalized_cost, spec_savings.normalized_cost);
 }
 
 // --- batched sweeps ---------------------------------------------------------
@@ -257,7 +282,7 @@ TEST_F(ScenarioApiTest, ObserversRunInAttachmentOrder) {
 TEST_F(ScenarioApiTest, StackedObserversMatchSoloRuns) {
   // Carbon-style secondary metering and DR-style hourly recording
   // composed on ONE run must reproduce what each observer sees alone.
-  const market::PriceSet& secondary_series = fixture_->prices;
+  const market::PriceSet& secondary_series = fixture_->prices();
 
   const ScenarioSpec base{
       .router = "price-aware",
