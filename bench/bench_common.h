@@ -6,10 +6,12 @@
 // (cebis_<figure>.csv in the working directory) for replotting.
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/experiment.h"
 #include "io/csv.h"
@@ -51,6 +53,42 @@ inline void header(const char* figure, const char* caption) {
 inline std::string csv_path(const char* name) {
   return std::string("cebis_") + name + ".csv";
 }
+
+/// CsvWriter wrapper that stamps every data row with the wall-clock
+/// milliseconds spent since the previous row (the header row gets a
+/// trailing "wall_ms" column). CI archives the CSVs without their
+/// google-benchmark JSON twins, so each artifact carries its own
+/// timing; row-diff tooling (bench/check_bench_results.py) matches
+/// columns by header name and ignores the timing column.
+class TimedCsv {
+ public:
+  explicit TimedCsv(const std::string& path)
+      : csv_(path), last_(Clock::now()) {}
+
+  /// The column-name row; appends "wall_ms".
+  void header(std::vector<std::string> cells) {
+    cells.emplace_back("wall_ms");
+    csv_.row(cells);
+    last_ = Clock::now();
+  }
+
+  /// A data row; appends the milliseconds elapsed since the previous row.
+  void row(std::vector<std::string> cells) {
+    const Clock::time_point now = Clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(now - last_).count();
+    last_ = now;
+    cells.push_back(io::format_number(ms, 3));
+    csv_.row(cells);
+  }
+
+  [[nodiscard]] const std::string& path() const noexcept { return csv_.path(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  io::CsvWriter csv_;
+  Clock::time_point last_;
+};
 
 }  // namespace cebis::bench
 

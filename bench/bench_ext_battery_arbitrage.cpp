@@ -45,9 +45,9 @@ int main(int argc, char** argv) {
 
   io::Table table({"policy", "battery", "energy $", "demand $", "total $",
                    "saved $", "saved %", "cycled MWh"});
-  io::CsvWriter csv(bench::csv_path("ext_battery_arbitrage"));
-  csv.row({"policy", "hours_of_storage", "energy_usd", "demand_usd",
-           "total_usd", "saved_usd", "saved_pct", "discharged_mwh"});
+  bench::TimedCsv csv(bench::csv_path("ext_battery_arbitrage"));
+  csv.header({"policy", "hours_of_storage", "energy_usd", "demand_usd",
+              "total_usd", "saved_usd", "saved_pct", "discharged_mwh"});
 
   const char* policies[] = {"arbitrage", "peak-shaving", "lyapunov"};
   for (const char* policy : policies) {

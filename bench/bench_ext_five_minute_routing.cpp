@@ -99,6 +99,8 @@ int main(int argc, char** argv) {
       "variable cost component in this market, confirming §3.1's\n"
       "speculation that the finer market holds additional opportunity.\n");
 
+  // Plain CsvWriter on purpose: both rows fall out of one fused loop,
+  // so per-row wall times (bench::TimedCsv) would carry no information.
   io::CsvWriter csv(bench::csv_path("ext_five_minute_routing"));
   csv.row({"granularity", "cost_usd"});
   csv.row({"hourly", io::format_number(cost_hourly, 2)});

@@ -17,6 +17,15 @@ const core::Fixture& fixture() {
   return fx;
 }
 
+// Every benchmark in this binary must report the same user-counter set:
+// google-benchmark's CSV reporter hard-aborts otherwise (CI exports the
+// CSV artifact). Router-level benches report the real rebuild rate; the
+// engine-level simulations report 0 (their router lives inside
+// run_scenario, so its plan cache is not observable from here).
+void report_plan_rebuilds(benchmark::State& state, double per_step) {
+  state.counters["plan_rebuilds_per_step"] = benchmark::Counter(per_step);
+}
+
 void BM_PriceAwareRoute(benchmark::State& state) {
   const core::Fixture& fx = fixture();
   core::PriceAwareConfig cfg;
@@ -41,8 +50,81 @@ void BM_PriceAwareRoute(benchmark::State& state) {
     benchmark::DoNotOptimize(alloc.cluster_totals().data());
   }
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n_states));
+  // Fixed prices: the plan is built on the first route() and replayed
+  // for every subsequent iteration.
+  report_plan_rebuilds(state,
+                       state.iterations() > 0
+                           ? static_cast<double>(router.plan_rebuilds()) /
+                                 static_cast<double>(state.iterations())
+                           : 0.0);
 }
 BENCHMARK(BM_PriceAwareRoute)->Arg(0)->Arg(1500)->Arg(5000);
+
+// The hour-scoped plan on a 5-minute cadence: 24 hours x 12 steps with
+// per-step demand jitter. Arg(1) reprices once per hour (the trace-run
+// shape - the plan is built once and replayed for the other 11 steps);
+// Arg(0) reprices every step (worst case - the plan can never be
+// replayed). The plan_rebuilds counter confirms which regime ran.
+void BM_FiveMinutePlanReplay(benchmark::State& state) {
+  const core::Fixture& fx = fixture();
+  core::PriceAwareConfig cfg;
+  cfg.distance_threshold = Km{1500.0};
+  core::PriceAwareRouter router(fx.distances, fx.clusters.size(), cfg);
+
+  const std::size_t n_states = geo::StateRegistry::instance().size();
+  const std::size_t n_clusters = fx.clusters.size();
+  constexpr int kHours = 24;
+  constexpr int kStepsPerHour = 12;
+  const bool hourly_prices = state.range(0) != 0;
+
+  const double price_seeds[] = {54.0, 56.0, 66.5, 77.9, 40.6,
+                                57.8, 64.0, 52.0, 51.0};
+  std::vector<double> base_price(n_clusters);
+  for (std::size_t c = 0; c < n_clusters; ++c) {
+    base_price[c] = price_seeds[c % std::size(price_seeds)];
+  }
+  std::vector<double> price(n_clusters, 0.0);
+  std::vector<double> demand(n_states, 1000.0);
+  std::vector<double> capacity(n_clusters);
+  for (std::size_t c = 0; c < n_clusters; ++c) {
+    capacity[c] = fx.clusters[c].capacity.value();
+  }
+  core::Allocation alloc(n_states, n_clusters);
+  core::RoutingContext ctx;
+  ctx.demand = demand;
+  ctx.price = price;
+  ctx.capacity = capacity;
+
+  std::int64_t steps = 0;
+  for (auto _ : state) {
+    for (int hour = 0; hour < kHours; ++hour) {
+      for (int s = 0; s < kStepsPerHour; ++s) {
+        if (s == 0 || !hourly_prices) {
+          const int tick = hourly_prices ? hour : hour * kStepsPerHour + s;
+          // Modulus coprime with the 288-step cycle, so consecutive
+          // ticks always differ - including across the iteration
+          // boundary (tick 287 -> 0) - and Arg(0) truly never replays.
+          for (std::size_t c = 0; c < n_clusters; ++c) {
+            price[c] = base_price[c] + static_cast<double>((tick + c) % 11);
+          }
+        }
+        for (std::size_t i = 0; i < n_states; ++i) {
+          demand[i] = 1000.0 + static_cast<double>((s * 37 + i) % 97);
+        }
+        router.route(ctx, alloc);
+        benchmark::DoNotOptimize(alloc.cluster_totals().data());
+        ++steps;
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kHours * kStepsPerHour *
+                          static_cast<std::int64_t>(n_states));
+  report_plan_rebuilds(state,
+                       steps > 0 ? static_cast<double>(router.plan_rebuilds()) /
+                                       static_cast<double>(steps)
+                                 : 0.0);
+}
+BENCHMARK(BM_FiveMinutePlanReplay)->Arg(0)->Arg(1);
 
 void BM_TraceSimulation24Day(benchmark::State& state) {
   const core::Fixture& fx = fixture();
@@ -57,6 +139,7 @@ void BM_TraceSimulation24Day(benchmark::State& state) {
     benchmark::DoNotOptimize(r.total_cost.value());
   }
   state.SetItemsProcessed(state.iterations() * trace_period().hours() * 12);
+  report_plan_rebuilds(state, 0.0);
 }
 BENCHMARK(BM_TraceSimulation24Day)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
@@ -73,6 +156,7 @@ void BM_Synthetic39MonthSimulation(benchmark::State& state) {
     benchmark::DoNotOptimize(r.total_cost.value());
   }
   state.SetItemsProcessed(state.iterations() * study_period().hours());
+  report_plan_rebuilds(state, 0.0);
 }
 BENCHMARK(BM_Synthetic39MonthSimulation)->Unit(benchmark::kMillisecond);
 
@@ -106,6 +190,7 @@ void BM_BatchedThresholdSweep(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(specs.size()) *
                           trace_period().hours());
+  report_plan_rebuilds(state, 0.0);
 }
 BENCHMARK(BM_BatchedThresholdSweep)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 

@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""CI gate for the perf/figure baselines pinned in BENCH_perf.json.
+
+Two checks, one hard and one soft:
+
+* Figure gate (hard): the rows bench_ext_battery_arbitrage wrote to its
+  CSV must match the pinned rows exactly at the printed precision (same
+  policy/size cell, same dollars to the cent). Real behaviour drift in
+  the storage subsystem or the routing underneath it shows up at
+  dollars scale -> exit 1. Half a least-printed-digit of slack
+  (abs_tol 0.005) absorbs cross-toolchain libm ulp differences between
+  the host that pinned the baselines and the CI runner - the repo's
+  only cross-host float comparison.
+
+* Timing gate (soft): every google-benchmark entry of bench_perf_router
+  / bench_perf_market is compared against its pinned real_time. A
+  regression beyond --threshold (default 1.25x) emits a GitHub
+  ::warning:: annotation but never fails the job - CI runners are far
+  too noisy for hard timing gates; the annotation is the paper trail.
+
+Usage:
+  python3 bench/check_bench_results.py \
+      --baseline BENCH_perf.json --results perf-results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import json
+import math
+import pathlib
+import sys
+
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+# CSV column -> pinned-row key for the figure gate. Columns the pinned
+# rows do not carry (energy_usd, demand_usd, wall_ms) are ignored.
+FIGURE_KEYS = ("policy", "hours_of_storage")
+FIGURE_VALUES = ("total_usd", "saved_usd", "saved_pct", "discharged_mwh")
+
+errors = 0
+warnings = 0
+
+
+def error(msg: str) -> None:
+    global errors
+    errors += 1
+    print(f"::error::{msg}")
+
+
+def warn(msg: str) -> None:
+    global warnings
+    warnings += 1
+    print(f"::warning::{msg}")
+
+
+def to_ns(value: float, unit: str) -> float:
+    return value * TIME_UNIT_NS[unit]
+
+
+def check_figure_rows(baseline: dict, results: pathlib.Path) -> None:
+    pinned = baseline.get("bench_ext_battery_arbitrage", {}).get("rows", [])
+    if not pinned:
+        # An empty pinned set must never pass vacuously: the gate exists
+        # to hard-fail on behaviour drift.
+        error(
+            "figure gate: baseline carries no bench_ext_battery_arbitrage rows "
+            "(BENCH_perf.json truncated or mis-regenerated?)"
+        )
+        return
+    csv_path = results / "cebis_ext_battery_arbitrage.csv"
+    if not csv_path.exists():
+        error(f"figure gate: {csv_path} missing (did the bench run?)")
+        return
+    with csv_path.open(newline="") as fh:
+        rows = list(csv.DictReader(fh))
+
+    def cell_key(policy: str, hours: float) -> tuple:
+        return (policy, round(float(hours), 6))
+
+    by_cell = {cell_key(r["policy"], r["hours_of_storage"]): r for r in rows}
+    for want in pinned:
+        key = cell_key(want["policy"], want["hours_of_storage"])
+        got = by_cell.get(key)
+        if got is None:
+            error(f"figure gate: row {key} missing from {csv_path.name}")
+            continue
+        for field in FIGURE_VALUES:
+            if field not in got:
+                error(f"figure gate: column '{field}' missing from {csv_path.name}")
+                continue
+            # Exact at the printed precision: the CSV rounds to >= 2
+            # decimals, so 0.005 is half its least digit - enough for a
+            # 1-ulp libm skew across toolchains, far below real drift.
+            if not math.isclose(float(got[field]), float(want[field]),
+                                rel_tol=0.0, abs_tol=0.005):
+                error(
+                    f"figure gate: {want['policy']}/{want['hours_of_storage']}h "
+                    f"{field} = {got[field]}, pinned {want[field]} "
+                    f"(storage/routing behaviour drifted - regenerate "
+                    f"BENCH_perf.json only if the change is intended)"
+                )
+    pinned_cells = {cell_key(w["policy"], w["hours_of_storage"]) for w in pinned}
+    for cell in sorted(set(by_cell) - pinned_cells):
+        print(f"figure gate: CSV row {cell} has no pinned baseline (new cell?)")
+    if not errors:
+        print(f"figure gate: {len(pinned)} pinned rows match {csv_path.name} exactly")
+
+
+def check_timings(baseline: dict, results: pathlib.Path, threshold: float) -> None:
+    for harness in ("bench_perf_router", "bench_perf_market"):
+        json_path = results / f"{harness}.json"
+        if not json_path.exists():
+            error(f"timing gate: {json_path} missing (did the bench run?)")
+            continue
+        with json_path.open() as fh:
+            measured = {
+                b["name"]: b
+                for b in json.load(fh).get("benchmarks", [])
+                if b.get("run_type", "iteration") == "iteration"
+            }
+        pinned = {b["name"]: b for b in baseline.get(harness, [])}
+        for name, want in pinned.items():
+            got = measured.get(name)
+            if got is None:
+                warn(f"timing gate: {harness}:{name} pinned but not measured")
+                continue
+            base_ns = to_ns(want["real_time"], want["time_unit"])
+            got_ns = to_ns(got["real_time"], got["time_unit"])
+            ratio = got_ns / base_ns if base_ns > 0 else float("inf")
+            status = "ok"
+            if ratio > threshold:
+                warn(
+                    f"perf regression: {harness}:{name} {got_ns / 1e6:.3f} ms "
+                    f"vs baseline {base_ns / 1e6:.3f} ms ({ratio:.2f}x, "
+                    f"soft threshold {threshold:.2f}x)"
+                )
+                status = "REGRESSED"
+            print(f"timing gate: {harness}:{name} {ratio:.2f}x baseline [{status}]")
+        for name in sorted(set(measured) - set(pinned)):
+            print(f"timing gate: {harness}:{name} has no pinned baseline (new bench?)")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=pathlib.Path, default="BENCH_perf.json")
+    parser.add_argument("--results", type=pathlib.Path, default="perf-results")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=1.25,
+        help="soft-warn when real_time exceeds baseline by this factor",
+    )
+    args = parser.parse_args()
+
+    with args.baseline.open() as fh:
+        baseline = json.load(fh)
+
+    check_figure_rows(baseline, args.results)
+    check_timings(baseline, args.results, args.threshold)
+
+    if errors:
+        print(f"FAILED: {errors} error(s), {warnings} timing warning(s)")
+        return 1
+    print(f"OK: figure rows exact, {warnings} timing warning(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

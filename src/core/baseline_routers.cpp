@@ -1,25 +1,38 @@
 #include "core/baseline_routers.h"
 
 #include <algorithm>
+#include <numeric>
 #include <stdexcept>
 
 namespace cebis::core {
 
 AkamaiLikeRouter::AkamaiLikeRouter(const traffic::BaselineAllocation& alloc)
-    : alloc_(alloc) {}
+    : state_count_(alloc.state_count()) {
+  offset_.resize(state_count_ + 1);
+  offset_[0] = 0;
+  for (std::size_t s = 0; s < state_count_; ++s) {
+    const StateId state{static_cast<std::int32_t>(s)};
+    for (std::size_t k = 0; k < traffic::kClusterCount; ++k) {
+      const double w = alloc.cluster_weight(state, k);
+      if (w > 0.0) {
+        weights_.push_back(Weight{static_cast<std::uint32_t>(k), w});
+      }
+    }
+    offset_[s + 1] = static_cast<std::uint32_t>(weights_.size());
+  }
+}
 
 void AkamaiLikeRouter::route(const RoutingContext& ctx, Allocation& out) {
   out.clear();
-  if (ctx.demand.size() != alloc_.state_count()) {
+  if (ctx.demand.size() != state_count_) {
     throw std::invalid_argument("AkamaiLikeRouter::route: state count mismatch");
   }
-  for (std::size_t s = 0; s < ctx.demand.size(); ++s) {
+  for (std::size_t s = 0; s < state_count_; ++s) {
     const double d = ctx.demand[s];
     if (d <= 0.0) continue;
-    const StateId state{static_cast<std::int32_t>(s)};
-    for (std::size_t k = 0; k < traffic::kClusterCount; ++k) {
-      const double w = alloc_.cluster_weight(state, k);
-      if (w > 0.0) out.add(s, k, d * w);
+    for (std::uint32_t i = offset_[s]; i < offset_[s + 1]; ++i) {
+      const Weight& w = weights_[i];
+      out.add(s, w.cluster, d * w.fraction);
     }
   }
 }
@@ -39,31 +52,35 @@ void StaticCheapestRouter::route(const RoutingContext& ctx, Allocation& out) {
 
 ClosestRouter::ClosestRouter(const geo::DistanceModel& distances,
                              std::size_t cluster_count)
-    : cluster_count_(cluster_count) {
+    : cluster_count_(cluster_count), state_count_(distances.state_count()) {
   if (cluster_count_ == 0 || cluster_count_ > distances.site_count()) {
     throw std::invalid_argument("ClosestRouter: bad cluster count");
   }
-  by_distance_.reserve(distances.state_count());
-  for (std::size_t s = 0; s < distances.state_count(); ++s) {
+  by_distance_.resize(state_count_ * cluster_count_);
+  for (std::size_t s = 0; s < state_count_; ++s) {
     const StateId state{static_cast<std::int32_t>(s)};
-    std::vector<std::size_t> order(cluster_count_);
-    for (std::size_t c = 0; c < cluster_count_; ++c) order[c] = c;
-    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      return distances.distance(state, a) < distances.distance(state, b);
-    });
-    by_distance_.push_back(std::move(order));
+    const auto row =
+        by_distance_.begin() + static_cast<std::ptrdiff_t>(s * cluster_count_);
+    std::iota(row, row + static_cast<std::ptrdiff_t>(cluster_count_),
+              std::uint32_t{0});
+    std::sort(row, row + static_cast<std::ptrdiff_t>(cluster_count_),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return distances.distance(state, a) < distances.distance(state, b);
+              });
   }
 }
 
 void ClosestRouter::route(const RoutingContext& ctx, Allocation& out) {
   out.clear();
-  if (ctx.demand.size() != by_distance_.size()) {
+  if (ctx.demand.size() != state_count_) {
     throw std::invalid_argument("ClosestRouter::route: state count mismatch");
   }
-  for (std::size_t s = 0; s < ctx.demand.size(); ++s) {
+  for (std::size_t s = 0; s < state_count_; ++s) {
     double remaining = ctx.demand[s];
     if (remaining <= 0.0) continue;
-    for (std::size_t c : by_distance_[s]) {
+    const std::span<const std::uint32_t> order(
+        by_distance_.data() + s * cluster_count_, cluster_count_);
+    for (const std::uint32_t c : order) {
       if (remaining <= 0.0) break;
       const double room = ctx.limit(c) - out.cluster_total(c);
       if (room <= 0.0) continue;
@@ -71,7 +88,7 @@ void ClosestRouter::route(const RoutingContext& ctx, Allocation& out) {
       out.add(s, c, take);
       remaining -= take;
     }
-    if (remaining > 0.0) out.add(s, by_distance_[s].front(), remaining);
+    if (remaining > 0.0) out.add(s, order.front(), remaining);
   }
 }
 

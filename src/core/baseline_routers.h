@@ -9,6 +9,13 @@
 //    Use with consolidate_clusters() so servers move too.
 //  - ClosestRouter: pure proximity (the distance-optimal scheme; also
 //    the Theta=0 degenerate case of the price optimizer).
+//
+// None of these routers reads prices, so their "plan" is fully static:
+// AkamaiLikeRouter snapshots the sparse nonzero state->cluster weights
+// and ClosestRouter its flattened distance orders at construction; the
+// per-step route() call only replays them against the live limits.
+
+#include <cstdint>
 
 #include "core/routing.h"
 #include "traffic/akamai_allocation.h"
@@ -23,7 +30,16 @@ class AkamaiLikeRouter final : public Router {
   [[nodiscard]] std::string_view name() const override { return "akamai-like"; }
 
  private:
-  const traffic::BaselineAllocation& alloc_;
+  struct Weight {
+    std::uint32_t cluster;
+    double fraction;
+  };
+  std::size_t state_count_;
+  // Sparse per-state nonzero weights (most states map to 1-3 clusters),
+  // flattened with an offsets table: state s's weights live at
+  // [offset_[s], offset_[s + 1]).
+  std::vector<Weight> weights_;
+  std::vector<std::uint32_t> offset_;
 };
 
 class StaticCheapestRouter final : public Router {
@@ -48,7 +64,9 @@ class ClosestRouter final : public Router {
 
  private:
   std::size_t cluster_count_;
-  std::vector<std::vector<std::size_t>> by_distance_;  // per state
+  std::size_t state_count_;
+  // Distance-sorted cluster ids per state, row-major [state][rank].
+  std::vector<std::uint32_t> by_distance_;
 };
 
 }  // namespace cebis::core

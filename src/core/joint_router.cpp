@@ -17,20 +17,42 @@ JointObjectiveRouter::JointObjectiveRouter(const geo::DistanceModel& distances,
     throw std::invalid_argument("JointObjectiveRouter: negative penalty config");
   }
   distance_km_.reserve(distances.state_count());
-  by_distance_.reserve(distances.state_count());
+  nearest_.reserve(distances.state_count());
   for (std::size_t s = 0; s < distances.state_count(); ++s) {
     const StateId state{static_cast<std::int32_t>(s)};
     std::vector<double> row(cluster_count_);
     for (std::size_t c = 0; c < cluster_count_; ++c) {
       row[c] = distances.distance(state, c).value();
     }
-    std::vector<std::size_t> order(cluster_count_);
-    std::iota(order.begin(), order.end(), std::size_t{0});
-    std::sort(order.begin(), order.end(),
-              [&row](std::size_t a, std::size_t b) { return row[a] < row[b]; });
+    // Only the closest cluster is needed (the overload fallback);
+    // traversal orders all live in the price-keyed plan.
+    nearest_.push_back(static_cast<std::uint32_t>(
+        std::min_element(row.begin(), row.end()) - row.begin()));
     distance_km_.push_back(std::move(row));
-    by_distance_.push_back(std::move(order));
   }
+  plan_order_.resize(distance_km_.size() * cluster_count_);
+  objective_.resize(cluster_count_);
+}
+
+void JointObjectiveRouter::rebuild_plan(std::span<const double> price) {
+  plan_price_.assign(price.begin(), price.end());
+  ++plan_rebuilds_;
+  for (std::size_t s = 0; s < distance_km_.size(); ++s) {
+    for (std::size_t c = 0; c < cluster_count_; ++c) {
+      const double excess =
+          std::max(0.0, distance_km_[s][c] - config_.free_km.value());
+      objective_[c] = plan_price_[c] + config_.lambda_usd_per_mwh_km * excess;
+    }
+    const auto begin =
+        plan_order_.begin() + static_cast<std::ptrdiff_t>(s * cluster_count_);
+    std::iota(begin, begin + static_cast<std::ptrdiff_t>(cluster_count_),
+              std::uint32_t{0});
+    std::sort(begin, begin + static_cast<std::ptrdiff_t>(cluster_count_),
+              [this](std::uint32_t a, std::uint32_t b) {
+                return objective_[a] < objective_[b];
+              });
+  }
+  plan_valid_ = true;
 }
 
 void JointObjectiveRouter::route(const RoutingContext& ctx, Allocation& out) {
@@ -38,27 +60,20 @@ void JointObjectiveRouter::route(const RoutingContext& ctx, Allocation& out) {
       ctx.price.size() != cluster_count_ || ctx.capacity.size() != cluster_count_) {
     throw std::invalid_argument("JointObjectiveRouter::route: context mismatch");
   }
+  if (!plan_valid_ || !spans_equal(ctx.price, plan_price_)) {
+    rebuild_plan(ctx.price);
+  }
   out.clear();
 
   for (std::size_t s = 0; s < distance_km_.size(); ++s) {
     double remaining = ctx.demand[s];
     if (remaining <= 0.0) continue;
-
-    objective_.resize(cluster_count_);
-    for (std::size_t c = 0; c < cluster_count_; ++c) {
-      const double excess =
-          std::max(0.0, distance_km_[s][c] - config_.free_km.value());
-      objective_[c] = ctx.price[c] + config_.lambda_usd_per_mwh_km * excess;
-    }
-    order_.resize(cluster_count_);
-    std::iota(order_.begin(), order_.end(), std::size_t{0});
-    std::sort(order_.begin(), order_.end(), [this](std::size_t a, std::size_t b) {
-      return objective_[a] < objective_[b];
-    });
+    const std::span<const std::uint32_t> order(
+        plan_order_.data() + s * cluster_count_, cluster_count_);
 
     // Greedy fill in objective order under the interval limits, then
     // capacity only, finally overload the closest cluster.
-    for (std::size_t c : order_) {
+    for (const std::uint32_t c : order) {
       if (remaining <= 0.0) break;
       const double room = ctx.limit(c) - out.cluster_total(c);
       if (room <= 0.0) continue;
@@ -67,7 +82,7 @@ void JointObjectiveRouter::route(const RoutingContext& ctx, Allocation& out) {
       remaining -= take;
     }
     if (remaining > 0.0) {
-      for (std::size_t c : order_) {
+      for (const std::uint32_t c : order) {
         if (remaining <= 0.0) break;
         const double room = ctx.capacity[c] - out.cluster_total(c);
         if (room <= 0.0) continue;
@@ -77,7 +92,7 @@ void JointObjectiveRouter::route(const RoutingContext& ctx, Allocation& out) {
       }
     }
     if (remaining > 0.0) {
-      out.add(s, by_distance_[s].front(), remaining);
+      out.add(s, nearest_[s], remaining);
     }
   }
 }

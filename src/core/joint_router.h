@@ -19,6 +19,13 @@
 // the sweep in between traces a smooth cost-vs-performance frontier
 // (bench_ablation_joint_objective compares it against the hard
 // threshold's frontier).
+//
+// The objective depends only on prices and static geography, so like
+// PriceAwareRouter the per-state objective-sorted orders are an
+// hour-scoped plan: rebuilt when the routing prices change, replayed
+// across all sub-hourly steps in between (limits stay live per step).
+
+#include <cstdint>
 
 #include "core/routing.h"
 
@@ -45,13 +52,26 @@ class JointObjectiveRouter final : public Router {
     return config_;
   }
 
+  /// Number of price-change-driven re-sorts of the per-state orders.
+  [[nodiscard]] std::int64_t plan_rebuilds() const noexcept {
+    return plan_rebuilds_;
+  }
+
  private:
   JointObjectiveConfig config_;
   std::size_t cluster_count_;
-  std::vector<std::vector<double>> distance_km_;       // [state][cluster]
-  std::vector<std::vector<std::size_t>> by_distance_;  // [state] cluster order
-  std::vector<std::size_t> order_;                     // scratch
-  std::vector<double> objective_;                      // scratch
+  std::vector<std::vector<double>> distance_km_;  // [state][cluster]
+  std::vector<std::uint32_t> nearest_;            // closest cluster per state
+
+  // Hour-scoped plan: per-state objective-sorted cluster orders, valid
+  // for the prices in plan_price_.
+  std::vector<double> plan_price_;
+  std::vector<std::uint32_t> plan_order_;  // [state][cluster], row-major
+  bool plan_valid_ = false;
+  std::int64_t plan_rebuilds_ = 0;
+  std::vector<double> objective_;  // scratch
+
+  void rebuild_plan(std::span<const double> price);
 };
 
 }  // namespace cebis::core

@@ -20,8 +20,11 @@ void SecondaryMeter::on_step(const StepView& view) {
       rate_[c] = series_.rt_at(clusters_[c].hub, view.hour).value();
     }
   }
-  for (std::size_t c = 0; c < clusters_.size(); ++c) {
-    const double metered = rate_[c] * view.energy_mwh[c];
+  const std::size_t n = clusters_.size();
+  for (std::size_t c = 0; c < n; ++c) {
+    const double e = view.energy_mwh[c];
+    if (e == 0.0) continue;  // suspended cluster (demand response)
+    const double metered = rate_[c] * e;
     per_cluster_[c] += metered;
     total_ += metered;
   }
@@ -36,8 +39,10 @@ void HourlyEnergyRecorder::on_run_begin(Period period,
 
 void HourlyEnergyRecorder::on_step(const StepView& view) {
   const auto row = static_cast<std::size_t>(view.hour - begin_);
-  for (std::size_t c = 0; c < energy_.clusters(); ++c) {
-    energy_.at(row, c) += view.energy_mwh[c];
+  const std::size_t n = energy_.clusters();
+  for (std::size_t c = 0; c < n; ++c) {
+    const double e = view.energy_mwh[c];
+    if (e != 0.0) energy_.at(row, c) += e;
   }
 }
 

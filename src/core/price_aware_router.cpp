@@ -49,6 +49,88 @@ PriceAwareRouter::PriceAwareRouter(const geo::DistanceModel& distances,
     sc.within_threshold = within;
     candidates_.push_back(std::move(sc));
   }
+
+  // Plan layout: each state's in-threshold candidates are a contiguous
+  // slice of main_order_, every state's full cluster order a fixed-width
+  // row of full_order_.
+  main_offset_.resize(candidates_.size() + 1);
+  main_offset_[0] = 0;
+  for (std::size_t s = 0; s < candidates_.size(); ++s) {
+    main_offset_[s + 1] = main_offset_[s] +
+                          static_cast<std::uint32_t>(candidates_[s].within_threshold);
+  }
+  main_order_.resize(main_offset_.back());
+  full_order_.resize(candidates_.size() * cluster_count_);
+  full_epoch_.assign(candidates_.size(), -1);
+}
+
+void PriceAwareRouter::rebuild_orders(std::span<const double> price) {
+  plan_price_.assign(price.begin(), price.end());
+  ++plan_rebuilds_;
+  const auto by_price = [this](std::uint32_t a, std::uint32_t b) {
+    return plan_price_[a] < plan_price_[b];
+  };
+  for (std::size_t s = 0; s < candidates_.size(); ++s) {
+    const StateCandidates& sc = candidates_[s];
+    const std::size_t n = sc.within_threshold;
+
+    // Order candidates by price (ties: closer first). by_distance is
+    // already distance-sorted, so a stable sort on price keeps the
+    // distance tie-break.
+    const auto main_begin =
+        main_order_.begin() + static_cast<std::ptrdiff_t>(main_offset_[s]);
+    const auto main_end = main_begin + static_cast<std::ptrdiff_t>(n);
+    std::copy(sc.by_distance.begin(),
+              sc.by_distance.begin() + static_cast<std::ptrdiff_t>(n), main_begin);
+    std::stable_sort(main_begin, main_end, by_price);
+
+    // Price threshold: if the cheapest candidate saves less than tau
+    // against the *nearest* candidate, prefer the nearest (distance is
+    // the default objective; tiny differentials are ignored).
+    const auto nearest = static_cast<std::uint32_t>(sc.by_distance.front());
+    if (plan_price_[nearest] - plan_price_[*main_begin] <
+        config_.price_threshold.value()) {
+      const auto it = std::find(main_begin, main_end, nearest);
+      if (it != main_begin && it != main_end) {
+        std::rotate(main_begin, it, it + 1);  // move nearest to the front
+      }
+    }
+  }
+  plan_valid_ = true;
+}
+
+std::span<const std::uint32_t> PriceAwareRouter::full_order_for(std::size_t state) {
+  // Phase-2 order: every cluster, price-sorted with the same distance
+  // tie-break. Built at most once per state per plan epoch.
+  const auto begin =
+      full_order_.begin() + static_cast<std::ptrdiff_t>(state * cluster_count_);
+  if (full_epoch_[state] != plan_rebuilds_) {
+    full_epoch_[state] = plan_rebuilds_;
+    const StateCandidates& sc = candidates_[state];
+    std::copy(sc.by_distance.begin(), sc.by_distance.end(), begin);
+    std::stable_sort(begin, begin + static_cast<std::ptrdiff_t>(cluster_count_),
+                     [this](std::uint32_t a, std::uint32_t b) {
+                       return plan_price_[a] < plan_price_[b];
+                     });
+  }
+  return {full_order_.data() + state * cluster_count_, cluster_count_};
+}
+
+void PriceAwareRouter::refresh_limits(const RoutingContext& ctx) {
+  ++limit_refreshes_;
+  plan_capacity_.assign(ctx.capacity.begin(), ctx.capacity.end());
+  limits_have_p95_ = !ctx.p95_limit.empty();
+  strict_limit_.resize(cluster_count_);
+  if (limits_have_p95_) {
+    plan_p95_.assign(ctx.p95_limit.begin(), ctx.p95_limit.end());
+    for (std::size_t c = 0; c < cluster_count_; ++c) {
+      strict_limit_[c] = std::min(plan_capacity_[c], plan_p95_[c]);
+    }
+  } else {
+    plan_p95_.clear();
+    std::copy(plan_capacity_.begin(), plan_capacity_.end(), strict_limit_.begin());
+  }
+  limits_valid_ = true;
 }
 
 void PriceAwareRouter::route(const RoutingContext& ctx, Allocation& out) {
@@ -56,6 +138,20 @@ void PriceAwareRouter::route(const RoutingContext& ctx, Allocation& out) {
       ctx.price.size() != cluster_count_ || ctx.capacity.size() != cluster_count_) {
     throw std::invalid_argument("PriceAwareRouter::route: context size mismatch");
   }
+
+  // Refresh the hour-scoped plan only on actual input changes: the
+  // candidate orders when prices moved, the strict-limit snapshot when
+  // capacity factors or the 95/5 references moved. can_burst is read
+  // live below (it flips mid-hour as budgets exhaust), never cached.
+  if (!plan_valid_ || !spans_equal(ctx.price, plan_price_)) {
+    rebuild_orders(ctx.price);
+  }
+  if (!limits_valid_ || limits_have_p95_ != !ctx.p95_limit.empty() ||
+      !spans_equal(ctx.capacity, plan_capacity_) ||
+      !spans_equal(ctx.p95_limit, plan_p95_)) {
+    refresh_limits(ctx);
+  }
+
   out.clear();
 
   // The 95/5 reference acts as a hard cap during the main pass; bursts
@@ -64,11 +160,6 @@ void PriceAwareRouter::route(const RoutingContext& ctx, Allocation& out) {
   // percentiles at or below their baseline references: clusters exceed
   // the reference in at most the ~5% of intervals where total demand
   // genuinely requires it, never because cheap power attracted traffic.
-  const auto strict_limit = [&ctx](std::size_t c) {
-    const double cap = ctx.capacity[c];
-    return ctx.p95_limit.empty() ? cap : std::min(cap, ctx.p95_limit[c]);
-  };
-
   struct Leftover {
     std::size_t state;
     double amount;
@@ -80,34 +171,14 @@ void PriceAwareRouter::route(const RoutingContext& ctx, Allocation& out) {
     if (remaining <= 0.0) continue;
     const StateCandidates& sc = candidates_[s];
     const std::size_t n = sc.within_threshold;
+    const std::span<const std::uint32_t> order(main_order_.data() + main_offset_[s],
+                                               n);
 
-    // Order candidates by price (ties: closer first). by_distance is
-    // already distance-sorted, so a stable sort on price keeps the
-    // distance tie-break.
-    order_.assign(sc.by_distance.begin(),
-                  sc.by_distance.begin() + static_cast<std::ptrdiff_t>(n));
-    std::stable_sort(order_.begin(), order_.end(),
-                     [&ctx](std::size_t a, std::size_t b) {
-                       return ctx.price[a] < ctx.price[b];
-                     });
-
-    // Price threshold: if the cheapest candidate saves less than tau
-    // against the *nearest* candidate, prefer the nearest (distance is
-    // the default objective; tiny differentials are ignored).
-    const std::size_t nearest = sc.by_distance.front();
-    if (ctx.price[nearest] - ctx.price[order_.front()] <
-        config_.price_threshold.value()) {
-      const auto it = std::find(order_.begin(), order_.end(), nearest);
-      if (it != order_.begin() && it != order_.end()) {
-        order_.erase(it);
-        order_.insert(order_.begin(), nearest);
-      }
-    }
-
-    // Greedy assignment with iterative spill on capacity / 95-5 limits.
-    for (std::size_t c : order_) {
+    // Greedy assignment with iterative spill on capacity / 95-5 limits,
+    // in the plan's price order (nearest preference pre-applied).
+    for (const std::uint32_t c : order) {
       if (remaining <= 0.0) break;
-      const double room = strict_limit(c) - out.cluster_total(c);
+      const double room = strict_limit_[c] - out.cluster_total(c);
       if (room <= 0.0) continue;
       const double take = std::min(remaining, room);
       out.add(s, c, take);
@@ -123,7 +194,7 @@ void PriceAwareRouter::route(const RoutingContext& ctx, Allocation& out) {
         const double w = fallback_->cluster_weight(state, c);
         if (w <= 0.0) continue;
         const double want = handed * w;
-        const double room = strict_limit(c) - out.cluster_total(c);
+        const double room = strict_limit_[c] - out.cluster_total(c);
         const double take = std::min({remaining, want, std::max(0.0, room)});
         if (take > 0.0) {
           out.add(s, c, take);
@@ -137,7 +208,7 @@ void PriceAwareRouter::route(const RoutingContext& ctx, Allocation& out) {
     // The per-interval budget check rations bursts to 5% of intervals,
     // which is exactly what 95/5 billing tolerates.
     if (remaining > 0.0 && !ctx.p95_limit.empty() && !ctx.can_burst.empty()) {
-      for (std::size_t c : order_) {
+      for (const std::uint32_t c : order) {
         if (remaining <= 0.0) break;
         if (ctx.can_burst[c] == 0) continue;
         const double room = ctx.capacity[c] - out.cluster_total(c);
@@ -152,7 +223,7 @@ void PriceAwareRouter::route(const RoutingContext& ctx, Allocation& out) {
     if (remaining > 0.0) {
       for (std::size_t i = n; i < cluster_count_ && remaining > 0.0; ++i) {
         const std::size_t c = sc.by_distance[i];
-        const double room = strict_limit(c) - out.cluster_total(c);
+        const double room = strict_limit_[c] - out.cluster_total(c);
         if (room <= 0.0) continue;
         const double take = std::min(remaining, room);
         out.add(s, c, take);
@@ -170,12 +241,7 @@ void PriceAwareRouter::route(const RoutingContext& ctx, Allocation& out) {
   for (auto& [s, remaining] : leftovers) {
     const StateCandidates& sc = candidates_[s];
     if (!ctx.p95_limit.empty() && !ctx.can_burst.empty()) {
-      order_.assign(sc.by_distance.begin(), sc.by_distance.end());
-      std::stable_sort(order_.begin(), order_.end(),
-                       [&ctx](std::size_t a, std::size_t b) {
-                         return ctx.price[a] < ctx.price[b];
-                       });
-      for (std::size_t c : order_) {
+      for (const std::uint32_t c : full_order_for(s)) {
         if (remaining <= 0.0) break;
         if (ctx.can_burst[c] == 0) continue;
         const double room = ctx.capacity[c] - out.cluster_total(c);
@@ -202,3 +268,4 @@ void PriceAwareRouter::route(const RoutingContext& ctx, Allocation& out) {
 }
 
 }  // namespace cebis::core
+

@@ -16,7 +16,19 @@
 // closest-cluster routing; continent-scale gives the pure price
 // optimizer) and the price threshold (differentials below $5/MWh are
 // ignored).
+//
+// Hot-path architecture: prices change once per priced hour while trace
+// workloads route every 5 minutes, so the price-dependent work - the
+// per-state price-sorted candidate orders (with the nearest-preference
+// fix applied) and the strict-limit snapshot - is captured in an
+// hour-scoped *routing plan* that is rebuilt only when the routing
+// prices or the capacity/95-5 limits actually change, and replayed for
+// every sub-hourly step in between. Per-interval burst permission
+// (can_burst, which can flip mid-hour as budgets exhaust) is never
+// baked into the plan: burst filtering always reads the live context,
+// so a replayed plan stays exact across mid-hour budget exhaustion.
 
+#include <cstdint>
 #include <vector>
 
 #include "core/routing.h"
@@ -52,6 +64,18 @@ class PriceAwareRouter final : public Router {
 
   [[nodiscard]] const PriceAwareConfig& config() const noexcept { return config_; }
 
+  /// How often route() had to re-sort the candidate orders because the
+  /// routing prices changed (once per priced hour on a healthy trace
+  /// run; once per step if every interval reprices). Observability for
+  /// the plan-replay benchmarks and tests.
+  [[nodiscard]] std::int64_t plan_rebuilds() const noexcept {
+    return plan_rebuilds_;
+  }
+  /// How often the capacity/95-5 strict-limit snapshot was refreshed.
+  [[nodiscard]] std::int64_t limit_refreshes() const noexcept {
+    return limit_refreshes_;
+  }
+
  private:
   PriceAwareConfig config_;
   std::size_t cluster_count_;
@@ -66,8 +90,36 @@ class PriceAwareRouter final : public Router {
   };
   std::vector<StateCandidates> candidates_;
 
-  // Scratch buffer reused across route() calls.
-  std::vector<std::size_t> order_;
+  // --- hour-scoped routing plan ---------------------------------------
+  // Price-keyed half: the per-state candidate orders. main_order_ holds
+  // each state's in-threshold candidates price-sorted (nearest
+  // preference applied) at offset main_offset_[s]; full_order_ holds
+  // complete price-sorted cluster lists (the phase-2 / genuine-peak
+  // order) at s * cluster_count_, filled lazily per state - genuine
+  // peaks are rare, so most plans never sort them (full_epoch_[s]
+  // records the plan epoch a state's row was built for).
+  std::vector<double> plan_price_;
+  std::vector<std::uint32_t> main_order_;
+  std::vector<std::uint32_t> main_offset_;  // size states + 1
+  std::vector<std::uint32_t> full_order_;
+  std::vector<std::int64_t> full_epoch_;  // per state; -1 = never built
+  bool plan_valid_ = false;
+  std::int64_t plan_rebuilds_ = 0;
+
+  // Limit-keyed half: min(capacity, p95) per cluster, refreshed when
+  // the capacity vector or the 95/5 references change (capacity factors
+  // from demand-response scenarios change it mid-run).
+  std::vector<double> plan_capacity_;
+  std::vector<double> plan_p95_;
+  std::vector<double> strict_limit_;
+  bool limits_valid_ = false;
+  bool limits_have_p95_ = false;
+  std::int64_t limit_refreshes_ = 0;
+
+  void rebuild_orders(std::span<const double> price);
+  void refresh_limits(const RoutingContext& ctx);
+  /// The state's phase-2 order for the current plan, built on demand.
+  [[nodiscard]] std::span<const std::uint32_t> full_order_for(std::size_t state);
 };
 
 }  // namespace cebis::core

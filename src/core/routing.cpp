@@ -11,10 +11,14 @@ Allocation::Allocation(std::size_t states, std::size_t clusters)
   }
   hits_.assign(states * clusters, 0.0);
   totals_.assign(clusters, 0.0);
+  entries_.reserve(states * 2);  // typical: one or two clusters per state
 }
 
 void Allocation::clear() {
-  std::fill(hits_.begin(), hits_.end(), 0.0);
+  for (const Entry& e : entries_) {
+    hits_[e.state * clusters_ + e.cluster] = 0.0;
+  }
+  entries_.clear();
   std::fill(totals_.begin(), totals_.end(), 0.0);
 }
 
@@ -23,7 +27,13 @@ void Allocation::add(std::size_t state, std::size_t cluster, double hits) {
     throw std::out_of_range("Allocation::add");
   }
   if (hits < 0.0) throw std::invalid_argument("Allocation::add: negative hits");
-  hits_[state * clusters_ + cluster] += hits;
+  if (hits == 0.0) return;
+  double& cell = hits_[state * clusters_ + cluster];
+  if (cell == 0.0) {
+    entries_.push_back(Entry{static_cast<std::uint32_t>(state),
+                             static_cast<std::uint32_t>(cluster)});
+  }
+  cell += hits;
   totals_[cluster] += hits;
 }
 

@@ -6,6 +6,7 @@
 // 95-5 limits in force. Routers are called once per 5-minute step (trace
 // runs) or per hour (synthetic runs).
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <string_view>
@@ -18,17 +19,39 @@
 namespace cebis::core {
 
 /// One interval's assignment of state demand to clusters.
+///
+/// Storage is a dense [state][cluster] matrix for O(1) lookups, plus a
+/// list of the nonzero (state, cluster) cells in first-touch order. The
+/// list is what makes the simulation hot path cheap: an interval
+/// typically assigns each state to one or two clusters, so clearing and
+/// walking the nonzero entries is ~50x less work than re-filling and
+/// re-scanning the whole matrix every 5-minute step.
 class Allocation {
  public:
+  /// One nonzero cell of the assignment matrix.
+  struct Entry {
+    std::uint32_t state;
+    std::uint32_t cluster;
+  };
+
   Allocation(std::size_t states, std::size_t clusters);
 
+  /// Resets to all-zero; O(nonzero entries), not O(states x clusters).
   void clear();
   void add(std::size_t state, std::size_t cluster, double hits);
 
   [[nodiscard]] double hits(std::size_t state, std::size_t cluster) const;
+  /// Unchecked lookup for entries obtained from nonzero().
+  [[nodiscard]] double hits(const Entry& e) const noexcept {
+    return hits_[e.state * clusters_ + e.cluster];
+  }
   [[nodiscard]] double cluster_total(std::size_t cluster) const;
   [[nodiscard]] std::span<const double> cluster_totals() const noexcept {
     return totals_;
+  }
+  /// The nonzero cells, in the order the router first touched them.
+  [[nodiscard]] std::span<const Entry> nonzero() const noexcept {
+    return entries_;
   }
   [[nodiscard]] std::size_t states() const noexcept { return states_; }
   [[nodiscard]] std::size_t clusters() const noexcept { return clusters_; }
@@ -38,6 +61,7 @@ class Allocation {
   std::size_t clusters_;
   std::vector<double> hits_;    // [state][cluster]
   std::vector<double> totals_;  // [cluster]
+  std::vector<Entry> entries_;  // nonzero cells of hits_
 };
 
 /// Read-only inputs for one routing interval.
@@ -62,6 +86,15 @@ struct RoutingContext {
     return std::min(cap, p95_limit[cluster]);
   }
 };
+
+/// Element-wise equality of two value series - the routers' shared
+/// plan-invalidation check (see PriceAwareRouter / JointObjectiveRouter:
+/// a plan is replayed only while its inputs compare equal). NaN never
+/// compares equal to itself, so a NaN input safely forces a rebuild.
+[[nodiscard]] inline bool spans_equal(std::span<const double> a,
+                                      std::span<const double> b) {
+  return std::equal(a.begin(), a.end(), b.begin(), b.end());
+}
 
 class Router {
  public:

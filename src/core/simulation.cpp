@@ -61,6 +61,13 @@ SimulationEngine::SimulationEngine(std::vector<Cluster> clusters,
   if (distances_.site_count() < clusters_.size()) {
     throw std::invalid_argument("SimulationEngine: distance model too small");
   }
+  distance_km_.resize(distances_.state_count() * clusters_.size());
+  for (std::size_t s = 0; s < distances_.state_count(); ++s) {
+    for (std::size_t c = 0; c < clusters_.size(); ++c) {
+      distance_km_[s * clusters_.size() + c] =
+          distances_.distance(StateId{static_cast<std::int32_t>(s)}, c).value();
+    }
+  }
 }
 
 RunResult SimulationEngine::run(const Workload& workload, Router& router,
@@ -77,11 +84,17 @@ RunResult SimulationEngine::run(const Workload& workload, Router& router,
 
   const std::size_t n_clusters = clusters_.size();
   const std::size_t n_states = workload.state_count();
+  if (n_states > distances_.state_count()) {
+    throw std::invalid_argument(
+        "SimulationEngine::run: workload has more states than the distance model");
+  }
   const int sph = workload.steps_per_hour();
   const Hours dt{1.0 / sph};
   const energy::ClusterEnergyModel model(config_.energy);
 
-  // Routing context buffers.
+  // Routing context buffers, bound once: the spans in `ctx` alias these
+  // vectors for the whole run (they never reallocate), so each step only
+  // rewrites the values, not the context.
   std::vector<double> demand(n_states, 0.0);
   std::vector<double> price(n_clusters, 0.0);
   std::vector<double> bill_price(n_clusters, 0.0);
@@ -104,13 +117,33 @@ RunResult SimulationEngine::run(const Workload& workload, Router& router,
   billing::FleetBurstBudgets budgets(p95_refs.empty() ? std::vector<double>(n_clusters, 0.0)
                                                       : p95_refs);
 
+  RoutingContext ctx;
+  ctx.demand = demand;
+  ctx.price = price;
+  ctx.capacity = capacity;
+  if (config_.enforce_p95) {
+    ctx.p95_limit = p95_limit;
+    ctx.can_burst = can_burst;
+  }
+
+  // Per-hour energy models when a pue_of hook is active (rebuilt when
+  // the hour advances instead of every 5-minute step).
+  std::vector<energy::ClusterEnergyModel> hour_models;
+  if (config_.pue_of) hour_models.reserve(n_clusters);
+
   Allocation alloc(n_states, n_clusters);
   RunResult result;
   result.cluster_cost.assign(n_clusters, 0.0);
   result.cluster_energy.assign(n_clusters, 0.0);
   DistanceStats dist_stats;
-  std::vector<std::vector<double>> load_history(n_clusters);
-  for (auto& v : load_history) v.reserve(static_cast<std::size_t>(workload.steps()));
+  // Realized 95th percentiles stream through an exact top-K sketch
+  // instead of retaining every interval's load (stats::StreamingPercentile
+  // reproduces stats::p95 bit-for-bit).
+  std::vector<stats::StreamingPercentile> load_p95;
+  load_p95.reserve(n_clusters);
+  for (std::size_t c = 0; c < n_clusters; ++c) {
+    load_p95.emplace_back(workload.steps(), 95.0);
+  }
 
   for (StepObserver* obs : observers) {
     obs->on_run_begin(period, clusters_, sph);
@@ -136,6 +169,16 @@ RunResult SimulationEngine::run(const Workload& workload, Router& router,
         cap_factor[c] = factor;
         capacity[c] = clusters_[c].capacity.value() * factor;
       }
+      if (config_.pue_of) {
+        // The hook swaps in the hour's effective PUE (weather-dependent
+        // free cooling); one model per cluster covers all its steps.
+        hour_models.clear();
+        for (std::size_t c = 0; c < n_clusters; ++c) {
+          energy::EnergyModelParams p = config_.energy;
+          p.pue = std::max(1.0, config_.pue_of(c, hour));
+          hour_models.emplace_back(p);
+        }
+      }
     }
     if (config_.enforce_p95) {
       for (std::size_t c = 0; c < n_clusters; ++c) {
@@ -144,15 +187,6 @@ RunResult SimulationEngine::run(const Workload& workload, Router& router,
     }
 
     workload.demand(step, demand);
-
-    RoutingContext ctx;
-    ctx.demand = demand;
-    ctx.price = price;
-    ctx.capacity = capacity;
-    if (config_.enforce_p95) {
-      ctx.p95_limit = p95_limit;
-      ctx.can_burst = can_burst;
-    }
     router.route(ctx, alloc);
 
     // --- accounting ----------------------------------------------------
@@ -160,7 +194,7 @@ RunResult SimulationEngine::run(const Workload& workload, Router& router,
     for (std::size_t c = 0; c < n_clusters; ++c) {
       const Cluster& cluster = clusters_[c];
       const double load = alloc.cluster_total(c);
-      load_history[c].push_back(load);
+      load_p95[c].add(load);
       step_energy[c] = 0.0;
       const double active_servers =
           static_cast<double>(cluster.servers) * cap_factor[c];
@@ -171,16 +205,10 @@ RunResult SimulationEngine::run(const Workload& workload, Router& router,
       const double u = load / (cluster.capacity.value() * cap_factor[c]);
       if (u > 1.0 + 1e-9) overflowed = true;
       // The model is linear in n; scale the one-server energy by the
-      // (possibly fractional) active server count. A pue_of hook swaps
-      // in the hour's effective PUE (weather-dependent free cooling).
-      double per_server_mwh;
-      if (config_.pue_of) {
-        energy::EnergyModelParams p = config_.energy;
-        p.pue = std::max(1.0, config_.pue_of(c, hour));
-        per_server_mwh = energy::ClusterEnergyModel(p).energy(u, 1, dt).value();
-      } else {
-        per_server_mwh = model.energy(u, 1, dt).value();
-      }
+      // (possibly fractional) active server count.
+      const double per_server_mwh =
+          config_.pue_of ? hour_models[c].energy(u, 1, dt).value()
+                         : model.energy(u, 1, dt).value();
       const MegawattHours e = MegawattHours{per_server_mwh * active_servers};
       const Usd cost = UsdPerMwh{bill_price[c]} * e;
       step_energy[c] = e.value();
@@ -197,17 +225,14 @@ RunResult SimulationEngine::run(const Workload& workload, Router& router,
       for (StepObserver* obs : observers) obs->on_step(view);
     }
 
-    // Distance metrics, weighted by assigned traffic.
+    // Distance metrics over the nonzero assignments only (an interval
+    // touches ~1-2 clusters per state, not the full matrix).
+    for (const Allocation::Entry& e : alloc.nonzero()) {
+      dist_stats.add(distance_km_[e.state * n_clusters + e.cluster],
+                     alloc.hits(e) * dt.value());
+    }
     for (std::size_t s = 0; s < n_states; ++s) {
-      if (demand[s] <= 0.0) continue;
-      const StateId state{static_cast<std::int32_t>(s)};
-      for (std::size_t c = 0; c < n_clusters; ++c) {
-        const double h = alloc.hits(s, c);
-        if (h > 0.0) {
-          dist_stats.add(distances_.distance(state, c).value(), h * dt.value());
-        }
-      }
-      result.hit_hours += demand[s] * dt.value();
+      if (demand[s] > 0.0) result.hit_hours += demand[s] * dt.value();
     }
   }
 
@@ -215,7 +240,7 @@ RunResult SimulationEngine::run(const Workload& workload, Router& router,
   result.p99_distance_km = dist_stats.percentile(99.0);
   result.realized_p95.resize(n_clusters);
   for (std::size_t c = 0; c < n_clusters; ++c) {
-    result.realized_p95[c] = stats::p95(load_history[c]);
+    result.realized_p95[c] = load_p95[c].value();
   }
   for (StepObserver* obs : observers) obs->on_run_end(result);
   return result;

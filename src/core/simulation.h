@@ -13,6 +13,14 @@
 // Everything beyond the primary dollar accounting - secondary meters,
 // per-hour energy recording, figure series - is layered on via the
 // StepObserver pipeline (see core/step_observer.h and core/observers.h).
+//
+// Hot-path layout: the RoutingContext spans are bound to the engine's
+// scratch vectors once per run and only the values are rewritten;
+// price/capacity refreshes happen on hour boundaries so routers can
+// replay their hour-scoped plans across sub-hourly steps; the distance
+// metrics walk only the allocation's nonzero entries; and the realized
+// 95th percentiles stream through an exact top-K sketch instead of
+// retaining the full per-step load history.
 
 #include <functional>
 #include <span>
@@ -152,6 +160,11 @@ class SimulationEngine {
   const market::PriceSet& prices_;
   const geo::DistanceModel& distances_;
   EngineConfig config_;
+  // Dense copy of the model's states x clusters distances (stride =
+  // cluster count), built once: run() is called many times per engine
+  // in sweeps, and the per-entry metric lookup must not pay the
+  // model's checked interface.
+  std::vector<double> distance_km_;
 };
 
 }  // namespace cebis::core

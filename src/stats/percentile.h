@@ -6,6 +6,7 @@
 // load-bearing primitive: the bandwidth constraints and part of Fig 15/16
 // flow through it.
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -32,6 +33,36 @@ struct Quartiles {
 };
 
 [[nodiscard]] Quartiles quartiles(std::span<const double> xs);
+
+/// Exact streaming percentile for a sample count known in advance.
+///
+/// Keeps only the largest K samples in a min-heap, where K is exactly
+/// the number of order statistics the R-7 interpolation at `p` needs
+/// (about (1 - p/100) * n + 1 values - a 20x memory cut for the p95
+/// the 95/5 audit computes per cluster). value() reproduces
+/// percentile() bit-for-bit, so the simulation engine can stream the
+/// realized p95 instead of retaining every interval's load.
+class StreamingPercentile {
+ public:
+  /// `count` is the exact number of add() calls that will follow.
+  StreamingPercentile(std::int64_t count, double p = 95.0);
+
+  void add(double x);
+
+  /// The percentile over all samples; requires all `count` samples to
+  /// have been added (throws std::logic_error otherwise). Identical to
+  /// stats::percentile over the full series.
+  [[nodiscard]] double value() const;
+
+  [[nodiscard]] std::int64_t count() const noexcept { return added_; }
+
+ private:
+  std::int64_t expected_;
+  std::int64_t added_ = 0;
+  double rank_;             ///< R-7 rank (p/100 * (count-1))
+  std::size_t keep_;        ///< heap capacity: count - floor(rank)
+  std::vector<double> heap_;  ///< min-heap of the largest keep_ samples
+};
 
 /// Streaming percentile tracker: stores samples and answers percentile
 /// queries; used by the online 95/5 constraint tracker and the

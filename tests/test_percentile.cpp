@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
 #include <stdexcept>
 #include <vector>
 
@@ -89,6 +91,42 @@ TEST(PercentileAccumulator, Errors) {
   EXPECT_THROW((void)acc.percentile(50.0), std::invalid_argument);
   EXPECT_THROW((void)acc.mean(), std::invalid_argument);
   EXPECT_THROW(acc.add_weighted(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(StreamingPercentile, BitIdenticalToBatchAcrossSizesAndPs) {
+  // The engine swaps stats::p95 over the retained load history for the
+  // streaming top-K sketch; the swap is only legal because the sketch
+  // reproduces the batch computation bit-for-bit.
+  auto rng = test::test_rng();
+  for (const double p : {0.0, 42.5, 95.0, 99.0, 100.0}) {
+    for (const std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{19},
+                                std::size_t{100}, std::size_t{577}}) {
+      StreamingPercentile sketch(static_cast<std::int64_t>(n), p);
+      std::vector<double> xs;
+      xs.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        // Coarse quantization forces duplicate values across the kept /
+        // discarded boundary.
+        const double x = std::floor(rng.uniform(0.0, 20.0));
+        xs.push_back(x);
+        sketch.add(x);
+      }
+      const double batch = percentile(xs, p);
+      const double streamed = sketch.value();
+      EXPECT_EQ(batch, streamed) << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST(StreamingPercentile, Errors) {
+  EXPECT_THROW(StreamingPercentile(0, 95.0), std::invalid_argument);
+  EXPECT_THROW(StreamingPercentile(10, 101.0), std::invalid_argument);
+  StreamingPercentile sketch(2, 95.0);
+  sketch.add(1.0);
+  EXPECT_THROW((void)sketch.value(), std::logic_error);  // one sample short
+  sketch.add(2.0);
+  EXPECT_EQ(sketch.count(), 2);
+  EXPECT_THROW(sketch.add(3.0), std::logic_error);  // one sample over
 }
 
 /// Property sweep: percentile_sorted is monotone in p.

@@ -220,6 +220,75 @@ TEST_P(RouterFuzz, FixedSeedRunsAreByteIdentical) {
   }
 }
 
+TEST_P(RouterFuzz, FiveMinutePlanReplayMatchesPerStepRouting) {
+  // A 5-minute workload: prices move once per hour, demand every step.
+  // A long-lived router replays its hour-scoped plan across the
+  // sub-hourly steps; a router built fresh for every step has no plan to
+  // replay. Both must be byte-identical at every step - including across
+  // a burst budget exhausting mid-hour (can_burst flips without a price
+  // change) and a demand-response capacity drop mid-hour.
+  constexpr int kHours = 3;
+  constexpr int kStepsPerHour = 12;
+  const std::uint64_t seed = test::kTestSeed ^ (GetParam() * 0x9E3779B9u);
+  stats::Rng rng(seed);
+
+  FuzzContext f = make_context(seed);
+  f.burst.assign(kClusters, 1);  // full burst budget at hour 0
+
+  PriceAwareConfig pa_cfg;
+  pa_cfg.distance_threshold = Km{1500.0};
+  JointObjectiveConfig joint_cfg;
+  joint_cfg.lambda_usd_per_mwh_km = 0.01;
+
+  PriceAwareRouter replay_pa(fuzz_distances(), kClusters, pa_cfg);
+  JointObjectiveRouter replay_joint(fuzz_distances(), kClusters, joint_cfg);
+  Allocation out_replay(f.demand.size(), kClusters);
+  Allocation out_fresh(f.demand.size(), kClusters);
+
+  for (int step = 0; step < kHours * kStepsPerHour; ++step) {
+    if (step % kStepsPerHour == 0) {
+      for (auto& p : f.price) p = rng.uniform(-20.0, 300.0);
+    }
+    for (auto& d : f.demand) {
+      d = rng.bernoulli(0.2) ? 0.0 : rng.uniform(0.0, 9000.0);
+    }
+    if (step == kStepsPerHour + 6) {
+      // Mid-hour burst exhaustion: half the clusters run out of budget
+      // between two repricings.
+      for (std::size_t c = 0; c < kClusters; c += 2) f.burst[c] = 0;
+    }
+    if (step == 2 * kStepsPerHour + 6) {
+      // Mid-hour capacity drop (demand-response shedding): the strict
+      // limit snapshot must be refreshed even though prices held still.
+      f.capacity[1] *= 0.5;
+      f.capacity[4] *= 0.25;
+    }
+
+    replay_pa.route(f.view(true), out_replay);
+    {
+      PriceAwareRouter fresh(fuzz_distances(), kClusters, pa_cfg);
+      fresh.route(f.view(true), out_fresh);
+    }
+    ASSERT_TRUE(allocations_bit_identical(out_replay, out_fresh))
+        << "price-aware step " << step;
+
+    replay_joint.route(f.view(true), out_replay);
+    {
+      JointObjectiveRouter fresh(fuzz_distances(), kClusters, joint_cfg);
+      fresh.route(f.view(true), out_fresh);
+    }
+    ASSERT_TRUE(allocations_bit_identical(out_replay, out_fresh))
+        << "joint step " << step;
+  }
+
+  // The plan really was replayed: one candidate re-sort per priced hour,
+  // not one per step, and the mid-hour can_burst flip forced neither a
+  // re-sort nor a limit refresh (burst permission is read live).
+  EXPECT_EQ(replay_pa.plan_rebuilds(), kHours);
+  EXPECT_EQ(replay_joint.plan_rebuilds(), kHours);
+  EXPECT_EQ(replay_pa.limit_refreshes(), 2);  // initial snapshot + capacity drop
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, RouterFuzz,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u,
                                            55u, 89u, 144u, 233u));
