@@ -1,22 +1,31 @@
 #!/usr/bin/env python3
 """CI gate for the perf/figure baselines pinned in BENCH_perf.json.
 
-Two checks, one hard and one soft:
+Three checks, one hard and two soft:
 
-* Figure gate (hard): the rows bench_ext_battery_arbitrage wrote to its
-  CSV must match the pinned rows exactly at the printed precision (same
-  policy/size cell, same dollars to the cent). Real behaviour drift in
-  the storage subsystem or the routing underneath it shows up at
-  dollars scale -> exit 1. Half a least-printed-digit of slack
-  (abs_tol 0.005) absorbs cross-toolchain libm ulp differences between
-  the host that pinned the baselines and the CI runner - the repo's
-  only cross-host float comparison.
+* Figure gate (hard): the rows each gated figure bench
+  (bench_ext_battery_arbitrage, bench_ext_five_minute_market) wrote to
+  its CSV must match the pinned rows exactly at the printed precision
+  (same key cell, same dollars to the cent), every pinned row must be
+  PRESENT in the CSV (a silently dropped row is as much a behaviour
+  change as a drifted one), and the gate prints exactly which rows were
+  compared. Real behaviour drift in the market, storage or routing
+  layers shows up at dollars scale -> exit 1. Half a
+  least-printed-digit of slack (abs_tol 0.005) absorbs cross-toolchain
+  libm ulp differences between the host that pinned the baselines and
+  the CI runner - the repo's only cross-host float comparison.
 
 * Timing gate (soft): every google-benchmark entry of bench_perf_router
   / bench_perf_market is compared against its pinned real_time. A
   regression beyond --threshold (default 1.25x) emits a GitHub
   ::warning:: annotation but never fails the job - CI runners are far
   too noisy for hard timing gates; the annotation is the paper trail.
+
+* Plan-replay gate (soft): the BM_FiveMinutePlanReplay entries also pin
+  their plan_rebuilds_per_step counter. Unlike wall time the counter is
+  deterministic, so a measured value above the pinned one means the
+  hour-scoped routing plans started rebuilding more often than the
+  price cadence requires (replay machinery regressed) -> ::warning::.
 
 Usage:
   python3 bench/check_bench_results.py \
@@ -34,10 +43,22 @@ import sys
 
 TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
-# CSV column -> pinned-row key for the figure gate. Columns the pinned
-# rows do not carry (energy_usd, demand_usd, wall_ms) are ignored.
-FIGURE_KEYS = ("policy", "hours_of_storage")
-FIGURE_VALUES = ("total_usd", "saved_usd", "saved_pct", "discharged_mwh")
+# Gated figure benches: CSV file, the columns that identify a row
+# (cell), and the columns compared against the pinned values. Columns
+# the pinned rows do not carry (energy_usd, wall_ms, ...) are ignored.
+FIGURE_GATES = {
+    "bench_ext_battery_arbitrage": {
+        "csv": "cebis_ext_battery_arbitrage.csv",
+        "keys": ("policy", "hours_of_storage"),
+        "values": ("total_usd", "saved_usd", "saved_pct", "discharged_mwh"),
+    },
+    "bench_ext_five_minute_market": {
+        "csv": "cebis_ext_five_minute_market.csv",
+        "keys": ("market_interval_min",),
+        "values": ("baseline_usd", "optimized_usd", "saved_pct",
+                   "storage_net_usd", "net_demand_usd"),
+    },
+}
 
 errors = 0
 warnings = 0
@@ -59,53 +80,83 @@ def to_ns(value: float, unit: str) -> float:
     return value * TIME_UNIT_NS[unit]
 
 
+def figure_cell(spec: dict, row: dict) -> tuple:
+    """Row identity: the gate's key columns, floats normalized."""
+
+    def norm(v):
+        try:
+            return round(float(v), 6)
+        except (TypeError, ValueError):
+            return str(v)
+
+    return tuple(norm(row[k]) for k in spec["keys"])
+
+
 def check_figure_rows(baseline: dict, results: pathlib.Path) -> None:
-    pinned = baseline.get("bench_ext_battery_arbitrage", {}).get("rows", [])
-    if not pinned:
-        # An empty pinned set must never pass vacuously: the gate exists
-        # to hard-fail on behaviour drift.
-        error(
-            "figure gate: baseline carries no bench_ext_battery_arbitrage rows "
-            "(BENCH_perf.json truncated or mis-regenerated?)"
-        )
-        return
-    csv_path = results / "cebis_ext_battery_arbitrage.csv"
-    if not csv_path.exists():
-        error(f"figure gate: {csv_path} missing (did the bench run?)")
-        return
-    with csv_path.open(newline="") as fh:
-        rows = list(csv.DictReader(fh))
-
-    def cell_key(policy: str, hours: float) -> tuple:
-        return (policy, round(float(hours), 6))
-
-    by_cell = {cell_key(r["policy"], r["hours_of_storage"]): r for r in rows}
-    for want in pinned:
-        key = cell_key(want["policy"], want["hours_of_storage"])
-        got = by_cell.get(key)
-        if got is None:
-            error(f"figure gate: row {key} missing from {csv_path.name}")
+    for harness, spec in FIGURE_GATES.items():
+        pinned = baseline.get(harness, {}).get("rows", [])
+        if not pinned:
+            # An empty pinned set must never pass vacuously: the gate
+            # exists to hard-fail on behaviour drift.
+            error(
+                f"figure gate: baseline carries no {harness} rows "
+                "(BENCH_perf.json truncated or mis-regenerated?)"
+            )
             continue
-        for field in FIGURE_VALUES:
-            if field not in got:
-                error(f"figure gate: column '{field}' missing from {csv_path.name}")
-                continue
-            # Exact at the printed precision: the CSV rounds to >= 2
-            # decimals, so 0.005 is half its least digit - enough for a
-            # 1-ulp libm skew across toolchains, far below real drift.
-            if not math.isclose(float(got[field]), float(want[field]),
-                                rel_tol=0.0, abs_tol=0.005):
-                error(
-                    f"figure gate: {want['policy']}/{want['hours_of_storage']}h "
-                    f"{field} = {got[field]}, pinned {want[field]} "
-                    f"(storage/routing behaviour drifted - regenerate "
-                    f"BENCH_perf.json only if the change is intended)"
-                )
-    pinned_cells = {cell_key(w["policy"], w["hours_of_storage"]) for w in pinned}
-    for cell in sorted(set(by_cell) - pinned_cells):
-        print(f"figure gate: CSV row {cell} has no pinned baseline (new cell?)")
-    if not errors:
-        print(f"figure gate: {len(pinned)} pinned rows match {csv_path.name} exactly")
+        csv_path = results / spec["csv"]
+        if not csv_path.exists():
+            error(f"figure gate: {csv_path} missing (did the bench run?)")
+            continue
+        with csv_path.open(newline="") as fh:
+            rows = list(csv.DictReader(fh))
+        by_cell = {figure_cell(spec, r): r for r in rows}
+
+        # Every pinned row must be present: a cell silently dropped from
+        # the CSV is a behaviour change the value diff below would never
+        # see, so it hard-fails on its own.
+        missing = [figure_cell(spec, w) for w in pinned
+                   if figure_cell(spec, w) not in by_cell]
+        for cell in missing:
+            error(
+                f"figure gate: pinned row {cell} missing from {csv_path.name} "
+                "(bench dropped a cell - behaviour change or truncated run)"
+            )
+
+        compared = 0
+        for want in pinned:
+            cell = figure_cell(spec, want)
+            got = by_cell.get(cell)
+            if got is None:
+                continue  # already reported above
+            compared += 1
+            mismatched = []
+            for field in spec["values"]:
+                if field not in got:
+                    error(f"figure gate: column '{field}' missing from "
+                          f"{csv_path.name}")
+                    continue
+                # Exact at the printed precision: the CSV rounds to >= 2
+                # decimals, so 0.005 is half its least digit - enough for
+                # a 1-ulp libm skew across toolchains, far below real
+                # drift.
+                if not math.isclose(float(got[field]), float(want[field]),
+                                    rel_tol=0.0, abs_tol=0.005):
+                    mismatched.append(field)
+                    error(
+                        f"figure gate: {harness} row {cell} "
+                        f"{field} = {got[field]}, pinned {want[field]} "
+                        f"(behaviour drifted - regenerate BENCH_perf.json "
+                        f"only if the change is intended)"
+                    )
+            status = "MISMATCH: " + ",".join(mismatched) if mismatched else "ok"
+            print(f"figure gate: {harness} compared row {cell} [{status}]")
+        for cell in sorted(set(by_cell) -
+                           {figure_cell(spec, w) for w in pinned}):
+            print(f"figure gate: {harness} CSV row {cell} has no pinned "
+                  "baseline (new cell?)")
+        print(f"figure gate: {harness} compared {compared}/{len(pinned)} "
+              f"pinned rows against {csv_path.name}"
+              + (f", {len(missing)} missing" if missing else ""))
 
 
 def check_timings(baseline: dict, results: pathlib.Path, threshold: float) -> None:
@@ -138,6 +189,24 @@ def check_timings(baseline: dict, results: pathlib.Path, threshold: float) -> No
                 )
                 status = "REGRESSED"
             print(f"timing gate: {harness}:{name} {ratio:.2f}x baseline [{status}]")
+
+            # Plan-replay gate: plan_rebuilds_per_step is deterministic
+            # (unlike wall time), so any measured value above the pinned
+            # one means the hour-scoped plans rebuild more often than
+            # the price cadence requires - the replay machinery
+            # regressed even if the wall clock hides it. 1% slack only
+            # absorbs iteration-count rounding of the per-step ratio.
+            if name.startswith("BM_FiveMinutePlanReplay") and \
+                    "plan_rebuilds_per_step" in want:
+                pinned_rate = float(want["plan_rebuilds_per_step"])
+                got_rate = float(got.get("plan_rebuilds_per_step", "nan"))
+                if not got_rate <= pinned_rate * 1.01:
+                    warn(
+                        f"plan-replay regression: {harness}:{name} "
+                        f"plan_rebuilds_per_step = {got_rate:.6g} vs pinned "
+                        f"{pinned_rate:.6g} - hour-scoped plans are being "
+                        f"rebuilt more often than the price cadence requires"
+                    )
         for name in sorted(set(measured) - set(pinned)):
             print(f"timing gate: {harness}:{name} has no pinned baseline (new bench?)")
 

@@ -113,6 +113,15 @@ struct Period {
   return p.hours() * 12;
 }
 
+/// True when `samples_per_hour` is a valid sub-hourly sampling rate: at
+/// least one sample per hour, with a whole number of minutes per sample
+/// (1 = hourly, 4 = 15-minute, 12 = five-minute). The single source of
+/// the invariant every interval-carrying layer (price series, tariffs,
+/// scenarios, the lazy history) validates against.
+[[nodiscard]] constexpr bool divides_hour(int samples_per_hour) noexcept {
+  return samples_per_hour >= 1 && 60 % samples_per_hour == 0;
+}
+
 /// Hour containing a 5-minute step offset from a period start.
 [[nodiscard]] constexpr HourIndex hour_of_step(const Period& p, std::int64_t step) noexcept {
   return p.begin + step / 12;

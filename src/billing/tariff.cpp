@@ -6,24 +6,30 @@
 
 namespace cebis::billing {
 
-TariffBill bill_hourly_load(const TariffSchedule& schedule, Period period,
-                            std::span<const double> mwh,
-                            std::span<const double> spot) {
-  if (static_cast<std::int64_t>(mwh.size()) != period.hours()) {
+TariffBill bill_interval_load(const TariffSchedule& schedule, Period period,
+                              int samples_per_hour,
+                              std::span<const double> mwh,
+                              std::span<const double> spot) {
+  if (!divides_hour(samples_per_hour)) {
     throw std::invalid_argument(
-        "bill_hourly_load: series length does not match the period");
+        "bill_interval_load: samples_per_hour must divide 60");
+  }
+  if (static_cast<std::int64_t>(mwh.size()) !=
+      period.hours() * samples_per_hour) {
+    throw std::invalid_argument(
+        "bill_interval_load: series length does not match the period");
   }
   if (schedule.demand_percentile <= 0.0 || schedule.demand_percentile > 100.0) {
     throw std::invalid_argument(
-        "bill_hourly_load: demand percentile outside (0, 100]");
+        "bill_interval_load: demand percentile outside (0, 100]");
   }
   if (schedule.demand_usd_per_kw_month.value() < 0.0 ||
       schedule.energy_adder.value() < 0.0) {
-    throw std::invalid_argument("bill_hourly_load: negative rate");
+    throw std::invalid_argument("bill_interval_load: negative rate");
   }
   if (schedule.index_to_wholesale && spot.size() != mwh.size()) {
     throw std::invalid_argument(
-        "bill_hourly_load: wholesale-indexed schedule needs a parallel spot series");
+        "bill_interval_load: wholesale-indexed schedule needs a parallel spot series");
   }
 
   TariffBill bill;
@@ -36,8 +42,10 @@ TariffBill bill_hourly_load(const TariffSchedule& schedule, Period period,
   if (schedule.demand_usd_per_kw_month.value() <= 0.0) return bill;
 
   // Demand: split the period by calendar month; billed kW is the chosen
-  // percentile of that month's hourly average power (1 MWh in one hour =
-  // 1 MW = 1000 kW).
+  // percentile of that month's interval average power (1 MWh in one
+  // interval of 1/samples_per_hour hours = samples_per_hour MW =
+  // samples_per_hour * 1000 kW).
+  const double kw_per_mwh = 1000.0 * static_cast<double>(samples_per_hour);
   std::vector<double> month_kw;
   int current_month = month_index(period.begin);
   const auto flush = [&](int month) {
@@ -51,13 +59,15 @@ TariffBill bill_hourly_load(const TariffSchedule& schedule, Period period,
     month_kw.clear();
   };
   for (std::size_t i = 0; i < mwh.size(); ++i) {
-    const HourIndex h = period.begin + static_cast<std::int64_t>(i);
+    const HourIndex h =
+        period.begin +
+        static_cast<std::int64_t>(i) / samples_per_hour;
     const int month = month_index(h);
     if (month != current_month) {
       flush(current_month);
       current_month = month;
     }
-    month_kw.push_back(mwh[i] * 1000.0);
+    month_kw.push_back(mwh[i] * kw_per_mwh);
   }
   flush(current_month);
   return bill;

@@ -13,9 +13,14 @@
 // arXiv:1307.5442) - and are what the storage subsystem's peak-shaving
 // policy attacks.
 //
-// bill_hourly_load() bills one cluster's hourly energy series (the
-// shape RunResult::hourly_energy rows flatten to) over a period,
-// splitting demand by calendar month via base/simtime.h.
+// bill_interval_load() bills one cluster's energy series metered on a
+// native interval (the shape RunResult::hourly_energy rows flatten to:
+// samples_per_hour rows per hour), splitting demand by calendar month
+// via base/simtime.h. Billed demand is the schedule's percentile of the
+// month's *interval* average power, so a 5-minute market meters demand
+// on 5-minute intervals, exactly like the real sub-hourly demand meters
+// commercial tariffs read. bill_hourly_load() is the hourly special
+// case.
 
 #include <span>
 #include <vector>
@@ -36,9 +41,10 @@ struct TariffSchedule {
   /// Monthly demand charge per kW of billed demand. Zero disables the
   /// demand component (pure energy tariff).
   Usd demand_usd_per_kw_month{0.0};
-  /// Billed demand = this percentile of the month's hourly kW series,
-  /// in (0, 100]. 100 bills the true monthly peak; 95 composes with the
-  /// billed_rate_p95 idiom (drop the top 5% of hours).
+  /// Billed demand = this percentile of the month's interval-average kW
+  /// series (hourly under bill_hourly_load), in (0, 100]. 100 bills the
+  /// true monthly peak; 95 composes with the billed_rate_p95 idiom
+  /// (drop the top 5% of intervals).
   double demand_percentile = 100.0;
 };
 
@@ -57,14 +63,26 @@ struct TariffBill {
   [[nodiscard]] Usd total() const noexcept { return energy + demand; }
 };
 
-/// Bills an hourly MWh series over `period` (mwh.size() must equal
-/// period.hours()). `spot` is the concurrent $/MWh series, parallel to
-/// `mwh`; required when the schedule is wholesale-indexed, ignored
-/// otherwise. Throws std::invalid_argument on shape or schedule errors.
-[[nodiscard]] TariffBill bill_hourly_load(const TariffSchedule& schedule,
-                                          Period period,
-                                          std::span<const double> mwh,
-                                          std::span<const double> spot = {});
+/// Bills an interval MWh series over `period` metered at
+/// `samples_per_hour` rows per hour (mwh.size() must equal
+/// period.hours() * samples_per_hour). `spot` is the concurrent $/MWh
+/// series, parallel to `mwh`; required when the schedule is
+/// wholesale-indexed, ignored otherwise. Demand is split by calendar
+/// month and billed at the schedule's percentile of the month's
+/// interval average power. Throws std::invalid_argument on shape or
+/// schedule errors.
+[[nodiscard]] TariffBill bill_interval_load(const TariffSchedule& schedule,
+                                            Period period,
+                                            int samples_per_hour,
+                                            std::span<const double> mwh,
+                                            std::span<const double> spot = {});
+
+/// The hourly special case (one row per hour of `period`).
+[[nodiscard]] inline TariffBill bill_hourly_load(
+    const TariffSchedule& schedule, Period period, std::span<const double> mwh,
+    std::span<const double> spot = {}) {
+  return bill_interval_load(schedule, period, 1, mwh, spot);
+}
 
 }  // namespace cebis::billing
 

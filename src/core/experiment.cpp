@@ -115,13 +115,13 @@ std::vector<RunResult> run_scenarios(const Fixture& fixture,
   std::vector<RunResult> out;
   out.reserve(specs.size());
 
-  // Materialize the union of the fixture-priced windows up front, so
-  // every spec in the sweep shares one PriceSet (maximal engine reuse)
-  // and short sweeps never build the full 39-month history.
-  const market::PriceSet* fixture_prices = nullptr;
+  // Materialize the union of the fixture-priced windows up front - one
+  // union window per requested market resolution - so every spec in the
+  // sweep shares one PriceSet per resolution (maximal engine reuse) and
+  // short sweeps never build the full 39-month history.
+  std::map<int, const market::PriceSet*> fixture_prices;
   {
-    bool any = false;
-    Period need{0, 0};
+    std::map<int, Period> needs;
     for (const ScenarioSpec& spec : specs) {
       if (spec.routing_prices != nullptr) {
         if (spec.storage.has_value()) {
@@ -139,16 +139,17 @@ std::vector<RunResult> run_scenarios(const Fixture& fixture,
         }
         continue;
       }
+      const int sph = market_samples_per_hour(spec);
       const Period w = priced_window_of(fixture, spec);
-      if (!any) {
-        need = w;
-        any = true;
-      } else {
-        need.begin = std::min(need.begin, w.begin);
-        need.end = std::max(need.end, w.end);
+      const auto [it, inserted] = needs.emplace(sph, w);
+      if (!inserted) {
+        it->second.begin = std::min(it->second.begin, w.begin);
+        it->second.end = std::max(it->second.end, w.end);
       }
     }
-    if (any) fixture_prices = &fixture.prices_covering(need);
+    for (const auto& [sph, need] : needs) {
+      fixture_prices[sph] = &fixture.prices_covering(need, sph);
+    }
   }
 
   // Workloads shared per (kind, synthetic window); engines per EngineKey.
@@ -158,8 +159,13 @@ std::vector<RunResult> run_scenarios(const Fixture& fixture,
   for (const ScenarioSpec& spec : specs) {
     const RouterEntry& entry = registry.at(spec.router);
     const bool enforce = spec.enforce_p95 && !entry.forces_relaxed_p95;
+    // An explicit routing_prices override carries its own native
+    // interval; fixture-priced specs bill on the resolution the
+    // market_interval_minutes knob selects.
     const market::PriceSet& prices =
-        spec.routing_prices != nullptr ? *spec.routing_prices : *fixture_prices;
+        spec.routing_prices != nullptr
+            ? *spec.routing_prices
+            : *fixture_prices.at(market_samples_per_hour(spec));
 
     const Period window = spec.workload == WorkloadKind::kSynthetic39Month
                               ? synthetic_window_of(spec)

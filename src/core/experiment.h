@@ -49,10 +49,14 @@ struct Fixture {
   [[nodiscard]] const market::PriceSet& prices() const {
     return price_history->full();
   }
-  /// A price set covering at least `need` - the lazy path scenario runs
-  /// take; short windows avoid materializing the whole history.
-  [[nodiscard]] const market::PriceSet& prices_covering(Period need) const {
-    return price_history->cover(need);
+  /// A price set covering at least `need` at the requested native
+  /// interval (`samples_per_hour` must divide 60; 1 = hourly) - the
+  /// lazy path scenario runs take; short windows avoid materializing
+  /// the whole history, and each resolution is materialized (and grown)
+  /// independently.
+  [[nodiscard]] const market::PriceSet& prices_covering(
+      Period need, int samples_per_hour = 1) const {
+    return price_history->cover(need, samples_per_hour);
   }
   /// Replaces the price history with an explicit set (ablations).
   /// NOTE: the history is shared across Fixture copies, so pinning

@@ -23,11 +23,14 @@ namespace cebis::core {
 /// meters stack freely since they do not write into the RunResult.
 class SecondaryMeter final : public StepObserver {
  public:
-  /// `series.period` must cover the workload period.
+  /// `series.period` must cover the workload period. The meter reads the
+  /// series at hourly granularity (sub-hourly secondary series are read
+  /// at their hour means) - the secondary quantities it exists for
+  /// (carbon intensity, real-dollar audits) are hourly products.
   explicit SecondaryMeter(const market::PriceSet& series) : series_(series) {}
 
-  void on_run_begin(Period period, std::span<const Cluster> clusters,
-                    int steps_per_hour) override;
+  void on_run_begin(const RunInfo& info,
+                    std::span<const Cluster> clusters) override;
   void on_step(const StepView& view) override;
 
   /// Sum of rate x energy across the run.
@@ -46,13 +49,19 @@ class SecondaryMeter final : public StepObserver {
   double total_ = 0.0;
 };
 
-/// Records per-hour, per-cluster energy into a flat HourlyEnergy buffer
-/// and publishes it as RunResult::hourly_energy at run end. Needed by
-/// the demand-response settlement and the hedging bench.
+/// Records per-interval, per-cluster energy into a flat HourlyEnergy
+/// buffer and publishes it as RunResult::hourly_energy at run end.
+/// Records hourly rows by default (the demand-response settlement and
+/// the hedging bench consume that layout); construct with
+/// `native_intervals = true` to record one row per native price
+/// interval of the run instead (sub-hourly settlement).
 class HourlyEnergyRecorder final : public StepObserver {
  public:
-  void on_run_begin(Period period, std::span<const Cluster> clusters,
-                    int steps_per_hour) override;
+  explicit HourlyEnergyRecorder(bool native_intervals = false)
+      : native_intervals_(native_intervals) {}
+
+  void on_run_begin(const RunInfo& info,
+                    std::span<const Cluster> clusters) override;
   void on_step(const StepView& view) override;
   void on_run_end(RunResult& result) override;
 
@@ -60,8 +69,11 @@ class HourlyEnergyRecorder final : public StepObserver {
   [[nodiscard]] const HourlyEnergy& energy() const noexcept { return energy_; }
 
  private:
+  bool native_intervals_ = false;
   HourlyEnergy energy_;
   HourIndex begin_ = 0;
+  int steps_per_hour_ = 1;
+  int rows_per_hour_ = 1;
 };
 
 }  // namespace cebis::core

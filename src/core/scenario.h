@@ -86,6 +86,22 @@ struct ScenarioSpec {
   bool enforce_p95 = true;
   int delay_hours = 1;
 
+  /// Native interval of the market the scenario prices against, in
+  /// minutes (must divide 60). 60 replays the paper's hourly real-time
+  /// prices; 5 runs the true 5-minute settlement the RTOs publish
+  /// (synthesized around the hourly hub data, see
+  /// MarketSimulator::generate(period, samples_per_hour)). Billing,
+  /// routing-price refreshes, demand metering and the storage peak
+  /// guard all follow this interval; routing still reacts with
+  /// `delay_hours` staleness (same sub-interval, previous hour).
+  /// Intervals finer than a hub's real dispatch
+  /// (HubInfo::rt_interval_minutes, 5 min for every RTO hub) get flat
+  /// hours for that hub - the simulator never invents structure the
+  /// market does not publish, so 1/2/3/4-minute requests degrade to
+  /// hourly-flat by design. Ignored when `routing_prices` overrides the
+  /// series - the override carries its own native interval.
+  int market_interval_minutes = 60;
+
   /// For kSynthetic39Month only: replay window override (must lie inside
   /// the priced study period). Zero-length = the full study window.
   Period synthetic_window{0, 0};
@@ -109,6 +125,19 @@ struct ScenarioSpec {
   /// is a synthetic objective, not dollars - run_scenarios throws).
   std::optional<StorageSpec> storage;
 };
+
+/// The spec's market resolution as samples per hour (1 = hourly,
+/// 12 = five-minute). Throws std::invalid_argument when
+/// market_interval_minutes does not divide the hour.
+[[nodiscard]] inline int market_samples_per_hour(const ScenarioSpec& spec) {
+  // divides_hour is symmetric in (m, 60/m): m divides 60 exactly when
+  // it is itself a valid per-hour count.
+  if (!divides_hour(spec.market_interval_minutes)) {
+    throw std::invalid_argument(
+        "ScenarioSpec: market_interval_minutes must divide 60");
+  }
+  return 60 / spec.market_interval_minutes;
+}
 
 /// The PriceAwareConfig inside `spec.config`: defaults when monostate,
 /// throws std::invalid_argument when another alternative is populated.

@@ -90,6 +90,12 @@ RunResult SimulationEngine::run(const Workload& workload, Router& router,
   }
   const int sph = workload.steps_per_hour();
   const Hours dt{1.0 / sph};
+  const int psph = prices_.samples_per_hour;
+  if (psph < 1 || (psph > 1 && sph % psph != 0 && psph % sph != 0)) {
+    throw std::invalid_argument(
+        "SimulationEngine::run: workload steps and the price set's native "
+        "interval must nest (one samples-per-hour must divide the other)");
+  }
   const energy::ClusterEnergyModel model(config_.energy);
 
   // Routing context buffers, bound once: the spans in `ctx` alias these
@@ -145,21 +151,26 @@ RunResult SimulationEngine::run(const Workload& workload, Router& router,
     load_p95.emplace_back(workload.steps(), 95.0);
   }
 
+  const RunInfo run_info{period, sph, psph};
   for (StepObserver* obs : observers) {
-    obs->on_run_begin(period, clusters_, sph);
+    obs->on_run_begin(run_info, clusters_);
   }
 
   HourIndex cached_hour = period.begin - 1;
+  int cached_sub = -1;
   for (std::int64_t step = 0; step < workload.steps(); ++step) {
     const HourIndex hour = period.begin + step / sph;
 
     if (hour != cached_hour) {
       cached_hour = hour;
+      cached_sub = -1;
       for (std::size_t c = 0; c < n_clusters; ++c) {
-        price[c] =
-            prices_.rt_at(clusters_[c].hub, hour - config_.delay_hours).value();
-        // Billing uses the concurrent price, not the stale routing price.
-        bill_price[c] = prices_.rt_at(clusters_[c].hub, hour).value();
+        if (psph == 1) {
+          price[c] =
+              prices_.rt_at(clusters_[c].hub, hour - config_.delay_hours).value();
+          // Billing uses the concurrent price, not the stale routing price.
+          bill_price[c] = prices_.rt_at(clusters_[c].hub, hour).value();
+        }
         double factor = 1.0;
         if (config_.capacity_factor) {
           factor = std::clamp(config_.capacity_factor(c, hour), 0.0, 1.0);
@@ -177,6 +188,44 @@ RunResult SimulationEngine::run(const Workload& workload, Router& router,
           energy::EnergyModelParams p = config_.energy;
           p.pue = std::max(1.0, config_.pue_of(c, hour));
           hour_models.emplace_back(p);
+        }
+      }
+    }
+    if (psph > 1) {
+      // Sub-hourly market: prices refresh on the native interval, not
+      // the hour. Routing reads the same sub-interval of hour - delay
+      // (delay-stale reaction at market granularity); billing stays
+      // concurrent. A workload stepping coarser than the market bills
+      // at the step's time-mean price, exact since demand is uniform
+      // within a step.
+      if (sph >= psph) {
+        const int sub = static_cast<int>((step % sph) * psph / sph);
+        if (sub != cached_sub) {
+          cached_sub = sub;
+          for (std::size_t c = 0; c < n_clusters; ++c) {
+            price[c] = prices_
+                           .rt_at(clusters_[c].hub, hour - config_.delay_hours,
+                                  sub)
+                           .value();
+            bill_price[c] = prices_.rt_at(clusters_[c].hub, hour, sub).value();
+          }
+        }
+      } else {
+        const int per_step = psph / sph;
+        const int sub0 = static_cast<int>(step % sph) * per_step;
+        for (std::size_t c = 0; c < n_clusters; ++c) {
+          double route_sum = 0.0;
+          double bill_sum = 0.0;
+          for (int i = 0; i < per_step; ++i) {
+            route_sum += prices_
+                             .rt_at(clusters_[c].hub,
+                                    hour - config_.delay_hours, sub0 + i)
+                             .value();
+            bill_sum +=
+                prices_.rt_at(clusters_[c].hub, hour, sub0 + i).value();
+          }
+          price[c] = route_sum / per_step;
+          bill_price[c] = bill_sum / per_step;
         }
       }
     }

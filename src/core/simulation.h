@@ -8,7 +8,13 @@
 //
 // Routing uses prices stale by `delay_hours` (the paper conservatively
 // assumes the system reacts to the previous hour's prices); billing
-// always uses the concurrent price.
+// always uses the concurrent price. When the price set carries a native
+// sub-hourly interval (PriceSet::samples_per_hour > 1), both refresh on
+// that interval instead of the hour: routing reads the same sub-interval
+// of hour t - delay, and a workload stepping coarser than the market is
+// billed at the step's time-mean price (exact, since demand is uniform
+// within a step). The workload and market cadences must nest (one
+// divides the other).
 //
 // Everything beyond the primary dollar accounting - secondary meters,
 // per-hour energy recording, figure series - is layered on via the
@@ -52,28 +58,43 @@ struct EngineConfig {
   std::function<double(std::size_t, HourIndex)> pue_of;
 };
 
-/// Per-hour, per-cluster energy in one flat row-major buffer (one
-/// allocation per run instead of one vector per hour). Hours are
-/// relative to the recorded workload period.
+/// Per-interval, per-cluster energy in one flat row-major buffer (one
+/// allocation per run instead of one vector per row). Rows are metering
+/// intervals relative to the recorded workload period: hourly by
+/// default (the historical layout), or `samples_per_hour` rows per hour
+/// when constructed for a sub-hourly meter.
 class HourlyEnergy {
  public:
   HourlyEnergy() = default;
   HourlyEnergy(std::size_t hours, std::size_t clusters)
       : clusters_(clusters), data_(hours * clusters, 0.0) {}
+  HourlyEnergy(std::size_t hours, int samples_per_hour, std::size_t clusters)
+      : clusters_(clusters),
+        samples_per_hour_(samples_per_hour),
+        data_(hours * static_cast<std::size_t>(samples_per_hour) * clusters,
+              0.0) {}
 
-  [[nodiscard]] double at(std::size_t hour, std::size_t cluster) const {
-    return data_[hour * clusters_ + cluster];
+  [[nodiscard]] double at(std::size_t row, std::size_t cluster) const {
+    return data_[row * clusters_ + cluster];
   }
-  [[nodiscard]] double& at(std::size_t hour, std::size_t cluster) {
-    return data_[hour * clusters_ + cluster];
+  [[nodiscard]] double& at(std::size_t row, std::size_t cluster) {
+    return data_[row * clusters_ + cluster];
   }
-  /// All clusters' energy for one hour.
-  [[nodiscard]] std::span<const double> row(std::size_t hour) const {
-    return std::span<const double>(data_).subspan(hour * clusters_, clusters_);
+  /// All clusters' energy for one metering interval (row).
+  [[nodiscard]] std::span<const double> row(std::size_t row) const {
+    return std::span<const double>(data_).subspan(row * clusters_, clusters_);
   }
 
-  [[nodiscard]] std::size_t hours() const noexcept {
+  /// Rows per hour (1 = the historical per-hour layout).
+  [[nodiscard]] int samples_per_hour() const noexcept {
+    return samples_per_hour_;
+  }
+  /// Total metering-interval rows (hours() * samples_per_hour()).
+  [[nodiscard]] std::size_t rows() const noexcept {
     return clusters_ == 0 ? 0 : data_.size() / clusters_;
+  }
+  [[nodiscard]] std::size_t hours() const noexcept {
+    return rows() / static_cast<std::size_t>(samples_per_hour_);
   }
   [[nodiscard]] std::size_t clusters() const noexcept { return clusters_; }
   [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
@@ -81,6 +102,7 @@ class HourlyEnergy {
 
  private:
   std::size_t clusters_ = 0;
+  int samples_per_hour_ = 1;
   std::vector<double> data_;
 };
 

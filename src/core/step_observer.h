@@ -23,6 +23,26 @@ namespace cebis::core {
 
 struct RunResult;
 
+/// Static facts about one run, handed to observers at run begin: the
+/// replayed period, the workload's accounting cadence and the native
+/// interval of the billing prices. The two cadences are independent -
+/// a 5-minute trace can bill hourly prices (the paper's setup) or
+/// native 5-minute settlements (ScenarioSpec::market_interval_minutes),
+/// and an hourly workload can bill a finer market at the step's mean
+/// price. One of the two always divides the other (the engine rejects
+/// non-nested combinations).
+struct RunInfo {
+  Period period;
+  int steps_per_hour = 1;         ///< accounting steps per hour
+  int price_samples_per_hour = 1; ///< native billing-price interval (1 = hourly)
+
+  /// Price intervals in the run (the natural row count for metering at
+  /// the native interval).
+  [[nodiscard]] std::int64_t price_intervals() const noexcept {
+    return period.hours() * price_samples_per_hour;
+  }
+};
+
 /// Read-only view of one accounted simulation step.
 struct StepView {
   HourIndex hour = 0;      ///< absolute hour containing this step
@@ -42,9 +62,8 @@ class StepObserver {
  public:
   virtual ~StepObserver() = default;
 
-  virtual void on_run_begin(Period /*period*/,
-                            std::span<const Cluster> /*clusters*/,
-                            int /*steps_per_hour*/) {}
+  virtual void on_run_begin(const RunInfo& /*info*/,
+                            std::span<const Cluster> /*clusters*/) {}
   virtual void on_step(const StepView& view) = 0;
   virtual void on_run_end(RunResult& /*result*/) {}
 };

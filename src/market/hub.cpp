@@ -21,6 +21,9 @@ HubRegistry::HubRegistry() {
                     bool hourly = true) {
     hubs_.push_back(HubInfo{code, city, state, rto, loc, utc, hourly, base, vol,
                             spike, spike_rate, beta_slow, beta_fast});
+    // RTO real-time markets settle on 5-minute dispatch; the daily-only
+    // Northwest hub has no sub-hourly product at all.
+    hubs_.back().rt_interval_minutes = hourly ? 5 : 60;
   };
 
   // --- ISONE (New England) ---

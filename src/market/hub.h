@@ -44,6 +44,13 @@ struct HubInfo {
   // Richmond are proportionally much more volatile than Boston.
   double beta_slow = 1.0;
   double beta_fast = 1.0;
+
+  /// Finest real-time settlement interval the hub's market publishes, in
+  /// minutes. The six RTOs all run 5-minute real-time dispatch (the
+  /// hourly series the paper analyzes are averages of it); the
+  /// non-market Northwest only has daily quotes. MarketSimulator never
+  /// synthesizes sub-hourly structure finer than this.
+  int rt_interval_minutes = 5;
 };
 
 class HubRegistry {

@@ -1,12 +1,64 @@
 #include "market/lazy_price_history.h"
 
 #include <algorithm>
+#include <stdexcept>
 #include <utility>
 
 namespace cebis::market {
 
-const PriceSet& LazyPriceHistory::cover(Period need) const {
-  if (pinned_) return *current_;
+const PriceSet& LazyPriceHistory::store(std::unique_ptr<PriceSet> set) const {
+  sets_.push_back(std::move(set));
+  const PriceSet& stored = *sets_.back();
+  current_[stored.samples_per_hour] = &stored;
+  return stored;
+}
+
+const PriceSet& LazyPriceHistory::cover(Period need,
+                                        int samples_per_hour) const {
+  if (!divides_hour(samples_per_hour)) {
+    throw std::invalid_argument(
+        "LazyPriceHistory::cover: samples_per_hour must divide 60");
+  }
+  if (pinned_) {
+    const auto pinned_it = current_.find(samples_per_hour);
+    if (pinned_it != current_.end()) return *pinned_it->second;
+    // Any other resolution derives from the pinned market's hourly view
+    // once and is cached (the pinned set covers every window
+    // unconditionally, so there is no widening to track). A sub-hourly
+    // pinned set first settles to its hour means; a finer request then
+    // synthesizes calibrated intra-hour structure around them
+    // (sub_hourly_view, honoring each hub's native settlement).
+    if (current_.find(1) == current_.end()) {
+      const PriceSet& base = *current_.begin()->second;
+      auto hourly = std::make_unique<PriceSet>();
+      hourly->period = base.period;
+      hourly->da = base.da;
+      hourly->rt.resize(base.rt.size());
+      for (std::size_t h = 0; h < base.rt.size(); ++h) {
+        if (base.rt[h].empty()) continue;
+        std::vector<double> means;
+        means.reserve(static_cast<std::size_t>(base.period.hours()));
+        for (HourIndex t = base.period.begin; t < base.period.end; ++t) {
+          means.push_back(base.rt[h].at(t));
+        }
+        hourly->rt[h] = PriceSeries(base.period, std::move(means));
+      }
+      store(std::move(hourly));
+    }
+    const PriceSet& hourly = *current_.at(1);
+    if (samples_per_hour == 1) return hourly;
+    auto derived = std::make_unique<PriceSet>();
+    derived->period = hourly.period;
+    derived->samples_per_hour = samples_per_hour;
+    derived->rt.resize(hourly.rt.size());
+    derived->da = hourly.da;
+    for (std::size_t h = 0; h < hourly.rt.size(); ++h) {
+      if (hourly.rt[h].empty()) continue;
+      derived->rt[h] = sim_.sub_hourly_view(
+          HubId{static_cast<std::int32_t>(h)}, hourly.rt[h], samples_per_hour);
+    }
+    return store(std::move(derived));
+  }
 
   // Clamp to the study period: the generator refuses pre-epoch hours,
   // and hours past the study end were never priced under the eager
@@ -15,24 +67,29 @@ const PriceSet& LazyPriceHistory::cover(Period need) const {
   Period want{std::max(need.begin, study.begin), std::min(need.end, study.end)};
   if (want.end < want.begin) want.end = want.begin;
 
-  if (current_ != nullptr && current_->period.begin <= want.begin &&
-      current_->period.end >= want.end) {
-    return *current_;
+  const auto it = current_.find(samples_per_hour);
+  const PriceSet* widest = it != current_.end() ? it->second : nullptr;
+  if (widest != nullptr && widest->period.begin <= want.begin &&
+      widest->period.end >= want.end) {
+    return *widest;
   }
 
   Period window = want;
-  if (current_ != nullptr) {
-    window.begin = std::min(window.begin, current_->period.begin);
-    window.end = std::max(window.end, current_->period.end);
+  if (widest != nullptr) {
+    window.begin = std::min(window.begin, widest->period.begin);
+    window.end = std::max(window.end, widest->period.end);
   }
-  sets_.push_back(std::make_unique<PriceSet>(sim_.generate(window)));
-  current_ = sets_.back().get();
-  return *current_;
+  return store(
+      std::make_unique<PriceSet>(sim_.generate(window, samples_per_hour)));
 }
 
 void LazyPriceHistory::pin(PriceSet set) {
+  // Previously returned sets stay alive (stable-address contract); only
+  // the lookup table is replaced so every future request resolves
+  // against the pinned market.
+  current_.clear();
   sets_.push_back(std::make_unique<PriceSet>(std::move(set)));
-  current_ = sets_.back().get();
+  current_[sets_.back()->samples_per_hour] = sets_.back().get();
   pinned_ = true;
 }
 

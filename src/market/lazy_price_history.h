@@ -11,6 +11,13 @@
 // smallest window requested so far that contains every request, and
 // full() materializes the whole study period.
 //
+// The history also carries every *native price interval* requested so
+// far: cover(period, samples_per_hour) materializes a sub-hourly view
+// of the same market (MarketSimulator::generate(period,
+// samples_per_hour), itself window-invariant), cached and grown
+// independently per resolution so an hourly sweep never pays for
+// 5-minute samples and vice versa.
+//
 // Growth is monotone and previously returned sets are retained (stable
 // addresses), so a `const PriceSet&` handed to a SimulationEngine stays
 // valid after a later, wider request. Not thread-safe - the simulator
@@ -18,6 +25,7 @@
 // tests/test_router_fuzz.cpp).
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -32,36 +40,51 @@ class LazyPriceHistory {
   explicit LazyPriceHistory(std::uint64_t seed) : sim_(seed) {}
 
   /// The narrowest materialized set covering `need` (clamped to the
-  /// study period). Reuses the current widest set when it already
-  /// covers the request; otherwise generates the union window.
-  [[nodiscard]] const PriceSet& cover(Period need) const;
+  /// study period) at the requested native interval (samples_per_hour
+  /// must divide 60; 1 = the hourly history). Reuses the resolution's
+  /// current widest set when it already covers the request; otherwise
+  /// generates the union window.
+  [[nodiscard]] const PriceSet& cover(Period need,
+                                      int samples_per_hour = 1) const;
 
-  /// The full study-period set (what the eager fixture always built).
-  [[nodiscard]] const PriceSet& full() const { return cover(study_period()); }
+  /// The full study-period hourly set (what the eager fixture always
+  /// built).
+  [[nodiscard]] const PriceSet& full() const {
+    return cover(study_period(), 1);
+  }
 
   /// Replaces the history with an explicit set (ablations that swap in
   /// a differently parameterized market). Subsequent cover()/full()
-  /// calls return the pinned set unconditionally.
+  /// calls at the set's own samples_per_hour return it unconditionally;
+  /// any other resolution derives from it once and is cached - a
+  /// sub-hourly pinned set settles to its hour means for hourly
+  /// requests, and finer requests synthesize calibrated intra-hour
+  /// structure around the hourly view (honoring each hub's native
+  /// settlement interval).
   void pin(PriceSet set);
 
-  /// Hours covered by the current widest materialized set (0 before the
-  /// first request). Lets tests assert that short-window scenarios did
-  /// not pay for the full history.
+  /// Hours covered by the current widest materialized *hourly* set (0
+  /// before the first request). Lets tests assert that short-window
+  /// scenarios did not pay for the full history.
   [[nodiscard]] std::int64_t materialized_hours() const noexcept {
-    return current_ != nullptr ? current_->period.hours() : 0;
+    const auto it = current_.find(1);
+    return it != current_.end() ? it->second->period.hours() : 0;
   }
-  /// How many sets have been generated (regenerations due to widening
-  /// included; pinning counts as one).
+  /// How many sets have been generated, across all resolutions
+  /// (regenerations due to widening included; pinning counts as one).
   [[nodiscard]] std::size_t generations() const noexcept {
     return sets_.size();
   }
 
  private:
+  const PriceSet& store(std::unique_ptr<PriceSet> set) const;
+
   MarketSimulator sim_;
   // Grow-only: older, narrower sets are kept alive so references handed
   // out earlier never dangle.
   mutable std::vector<std::unique_ptr<PriceSet>> sets_;
-  mutable const PriceSet* current_ = nullptr;
+  // Widest set so far per native interval (samples_per_hour -> set).
+  mutable std::map<int, const PriceSet*> current_;
   bool pinned_ = false;
 };
 

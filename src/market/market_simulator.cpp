@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "geo/latlon.h"
 
@@ -26,6 +27,34 @@ constexpr std::uint64_t kStreamScarcity = 900;  // + rto
 
 [[nodiscard]] double innovation_sigma(double stationary_sigma, double phi) {
   return stationary_sigma * std::sqrt(std::max(0.0, 1.0 - phi * phi));
+}
+
+/// Intra-hour AR(1) parameters time-rescaled from the 5-minute
+/// calibration to `samples_per_hour` samples: one sample spans
+/// k = 12 / samples_per_hour five-minute units, so persistence is
+/// phi^k and the per-sample spike probability is the complement of k
+/// spike-free units. At 12 samples per hour this is the calibration
+/// itself (bit-for-bit, no pow round-trip).
+struct SubHourlyParams {
+  double phi;
+  double spike_rate;
+  double inno;
+
+  SubHourlyParams(const FiveMinParams& fm, int samples_per_hour) {
+    const double k = 12.0 / static_cast<double>(samples_per_hour);
+    phi = samples_per_hour == 12 ? fm.phi : std::pow(fm.phi, k);
+    spike_rate = samples_per_hour == 12
+                     ? fm.spike_rate
+                     : 1.0 - std::pow(1.0 - fm.spike_rate, k);
+    inno = innovation_sigma(fm.sigma, phi);
+  }
+};
+
+void expect_divides_hour(int samples_per_hour, const char* who) {
+  if (!divides_hour(samples_per_hour)) {
+    throw std::invalid_argument(std::string(who) +
+                                ": samples_per_hour must divide 60");
+  }
 }
 
 }  // namespace
@@ -282,22 +311,103 @@ PriceSet MarketSimulator::generate(const Period& period) const {
   return out;
 }
 
+PriceSet MarketSimulator::generate(const Period& period,
+                                   int samples_per_hour) const {
+  expect_divides_hour(samples_per_hour, "MarketSimulator::generate");
+  PriceSet set = generate(period);
+  if (samples_per_hour == 1) return set;
+  set.samples_per_hour = samples_per_hour;
+
+  const int interval_minutes = 60 / samples_per_hour;
+  const FiveMinParams& fm = params_.five_min;
+  const SubHourlyParams sub(fm, samples_per_hour);
+  const Period study = study_period();
+  const auto per_hour = static_cast<std::size_t>(samples_per_hour);
+
+  for (HubId id : hubs_.hourly_hubs()) {
+    const PriceSeries& hourly = set.rt[id.index()];
+    std::vector<double> out;
+    out.reserve(hourly.size() * per_hour);
+    if (interval_minutes < hubs_.info(id).rt_interval_minutes) {
+      // The hub's market settles no finer than its native interval:
+      // every sub-sample repeats the hourly settlement.
+      for (const double hour_price : hourly.values()) {
+        out.insert(out.end(), per_hour, hour_price);
+      }
+    } else {
+      // Same per-hub stream as the Fig 4/5 helper, but evolved from the
+      // study epoch (draws for unwanted hours are consumed, not emitted)
+      // so the output is invariant to the requested window.
+      stats::Rng rng = stats::Rng(seed_).split(kStreamFiveMin + id.index());
+      double ar = 0.0;
+      for (HourIndex t = study.begin; t < period.end; ++t) {
+        const bool want = period.contains(t);
+        const double hour_price = want ? hourly.at(t) : 0.0;
+        for (int i = 0; i < samples_per_hour; ++i) {
+          ar = sub.phi * ar + rng.normal(0.0, sub.inno);
+          double p = hour_price * std::exp(ar - fm.sigma * fm.sigma / 2.0);
+          if (rng.bernoulli(sub.spike_rate)) {
+            p += rng.pareto(fm.spike_scale, 1.8);
+          }
+          if (want) {
+            out.push_back(std::clamp(p, params_.price_floor, params_.price_cap));
+          }
+        }
+      }
+    }
+    set.rt[id.index()] = PriceSeries(period, samples_per_hour, std::move(out));
+  }
+  return set;
+}
+
 std::vector<double> MarketSimulator::five_minute_series(
     HubId hub, const HourlySeries& hourly) const {
+  return sub_hourly_series(hub, hourly, 12);
+}
+
+PriceSeries MarketSimulator::sub_hourly_view(HubId hub,
+                                             const HourlySeries& hourly,
+                                             int samples_per_hour) const {
   if (!hub.valid() || hub.index() >= hubs_.size()) {
-    throw std::out_of_range("five_minute_series: bad hub");
+    throw std::out_of_range("sub_hourly_view: bad hub");
+  }
+  expect_divides_hour(samples_per_hour, "sub_hourly_view");
+  if (60 / samples_per_hour < hubs_.info(hub).rt_interval_minutes) {
+    // The hub's market settles no finer than its native interval:
+    // every sub-sample repeats the hourly settlement (same rule as
+    // generate(period, samples_per_hour)).
+    std::vector<double> flat;
+    flat.reserve(hourly.size() * static_cast<std::size_t>(samples_per_hour));
+    for (const double hour_price : hourly.values()) {
+      flat.insert(flat.end(), static_cast<std::size_t>(samples_per_hour),
+                  hour_price);
+    }
+    return PriceSeries(hourly.period(), samples_per_hour, std::move(flat));
+  }
+  return PriceSeries(hourly.period(), samples_per_hour,
+                     sub_hourly_series(hub, hourly, samples_per_hour));
+}
+
+std::vector<double> MarketSimulator::sub_hourly_series(
+    HubId hub, const HourlySeries& hourly, int samples_per_hour) const {
+  if (!hub.valid() || hub.index() >= hubs_.size()) {
+    throw std::out_of_range("sub_hourly_series: bad hub");
+  }
+  expect_divides_hour(samples_per_hour, "sub_hourly_series");
+  if (hourly.samples_per_hour() != 1) {
+    throw std::invalid_argument("sub_hourly_series: base series must be hourly");
   }
   const FiveMinParams& fm = params_.five_min;
+  const SubHourlyParams sub(fm, samples_per_hour);
   stats::Rng rng = stats::Rng(seed_).split(kStreamFiveMin + hub.index());
   std::vector<double> out;
-  out.reserve(hourly.size() * 12);
+  out.reserve(hourly.size() * static_cast<std::size_t>(samples_per_hour));
   double ar = 0.0;
-  const double inno = innovation_sigma(fm.sigma, fm.phi);
   for (double hour_price : hourly.values()) {
-    for (int i = 0; i < 12; ++i) {
-      ar = fm.phi * ar + rng.normal(0.0, inno);
+    for (int i = 0; i < samples_per_hour; ++i) {
+      ar = sub.phi * ar + rng.normal(0.0, sub.inno);
       double p = hour_price * std::exp(ar - fm.sigma * fm.sigma / 2.0);
-      if (rng.bernoulli(fm.spike_rate)) {
+      if (rng.bernoulli(sub.spike_rate)) {
         p += rng.pareto(fm.spike_scale, 1.8);
       }
       out.push_back(std::clamp(p, params_.price_floor, params_.price_cap));

@@ -41,10 +41,43 @@ class MarketSimulator {
   /// period must start at or after the study epoch (Jan 2006).
   [[nodiscard]] PriceSet generate(const Period& period) const;
 
+  /// Native-interval RT prices (`samples_per_hour` samples per hour,
+  /// which must divide 60) + hourly DA. Each hub's hourly series is the
+  /// one generate() produces; around it the simulator synthesizes
+  /// calibrated intra-hour structure (the Fig 4/5 AR process, time-
+  /// rescaled to the requested interval) for every hub whose market
+  /// settles at least that finely (HubInfo::rt_interval_minutes; coarser
+  /// hubs keep flat hours). Window-invariant like the hourly generator:
+  /// the intra-hour processes evolve from the study epoch, so a 24-day
+  /// slice agrees with the same hours of a 39-month request.
+  [[nodiscard]] PriceSet generate(const Period& period,
+                                  int samples_per_hour) const;
+
   /// Five-minute real-time series for one hub, 12 samples per hour of
   /// `hourly` (paper Fig 4's "Real-time 5-min" curve).
   [[nodiscard]] std::vector<double> five_minute_series(HubId hub,
                                                        const HourlySeries& hourly) const;
+
+  /// Generalization of five_minute_series to any interval dividing the
+  /// hour: `samples_per_hour` sub-samples around each hour of `hourly`
+  /// (which must itself be hourly-sampled). The AR(1) deviation process
+  /// is time-rescaled so its per-5-minute persistence matches the Fig 4
+  /// calibration at every interval; at samples_per_hour == 12 this is
+  /// byte-identical to five_minute_series. Unlike generate(period,
+  /// samples_per_hour) the process starts fresh at the series begin
+  /// (figure-bench semantics, not window-invariant).
+  [[nodiscard]] std::vector<double> sub_hourly_series(HubId hub,
+                                                      const HourlySeries& hourly,
+                                                      int samples_per_hour) const;
+
+  /// sub_hourly_series with the hub's native settlement honored, as a
+  /// ready PriceSeries: hubs whose market settles no finer than the
+  /// requested interval (HubInfo::rt_interval_minutes) get flat hours,
+  /// exactly like generate(period, samples_per_hour). Used to derive
+  /// sub-hourly views of an explicit (pinned) hourly market.
+  [[nodiscard]] PriceSeries sub_hourly_view(HubId hub,
+                                            const HourlySeries& hourly,
+                                            int samples_per_hour) const;
 
   /// Daily day-ahead *peak* averages (Fig 3). Works for hourly hubs (via
   /// their DA series) and for the daily-only Northwest hub (dedicated

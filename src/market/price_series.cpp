@@ -4,44 +4,80 @@
 
 namespace cebis::market {
 
-HourlySeries::HourlySeries(Period period, std::vector<double> values)
+PriceSeries::PriceSeries(Period period, std::vector<double> values)
     : period_(period), values_(std::move(values)) {
   if (static_cast<std::int64_t>(values_.size()) != period_.hours()) {
-    throw std::invalid_argument("HourlySeries: size does not match period");
+    throw std::invalid_argument("PriceSeries: size does not match period");
   }
 }
 
-double HourlySeries::at(HourIndex h) const {
-  if (!period_.contains(h)) throw std::out_of_range("HourlySeries::at: hour outside period");
-  return values_[static_cast<std::size_t>(h - period_.begin)];
+PriceSeries::PriceSeries(Period period, int samples_per_hour,
+                         std::vector<double> values)
+    : period_(period),
+      samples_per_hour_(samples_per_hour),
+      values_(std::move(values)) {
+  if (samples_per_hour_ < 1) {
+    throw std::invalid_argument("PriceSeries: samples_per_hour < 1");
+  }
+  if (static_cast<std::int64_t>(values_.size()) !=
+      period_.hours() * samples_per_hour_) {
+    throw std::invalid_argument(
+        "PriceSeries: size does not match period x samples_per_hour");
+  }
 }
 
-std::span<const double> HourlySeries::slice(const Period& p) const {
+double PriceSeries::at(HourIndex h) const {
+  if (!period_.contains(h)) {
+    throw std::out_of_range("PriceSeries::at: hour outside period");
+  }
+  const auto row = static_cast<std::size_t>(h - period_.begin);
+  if (samples_per_hour_ == 1) return values_[row];
+  const auto n = static_cast<std::size_t>(samples_per_hour_);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) sum += values_[row * n + i];
+  return sum / static_cast<double>(samples_per_hour_);
+}
+
+double PriceSeries::at(HourIndex h, int sample) const {
+  if (!period_.contains(h)) {
+    throw std::out_of_range("PriceSeries::at: hour outside period");
+  }
+  if (sample < 0 || sample >= samples_per_hour_) {
+    throw std::out_of_range("PriceSeries::at: sample outside native interval");
+  }
+  return values_[static_cast<std::size_t>(h - period_.begin) *
+                     static_cast<std::size_t>(samples_per_hour_) +
+                 static_cast<std::size_t>(sample)];
+}
+
+std::span<const double> PriceSeries::slice(const Period& p) const {
   if (p.begin < period_.begin || p.end > period_.end || p.begin > p.end) {
-    throw std::out_of_range("HourlySeries::slice: period not contained");
+    throw std::out_of_range("PriceSeries::slice: period not contained");
   }
+  const auto n = static_cast<std::size_t>(samples_per_hour_);
   return std::span<const double>(values_).subspan(
-      static_cast<std::size_t>(p.begin - period_.begin),
-      static_cast<std::size_t>(p.hours()));
+      static_cast<std::size_t>(p.begin - period_.begin) * n,
+      static_cast<std::size_t>(p.hours()) * n);
 }
 
-std::vector<double> HourlySeries::daily_averages() const {
+std::vector<double> PriceSeries::daily_averages() const {
   std::vector<double> out;
   const std::int64_t days = period_.hours() / 24;
+  const auto per_day = static_cast<std::size_t>(24 * samples_per_hour_);
   out.reserve(static_cast<std::size_t>(days));
   for (std::int64_t d = 0; d < days; ++d) {
     double s = 0.0;
-    for (int h = 0; h < 24; ++h) {
-      s += values_[static_cast<std::size_t>(d * 24 + h)];
+    for (std::size_t i = 0; i < per_day; ++i) {
+      s += values_[static_cast<std::size_t>(d) * per_day + i];
     }
-    out.push_back(s / 24.0);
+    out.push_back(s / static_cast<double>(per_day));
   }
   return out;
 }
 
-std::vector<double> HourlySeries::daily_peak_averages(int utc_offset_hours,
-                                                      int first_hour,
-                                                      int last_hour) const {
+std::vector<double> PriceSeries::daily_peak_averages(int utc_offset_hours,
+                                                     int first_hour,
+                                                     int last_hour) const {
   if (first_hour < 0 || last_hour > 23 || first_hour > last_hour) {
     throw std::invalid_argument("daily_peak_averages: bad hour range");
   }
@@ -55,7 +91,7 @@ std::vector<double> HourlySeries::daily_peak_averages(int utc_offset_hours,
       const HourIndex abs_hour = period_.begin + d * 24 + h;
       const int local = local_hour_of_day(abs_hour, utc_offset_hours);
       if (local >= first_hour && local <= last_hour) {
-        s += values_[static_cast<std::size_t>(d * 24 + h)];
+        s += at(abs_hour);
         ++n;
       }
     }

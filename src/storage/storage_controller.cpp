@@ -1,6 +1,7 @@
 #include "storage/storage_controller.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
@@ -28,16 +29,40 @@ StorageController::StorageController(core::StorageSpec spec)
 
 StorageController::~StorageController() = default;
 
-void StorageController::on_run_begin(Period period,
-                                     std::span<const core::Cluster> clusters,
-                                     int /*steps_per_hour*/) {
+void StorageController::begin_month(int month) {
+  guard_month_ = month;
+  month_done_ = 0;
+  // The demand meter only sees the intervals the billing period covers:
+  // a run starting (or ending) mid-month meters the clipped month, the
+  // same split bill_interval_load applies.
+  const HourIndex lo = std::max(month_begin(month), period_.begin);
+  const HourIndex hi = std::min(month_end(month), period_.end);
+  month_intervals_ = std::max<std::int64_t>(0, hi - lo) * meter_sph_;
+  for (auto& stats : month_raw_stats_) stats.clear();
+}
+
+void StorageController::on_run_begin(const core::RunInfo& info,
+                                     std::span<const core::Cluster> clusters) {
   const std::size_t n = clusters.size();
   if (!spec_.per_cluster.empty() && spec_.per_cluster.size() != n) {
     throw std::invalid_argument(
         "StorageController: per_cluster battery override does not match the "
         "cluster count");
   }
-  period_ = period;
+  if (info.steps_per_hour < 1 || info.price_samples_per_hour < 1 ||
+      (info.price_samples_per_hour >= info.steps_per_hour
+           ? info.price_samples_per_hour % info.steps_per_hour != 0
+           : info.steps_per_hour % info.price_samples_per_hour != 0)) {
+    throw std::invalid_argument(
+        "StorageController: accounting steps and the metering interval must "
+        "nest (one samples-per-hour must divide the other)");
+  }
+  period_ = info.period;
+  steps_per_hour_ = info.steps_per_hour;
+  meter_sph_ = info.price_samples_per_hour;
+  guard_peaks_ = spec_.cap_charge_at_peak &&
+                 spec_.tariff.demand_usd_per_kw_month.value() > 0.0;
+  exact_guard_ = meter_sph_ >= steps_per_hour_;
   batteries_.clear();
   policies_.clear();
   for (std::size_t c = 0; c < n; ++c) {
@@ -47,52 +72,88 @@ void StorageController::on_run_begin(Period period,
     policies_.push_back(make_policy(spec_.policy, spec_.policy_config));
     policies_.back()->begin(params);
   }
-  const auto hours = static_cast<std::size_t>(period.hours());
-  raw_mwh_.assign(n, std::vector<double>(hours, 0.0));
-  net_mwh_.assign(n, std::vector<double>(hours, 0.0));
-  spot_.assign(n, std::vector<double>(hours, 0.0));
-  hour_net_mwh_.assign(n, 0.0);
-  month_hours_mwh_.assign(n, {});
+  const auto intervals =
+      static_cast<std::size_t>(info.period.hours() * meter_sph_);
+  raw_mwh_.assign(n, std::vector<double>(intervals, 0.0));
+  net_mwh_.assign(n, std::vector<double>(intervals, 0.0));
+  spot_.assign(n, std::vector<double>(intervals, 0.0));
+  interval_net_mwh_.assign(n, 0.0);
+  month_net_mwh_.assign(n, {});
   month_level_mwh_.assign(n, 0.0);
-  guard_hour_ = period.begin;
-  guard_month_ = -1;
+  month_raw_stats_.assign(n, {});
+  guard_row_ = 0;
+  // Month state is anchored at the run's first hour - a run starting
+  // mid-month meters exactly the intervals its billing period covers
+  // (regression-tested for non-month-boundary starts).
+  begin_month(month_index(info.period.begin));
   outcome_ = core::StorageOutcome{};
 }
 
+double StorageController::raw_demand_floor(std::size_t cluster) {
+  const std::int64_t n = month_intervals_;
+  if (n <= 0) return 0.0;
+  // R-7 rank over the month's full interval count, with the intervals
+  // still to come taken as zero load. Zero-padding only underestimates
+  // (loads are nonnegative), and the *lower* adjacent order statistic
+  // is a lower bound on the interpolated percentile, so this floor can
+  // only rise toward the month's final billed raw demand - capping net
+  // intervals at max(raw, floor) therefore provably keeps the billed
+  // net demand at or below raw, at any percentile and any resolution.
+  const double rank =
+      spec_.tariff.demand_percentile / 100.0 * static_cast<double>(n - 1);
+  const auto lo = static_cast<std::int64_t>(std::floor(rank));
+  const std::int64_t zeros = n - month_done_;
+  if (lo < zeros) return 0.0;
+  auto& stats = month_raw_stats_[cluster];
+  const auto idx = static_cast<std::size_t>(lo - zeros);
+  return idx < stats.size() ? stats.at(idx) : 0.0;
+}
+
 void StorageController::on_step(const core::StepView& view) {
-  const auto row = static_cast<std::size_t>(view.hour - period_.begin);
-  const bool guard_peaks =
-      spec_.cap_charge_at_peak &&
-      spec_.tariff.demand_usd_per_kw_month.value() > 0.0;
-  if (guard_peaks && view.hour != guard_hour_) {
-    // Fold the completed hour into the month's demand measurement and
-    // refresh the established billed level (the tariff's percentile of
-    // the completed net hours); a new calendar month starts fresh.
+  // The metering row containing this step (meter rows per hour times
+  // completed hours, plus the row within the hour).
+  const std::int64_t hour_row = view.hour - period_.begin;
+  const auto step_in_hour =
+      static_cast<std::int64_t>(view.step % steps_per_hour_);
+  const std::int64_t row =
+      hour_row * meter_sph_ + step_in_hour * meter_sph_ / steps_per_hour_;
+
+  if (guard_peaks_ && !exact_guard_ && row != guard_row_) {
+    // Legacy (meter coarser than step) path: fold the completed interval
+    // into the month's demand measurement and refresh the established
+    // billed level (the tariff's percentile of the completed net
+    // intervals); a new calendar month starts fresh.
     const int month = month_index(view.hour);
-    const bool new_month = month != guard_month_ && guard_month_ != -1;
+    const bool new_month = month != guard_month_;
     for (std::size_t c = 0; c < batteries_.size(); ++c) {
       if (new_month) {
-        month_hours_mwh_[c].clear();
+        month_net_mwh_[c].clear();
       } else {
-        month_hours_mwh_[c].push_back(hour_net_mwh_[c]);
+        month_net_mwh_[c].push_back(interval_net_mwh_[c]);
       }
       month_level_mwh_[c] =
-          month_hours_mwh_[c].empty()
+          month_net_mwh_[c].empty()
               ? 0.0
-              : stats::percentile(month_hours_mwh_[c],
+              : stats::percentile(month_net_mwh_[c],
                                   spec_.tariff.demand_percentile);
-      hour_net_mwh_[c] = 0.0;
+      interval_net_mwh_[c] = 0.0;
     }
-    guard_hour_ = view.hour;
+    guard_row_ = row;
     guard_month_ = month;
-  } else if (guard_peaks && guard_month_ == -1) {
-    guard_month_ = month_index(view.hour);
   }
+  if (guard_peaks_ && exact_guard_) {
+    const int month = month_index(view.hour);
+    if (month != guard_month_) begin_month(month);
+  }
+
+  // Exact path: every step covers `per_step` whole metering intervals,
+  // so the interval loads are known when the charge decision is made.
+  const std::int64_t per_step =
+      exact_guard_ ? meter_sph_ / steps_per_hour_ : 1;
 
   for (std::size_t c = 0; c < batteries_.size(); ++c) {
     const double load = view.energy_mwh[c];
     const double price = view.billing_price[c];
-    spot_[c][row] = price;
 
     PolicyContext ctx;
     ctx.hour = view.hour;
@@ -105,15 +166,28 @@ void StorageController::on_step(const core::StepView& view) {
     double grid = load;
     if (intent > 0.0) {
       double request = intent;
-      if (guard_peaks) {
-        // Charging may fill the hour only up to the month's established
-        // billed-demand level - it must never set the billed demand
-        // itself. The budget is enforced cumulatively over the hour AND
-        // pro-rata per step, so early-hour charging cannot eat the
-        // budget the rest of the hour's load still needs.
+      if (guard_peaks_ && exact_guard_) {
+        // Exact interval metering: the step IS `per_step` complete
+        // intervals, each carrying load / per_step. Cap charging so
+        // every interval's net stays at or below max(raw, floor) -
+        // since raw is known here, there is no within-interval future
+        // load to mispredict and no pro-rata sliver.
+        const double floor_mwh = raw_demand_floor(c);
+        request = std::min(
+            request,
+            std::max(0.0,
+                     floor_mwh * static_cast<double>(per_step) - load));
+      } else if (guard_peaks_) {
+        // Charging may fill the interval only up to the month's
+        // established billed-demand level - it must never set the billed
+        // demand itself. The budget is enforced cumulatively over the
+        // interval AND pro-rata per step, so early charging cannot eat
+        // the budget the rest of the interval's load still needs.
+        const double step_frac =
+            view.dt.value() * static_cast<double>(meter_sph_);
         const double budget =
-            std::min(month_level_mwh_[c] * view.dt.value(),
-                     month_level_mwh_[c] - hour_net_mwh_[c]) -
+            std::min(month_level_mwh_[c] * step_frac,
+                     month_level_mwh_[c] - interval_net_mwh_[c]) -
             load;
         request = std::min(request, std::max(0.0, budget));
       }
@@ -124,10 +198,36 @@ void StorageController::on_step(const core::StepView& view) {
       grid -= batteries_[c].discharge(MegawattHours{request}, view.dt).value();
     }
 
-    raw_mwh_[c][row] += load;
-    net_mwh_[c][row] += grid;
-    if (guard_peaks) hour_net_mwh_[c] += grid;
+    if (per_step == 1) {
+      raw_mwh_[c][static_cast<std::size_t>(row)] += load;
+      net_mwh_[c][static_cast<std::size_t>(row)] += grid;
+      spot_[c][static_cast<std::size_t>(row)] = price;
+    } else {
+      // Demand (and the battery's grid action) is uniform within a
+      // step, so a step finer than nothing - coarser than the meter -
+      // spreads evenly across its intervals; the engine billed the step
+      // at its time-mean price, which each interval inherits.
+      const double raw_share = load / static_cast<double>(per_step);
+      const double net_share = grid / static_cast<double>(per_step);
+      for (std::int64_t i = 0; i < per_step; ++i) {
+        raw_mwh_[c][static_cast<std::size_t>(row + i)] += raw_share;
+        net_mwh_[c][static_cast<std::size_t>(row + i)] += net_share;
+        spot_[c][static_cast<std::size_t>(row + i)] = price;
+      }
+    }
+
+    if (guard_peaks_ && exact_guard_) {
+      // Fold the step's completed raw intervals into the month's
+      // measurement (the floor for *later* decisions; this cluster's
+      // own cap above read the pre-step state).
+      auto& stats = month_raw_stats_[c];
+      const double raw_share = load / static_cast<double>(per_step);
+      for (std::int64_t i = 0; i < per_step; ++i) stats.insert(raw_share);
+    } else if (guard_peaks_) {
+      interval_net_mwh_[c] += grid;
+    }
   }
+  if (guard_peaks_ && exact_guard_) month_done_ += per_step;
 }
 
 void StorageController::on_run_end(core::RunResult& result) {
@@ -136,10 +236,10 @@ void StorageController::on_run_end(core::RunResult& result) {
   outcome_.cluster_raw_usd.assign(n, 0.0);
   outcome_.cluster_net_usd.assign(n, 0.0);
   for (std::size_t c = 0; c < n; ++c) {
-    const billing::TariffBill raw =
-        billing::bill_hourly_load(spec_.tariff, period_, raw_mwh_[c], spot_[c]);
-    const billing::TariffBill net =
-        billing::bill_hourly_load(spec_.tariff, period_, net_mwh_[c], spot_[c]);
+    const billing::TariffBill raw = billing::bill_interval_load(
+        spec_.tariff, period_, meter_sph_, raw_mwh_[c], spot_[c]);
+    const billing::TariffBill net = billing::bill_interval_load(
+        spec_.tariff, period_, meter_sph_, net_mwh_[c], spot_[c]);
     outcome_.raw_energy += raw.energy;
     outcome_.raw_demand += raw.demand;
     outcome_.net_energy += net.energy;

@@ -235,7 +235,7 @@ class ProbeObserver final : public StepObserver {
   ProbeObserver(int id, std::vector<int>& journal, std::int64_t& steps)
       : id_(id), journal_(journal), steps_(steps) {}
 
-  void on_run_begin(Period, std::span<const Cluster>, int) override {
+  void on_run_begin(const RunInfo&, std::span<const Cluster>) override {
     journal_.push_back(id_ * 100);
   }
   void on_step(const StepView& view) override {

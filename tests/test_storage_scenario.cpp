@@ -56,7 +56,7 @@ core::StorageOutcome drive(StorageController& controller, Period period,
                            std::span<const double> price,
                            std::span<const double> load) {
   const std::vector<core::Cluster> clusters(1);
-  controller.on_run_begin(period, clusters, 1);
+  controller.on_run_begin(core::RunInfo{period, 1, 1}, clusters);
   core::Allocation alloc(1, 1);
   for (std::int64_t step = 0; step < period.hours(); ++step) {
     const auto i = static_cast<std::size_t>(step);
@@ -206,8 +206,9 @@ TEST(StorageController, RejectsBadSpecs) {
   spec.per_cluster.assign(3, BatteryParams{});
   StorageController controller(spec);
   const std::vector<core::Cluster> clusters(2);
-  EXPECT_THROW(controller.on_run_begin(Period{0, 1}, clusters, 1),
-               std::invalid_argument);
+  EXPECT_THROW(
+      controller.on_run_begin(core::RunInfo{Period{0, 1}, 1, 1}, clusters),
+      std::invalid_argument);
 }
 
 // --- through the scenario pipeline ------------------------------------------
