@@ -194,6 +194,43 @@ void BM_BatchedThresholdSweep(benchmark::State& state) {
 }
 BENCHMARK(BM_BatchedThresholdSweep)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
+// The same style of sweep fanned out over run_scenarios' worker pool:
+// 12 cells (6 thresholds x 95/5 on/off) so the pool has real work. Arg
+// is SweepOptions::threads - 1 pins the historical serial path, 0 uses
+// hardware concurrency. Results are byte-identical either way (guarded
+// in tests/test_scenario_api.cpp); this bench measures the wall-clock
+// win, which only shows on multi-core hosts (a 1-CPU runner reports
+// ~1x by construction).
+void BM_ParallelThresholdSweep(benchmark::State& state) {
+  const core::Fixture& fx = fixture();
+  std::vector<core::ScenarioSpec> specs;
+  for (const double km : {0.0, 500.0, 1000.0, 1500.0, 2000.0, 2500.0}) {
+    for (const bool follow : {false, true}) {
+      specs.push_back(core::ScenarioSpec{
+          .router = "price-aware",
+          .config = core::PriceAwareConfig{.distance_threshold = Km{km}},
+          .energy = energy::optimistic_future_params(),
+          .workload = core::WorkloadKind::kTrace24Day,
+          .enforce_p95 = follow,
+      });
+    }
+  }
+  const core::SweepOptions opts{.threads = static_cast<int>(state.range(0))};
+  for (auto _ : state) {
+    const std::vector<core::RunResult> runs =
+        core::run_scenarios(fx, specs, opts);
+    benchmark::DoNotOptimize(runs.back().total_cost.value());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(specs.size()) *
+                          trace_period().hours() * 12);
+  report_plan_rebuilds(state, 0.0);
+}
+BENCHMARK(BM_ParallelThresholdSweep)
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -21,11 +21,13 @@ Three checks, one hard and two soft:
   ::warning:: annotation but never fails the job - CI runners are far
   too noisy for hard timing gates; the annotation is the paper trail.
 
-* Plan-replay gate (soft): the BM_FiveMinutePlanReplay entries also pin
-  their plan_rebuilds_per_step counter. Unlike wall time the counter is
-  deterministic, so a measured value above the pinned one means the
-  hour-scoped routing plans started rebuilding more often than the
-  price cadence requires (replay machinery regressed) -> ::warning::.
+* Deterministic-counter gate (soft): pinned entries may list counters
+  under "deterministic_counters" (e.g. BM_FiveMinutePlanReplay pins
+  plan_rebuilds_per_step). Unlike wall time such counters are exact
+  properties of the code path, so a measured value above the pinned one
+  means the underlying machinery regressed - the hour-scoped plans
+  rebuild more often than the price cadence requires, a sweep stopped
+  sharing engines, etc. -> ::warning::.
 
 Usage:
   python3 bench/check_bench_results.py \
@@ -190,22 +192,28 @@ def check_timings(baseline: dict, results: pathlib.Path, threshold: float) -> No
                 status = "REGRESSED"
             print(f"timing gate: {harness}:{name} {ratio:.2f}x baseline [{status}]")
 
-            # Plan-replay gate: plan_rebuilds_per_step is deterministic
-            # (unlike wall time), so any measured value above the pinned
-            # one means the hour-scoped plans rebuild more often than
-            # the price cadence requires - the replay machinery
-            # regressed even if the wall clock hides it. 1% slack only
-            # absorbs iteration-count rounding of the per-step ratio.
-            if name.startswith("BM_FiveMinutePlanReplay") and \
-                    "plan_rebuilds_per_step" in want:
-                pinned_rate = float(want["plan_rebuilds_per_step"])
-                got_rate = float(got.get("plan_rebuilds_per_step", "nan"))
-                if not got_rate <= pinned_rate * 1.01:
+            # Deterministic-counter gate: a pinned entry opts in by
+            # listing counters under "deterministic_counters". Unlike
+            # wall time those are exact properties of the code path
+            # (e.g. plan_rebuilds_per_step: how often hour-scoped plans
+            # rebuild vs the price cadence), so any measured value above
+            # the pinned one means the machinery regressed even if the
+            # wall clock hides it. 1% + epsilon slack only absorbs
+            # iteration-count rounding of per-step ratios (and keeps a
+            # pinned 0.0 an exact gate).
+            for counter in want.get("deterministic_counters", ()):
+                if counter not in want:
+                    warn(f"counter gate: {harness}:{name} lists '{counter}' "
+                         "as deterministic but pins no value for it")
+                    continue
+                pinned_rate = float(want[counter])
+                got_rate = float(got.get(counter, "nan"))
+                if not got_rate <= pinned_rate * 1.01 + 1e-12:
                     warn(
-                        f"plan-replay regression: {harness}:{name} "
-                        f"plan_rebuilds_per_step = {got_rate:.6g} vs pinned "
-                        f"{pinned_rate:.6g} - hour-scoped plans are being "
-                        f"rebuilt more often than the price cadence requires"
+                        f"counter regression: {harness}:{name} "
+                        f"{counter} = {got_rate:.6g} vs pinned "
+                        f"{pinned_rate:.6g} - this counter is deterministic, "
+                        f"so the underlying machinery regressed"
                     )
         for name in sorted(set(measured) - set(pinned)):
             print(f"timing gate: {harness}:{name} has no pinned baseline (new bench?)")

@@ -1,10 +1,12 @@
 #include "core/experiment.h"
 
 #include <algorithm>
+#include <limits>
 #include <map>
 #include <stdexcept>
 #include <utility>
 
+#include "core/parallel.h"
 #include "core/router_registry.h"
 #include "stats/descriptive.h"
 #include "storage/storage_controller.h"
@@ -80,17 +82,27 @@ Fixture Fixture::make(std::uint64_t seed) {
 }
 
 std::size_t Fixture::cheapest_cluster() const {
-  const market::PriceSet& full = prices();
+  // Memoized: the first call reduces the study period to per-hub means
+  // (LazyPriceHistory::study_rt_means - the full 39-month set is never
+  // retained on its behalf) and publishes the argmin; later calls are a
+  // single atomic load, safe from any thread. The first call itself
+  // materializes lazily and belongs in a serial section - run_scenarios
+  // resolves it in the plan phase, before cells fan out.
+  const std::int64_t memo = cheapest_memo->load(std::memory_order_acquire);
+  if (memo >= 0) return static_cast<std::size_t>(memo);
+
+  const std::vector<double>& means = price_history->study_rt_means();
   std::size_t best = 0;
   double best_mean = std::numeric_limits<double>::infinity();
   for (std::size_t c = 0; c < clusters.size(); ++c) {
-    const double mean =
-        stats::mean(full.rt.at(clusters[c].hub.index()).values());
+    const double mean = means.at(clusters[c].hub.index());
     if (mean < best_mean) {
       best_mean = mean;
       best = c;
     }
   }
+  cheapest_memo->store(static_cast<std::int64_t>(best),
+                       std::memory_order_release);
   return best;
 }
 
@@ -109,11 +121,11 @@ Period priced_window_of(const Fixture& fixture, const ScenarioSpec& spec) {
 
 std::vector<RunResult> run_scenarios(const Fixture& fixture,
                                      std::span<const ScenarioSpec> specs,
+                                     const SweepOptions& options,
                                      SweepStats* stats) {
   const RouterRegistry& registry = RouterRegistry::instance();
   SweepStats local;
-  std::vector<RunResult> out;
-  out.reserve(specs.size());
+  std::vector<RunResult> out(specs.size());
 
   // Materialize the union of the fixture-priced windows up front - one
   // union window per requested market resolution - so every spec in the
@@ -152,11 +164,32 @@ std::vector<RunResult> run_scenarios(const Fixture& fixture,
     }
   }
 
+  // --- Plan phase (serial, spec order) --------------------------------------
+  //
+  // Everything that can touch shared mutable state happens here:
+  // workload/engine construction, router factories (static-cheapest and
+  // the consolidated-cluster factory resolve Fixture::cheapest_cluster
+  // at make-time, materializing study means lazily), observer wiring
+  // decisions. After this phase every cell only reads immutable inputs.
+
   // Workloads shared per (kind, synthetic window); engines per EngineKey.
   std::map<std::pair<WorkloadKind, Period>, std::unique_ptr<Workload>> workloads;
   std::vector<std::pair<EngineKey, std::unique_ptr<SimulationEngine>>> engines;
+  std::vector<std::unique_ptr<SimulationEngine>> private_engines;
 
-  for (const ScenarioSpec& spec : specs) {
+  /// One planned sweep cell: the engine/workload it shares (or owns),
+  /// its own router, and whether worker threads may run it.
+  struct Cell {
+    const ScenarioSpec* spec = nullptr;
+    const SimulationEngine* engine = nullptr;
+    const Workload* workload = nullptr;
+    std::unique_ptr<Router> router;
+    bool pool_safe = true;
+  };
+  std::vector<Cell> cells(specs.size());
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const ScenarioSpec& spec = specs[i];
     const RouterEntry& entry = registry.at(spec.router);
     const bool enforce = spec.enforce_p95 && !entry.forces_relaxed_p95;
     // An explicit routing_prices override carries its own native
@@ -197,10 +230,9 @@ std::vector<RunResult> run_scenarios(const Fixture& fixture,
     // Engine hooks are opaque std::functions - scenarios carrying them
     // cannot prove key equality, so they get a private engine.
     SimulationEngine* engine = nullptr;
-    std::unique_ptr<SimulationEngine> private_engine;
     if (spec.capacity_factor || spec.pue_of) {
-      private_engine = make_engine();
-      engine = private_engine.get();
+      private_engines.push_back(make_engine());
+      engine = private_engines.back().get();
     } else {
       EngineKey key{entry.clusters ? spec.router : std::string{}, enforce,
                     spec.delay_hours, &prices, spec.energy};
@@ -213,26 +245,84 @@ std::vector<RunResult> run_scenarios(const Fixture& fixture,
       engine = found->second.get();
     }
 
-    const std::unique_ptr<Router> router = entry.make(fixture, spec);
+    Cell& cell = cells[i];
+    cell.spec = &spec;
+    cell.engine = engine;
+    cell.workload = wit->second.get();
+    cell.router = entry.make(fixture, spec);
+    // Caller-supplied std::function state (observers, engine hooks) may
+    // not be thread-safe; those cells stay on the calling thread. The
+    // runner-owned StorageController is per-cell, so storage cells pool.
+    cell.pool_safe =
+        spec.observers.empty() && !spec.capacity_factor && !spec.pue_of;
+  }
+
+  // --- Run phase (concurrent) -----------------------------------------------
+  //
+  // SimulationEngine::run is const with run-local buffers, so cells
+  // sharing one engine are safe to run from multiple threads; each cell
+  // owns its router, its observers list and its result slot.
+
+  auto run_cell = [&cells, &out](std::size_t i) {
+    const Cell& cell = cells[i];
+    const ScenarioSpec& spec = *cell.spec;
     if (spec.storage.has_value()) {
       // Battery storage composes as one more observer on the run; its
       // raw/net tariff accounting lands in RunResult::storage.
       storage::StorageController controller(*spec.storage);
       std::vector<StepObserver*> observers = spec.observers;
       observers.push_back(&controller);
-      out.push_back(engine->run(*wit->second, *router, observers));
+      out[i] = cell.engine->run(*cell.workload, *cell.router, observers);
     } else {
-      out.push_back(engine->run(*wit->second, *router, spec.observers));
+      out[i] = cell.engine->run(*cell.workload, *cell.router, spec.observers);
     }
-    ++local.runs;
+  };
+
+  std::vector<std::size_t> pooled;
+  std::vector<std::size_t> pinned;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    (cells[i].pool_safe ? pooled : pinned).push_back(i);
   }
+  local.parallel_cells = pooled.size();
+  local.serial_cells = pinned.size();
+
+  int threads = options.threads <= 0 ? default_thread_count() : options.threads;
+  threads = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(std::max(threads, 1)),
+      std::max<std::size_t>(pooled.size(), 1)));
+  local.threads_used = threads;
+
+  if (threads <= 1) {
+    // The historical serial path, byte-for-byte: every cell in spec
+    // order on the calling thread, first failure aborts the sweep.
+    for (std::size_t i = 0; i < cells.size(); ++i) run_cell(i);
+  } else {
+    // Pinned cells first, in spec order, on the calling thread (their
+    // observers may mutate caller state); a pinned failure skips the
+    // fan-out. Then the pool covers the pure cells; `pooled` is sorted,
+    // so parallel_for_index's lowest-index exception contract reports
+    // the lowest throwing *spec* index.
+    for (const std::size_t i : pinned) run_cell(i);
+    parallel_for_index(static_cast<std::int64_t>(pooled.size()), threads,
+                       [&](std::int64_t j) {
+                         run_cell(pooled[static_cast<std::size_t>(j)]);
+                       });
+  }
+  local.runs = specs.size();
 
   if (stats != nullptr) *stats = local;
   return out;
 }
 
+std::vector<RunResult> run_scenarios(const Fixture& fixture,
+                                     std::span<const ScenarioSpec> specs,
+                                     SweepStats* stats) {
+  return run_scenarios(fixture, specs, SweepOptions{}, stats);
+}
+
 RunResult run_scenario(const Fixture& fixture, const ScenarioSpec& spec) {
-  std::vector<RunResult> results = run_scenarios(fixture, {&spec, 1});
+  std::vector<RunResult> results =
+      run_scenarios(fixture, {&spec, 1}, SweepOptions{.threads = 1});
   return std::move(results.front());
 }
 

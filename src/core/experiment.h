@@ -10,7 +10,21 @@
 // as a batched sweep via run_scenarios, which reuses engines and
 // workloads across scenarios that share a (clusters, prices,
 // constraints, energy) key.
+//
+// Sweeps run their cells CONCURRENTLY (SweepOptions::threads, default
+// hardware_concurrency). run_scenarios is structured as a deterministic
+// serial plan phase - price prepass, cheapest-cluster resolution,
+// workload/engine/router construction, everything that can touch the
+// fixture's lazily materialized shared state - followed by a fan-out
+// phase in which every cell only reads immutable inputs and writes its
+// own pre-sized result slot, so results are byte-identical to
+// threads = 1 regardless of scheduling. Cells carrying caller-supplied
+// std::function state (observers, capacity_factor/pue_of hooks) are
+// never handed to worker threads: they execute on the calling thread,
+// in spec order, because the runner cannot prove caller code is
+// thread-safe.
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -64,11 +78,26 @@ struct Fixture {
   /// alternate market (as bench_ablation_spike_model does).
   void set_prices(market::PriceSet prices) {
     price_history->pin(std::move(prices));
+    cheapest_memo->store(-1);  // the relocation target must re-derive
   }
 
   /// Index of the cluster whose hub has the lowest mean RT price over
-  /// the study period (the static relocation target of §6.3).
+  /// the study period (the static relocation target of §6.3). The index
+  /// is *defined over the full study period* - the first call walks all
+  /// 28464 study hours (via LazyPriceHistory::study_rt_means, which
+  /// reduces them to per-hub means without retaining the 39-month set)
+  /// - and is memoized, shared across Fixture copies like the history
+  /// itself. The first call materializes lazily and must not race
+  /// (run_scenarios resolves it in its serial plan phase); memoized
+  /// reads are safe from any thread.
   [[nodiscard]] std::size_t cheapest_cluster() const;
+
+  /// Memoized cheapest_cluster result (-1 = unresolved). Shared across
+  /// copies - consistent with the shared price history the index is
+  /// derived from - and reset by set_prices() (pinning swaps the
+  /// market, so the relocation target must re-derive).
+  std::shared_ptr<std::atomic<std::int64_t>> cheapest_memo =
+      std::make_shared<std::atomic<std::int64_t>>(-1);
 };
 
 /// What a batched sweep actually constructed (the sweep contract: one
@@ -77,6 +106,21 @@ struct SweepStats {
   std::size_t engines_built = 0;
   std::size_t workloads_built = 0;
   std::size_t runs = 0;
+  /// Resolved pool width the run phase used (1 = fully serial).
+  int threads_used = 1;
+  /// Cells eligible for worker threads vs pinned to the calling thread
+  /// (caller-supplied observers / engine hooks; see SweepOptions).
+  std::size_t parallel_cells = 0;
+  std::size_t serial_cells = 0;
+};
+
+/// Execution knobs for run_scenarios' fan-out phase.
+struct SweepOptions {
+  /// Worker count for the run phase. 0 = hardware_concurrency; 1 runs
+  /// every cell on the calling thread in spec order (the historical
+  /// serial path - results are byte-identical either way, guarded in
+  /// tests/test_scenario_api.cpp). Clamped to the parallel cell count.
+  int threads = 0;
 };
 
 /// Runs one scenario against the fixture.
@@ -88,7 +132,18 @@ struct SweepStats {
 /// (clusters, routing prices, constraints, delay, energy model) key;
 /// scenarios carrying engine hooks (capacity_factor / pue_of) get a
 /// private engine. Results are identical to calling run_scenario per
-/// spec. `stats`, when given, reports what was constructed.
+/// spec - cells run concurrently (SweepOptions::threads) but land in a
+/// pre-sized vector indexed by spec position, and the plan phase
+/// (construction, lazy price materialization) stays serial, so output
+/// is independent of scheduling. A cell that throws mid-run stops the
+/// distribution of unstarted cells and rethrows after every in-flight
+/// cell completed (lowest throwing spec index wins). `stats`, when
+/// given, reports what was constructed and how the phase was scheduled.
+[[nodiscard]] std::vector<RunResult> run_scenarios(
+    const Fixture& fixture, std::span<const ScenarioSpec> specs,
+    const SweepOptions& options, SweepStats* stats = nullptr);
+
+/// Same, with default options (parallel over hardware_concurrency).
 [[nodiscard]] std::vector<RunResult> run_scenarios(
     const Fixture& fixture, std::span<const ScenarioSpec> specs,
     SweepStats* stats = nullptr);

@@ -1,0 +1,82 @@
+#ifndef CEBIS_CORE_PARALLEL_H
+#define CEBIS_CORE_PARALLEL_H
+
+// A minimal fork-join worker pool for independent sweep cells.
+//
+// run_scenarios splits a sweep into a deterministic serial *plan* phase
+// (price prepass, workload/engine/router construction - everything that
+// may touch lazily materialized shared state) and a *run* phase in
+// which each cell only reads immutable inputs and writes its own
+// result slot. parallel_for_index covers the run phase: it executes
+// fn(0..n-1) across `threads` workers (the calling thread included)
+// pulling indices from one atomic counter, so scheduling never affects
+// *what* a cell computes, only *when* - results keyed by index are
+// byte-identical to a serial loop.
+//
+// Exception contract: a throwing index stops the distribution of
+// not-yet-claimed indices (cells already in flight complete), and after
+// all workers join, the exception of the lowest throwing index is
+// rethrown. With a single faulty cell this is fully deterministic;
+// other cells' slots are either completely written or untouched, never
+// partially so (fn owns the slot for the whole call).
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace cebis::core {
+
+/// The pool width "auto" resolves to: hardware_concurrency, with the
+/// 0-means-unknown escape hatch clamped to 1.
+[[nodiscard]] inline int default_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/// Runs fn(i) for every i in [0, n) on up to `threads` workers (the
+/// calling thread is one of them; threads <= 1 degenerates to a plain
+/// serial loop with no pool, no atomics). fn must only touch state
+/// owned by its index. Rethrows the lowest throwing index's exception
+/// after all in-flight work has completed.
+template <typename Fn>
+void parallel_for_index(std::int64_t n, int threads, Fn&& fn) {
+  if (n <= 0) return;
+  threads = std::clamp<std::int64_t>(threads, 1, n);
+  if (threads == 1) {
+    for (std::int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::int64_t> next{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
+  const auto worker = [&]() noexcept {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::int64_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      try {
+        fn(i);
+      } catch (...) {
+        errors[static_cast<std::size_t>(i)] = std::current_exception();
+        stop.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads) - 1);
+  for (int t = 1; t < threads; ++t) pool.emplace_back(worker);
+  worker();
+  for (std::thread& t : pool) t.join();
+
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace cebis::core
+
+#endif  // CEBIS_CORE_PARALLEL_H

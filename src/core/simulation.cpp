@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "billing/percentile_billing.h"
 #include "stats/percentile.h"
@@ -74,11 +75,26 @@ RunResult SimulationEngine::run(const Workload& workload, Router& router,
                                 std::span<StepObserver* const> observers) const {
   const Period period = workload.period();
   const Period priced{period.begin - config_.delay_hours, period.end};
+  // The guard must check the WHOLE priced window: a price set covering
+  // the start but ending early used to pass here and then blow up in
+  // PriceSeries::at mid-run - after on_run_begin had fired and with
+  // on_run_end never called, leaving stateful observers (e.g. the
+  // StorageController's month anchoring) half-open. Validate both ends
+  // before any observer is touched.
+  if (priced.hours() > 0 && (!prices_.period.contains(priced.begin) ||
+                             !prices_.period.contains(priced.end - 1))) {
+    throw std::invalid_argument(
+        "SimulationEngine::run: price set covers hours [" +
+        std::to_string(prices_.period.begin) + ", " +
+        std::to_string(prices_.period.end) +
+        ") but the workload (incl. delay) needs [" +
+        std::to_string(priced.begin) + ", " + std::to_string(priced.end) + ")");
+  }
   for (const Cluster& c : clusters_) {
-    if (!prices_.period.contains(priced.begin) ||
-        prices_.rt.at(c.hub.index()).empty()) {
+    if (prices_.rt.at(c.hub.index()).empty()) {
       throw std::invalid_argument(
-          "SimulationEngine::run: price set does not cover workload (incl. delay)");
+          "SimulationEngine::run: no real-time prices for hub of cluster '" +
+          std::string(c.label) + "'");
     }
   }
 
@@ -107,10 +123,17 @@ RunResult SimulationEngine::run(const Workload& workload, Router& router,
   std::vector<double> capacity(n_clusters, 0.0);
   std::vector<double> cap_factor(n_clusters, 1.0);
   std::vector<double> step_energy(n_clusters, 0.0);
+  std::vector<double> step_cost(n_clusters, 0.0);
+  // Per-cluster constants hoisted out of the step loop so the
+  // accounting passes below are straight-line array arithmetic.
+  std::vector<double> cap_value(n_clusters, 0.0);
+  std::vector<double> servers_of(n_clusters, 0.0);
   std::vector<double> p95_limit;
   std::vector<std::uint8_t> can_burst;
   for (std::size_t c = 0; c < n_clusters; ++c) {
     capacity[c] = clusters_[c].capacity.value();
+    cap_value[c] = clusters_[c].capacity.value();
+    servers_of[c] = static_cast<double>(clusters_[c].servers);
   }
   if (config_.enforce_p95) {
     p95_limit.resize(n_clusters);
@@ -239,32 +262,43 @@ RunResult SimulationEngine::run(const Workload& workload, Router& router,
     router.route(ctx, alloc);
 
     // --- accounting ----------------------------------------------------
+    //
+    // Three passes over the cluster axis instead of one branchy loop:
+    // (1) stream the realized loads into the p95 sketches, (2) compute
+    // each cluster's step energy/cost branch-free into scratch arrays
+    // (dead clusters - zero capacity or a zero capacity factor -
+    // contribute exact +0.0, which is what the old skip produced), and
+    // (3) fold the scratch arrays into the result accumulators in the
+    // same fixed cluster order as before. Only the energy-model call
+    // (u^1.4) resists vectorization; everything around it is
+    // straight-line array arithmetic. All three passes are bit-exact
+    // with the historical single loop.
+    const std::span<const double> loads = alloc.cluster_totals();
+    for (std::size_t c = 0; c < n_clusters; ++c) {
+      load_p95[c].add(loads[c]);
+    }
     bool overflowed = false;
     for (std::size_t c = 0; c < n_clusters; ++c) {
-      const Cluster& cluster = clusters_[c];
-      const double load = alloc.cluster_total(c);
-      load_p95[c].add(load);
-      step_energy[c] = 0.0;
-      const double active_servers =
-          static_cast<double>(cluster.servers) * cap_factor[c];
-      if (active_servers <= 0.0 || cluster.capacity.value() <= 0.0) {
-        if (load > 0.0) overflowed = true;
-        continue;
-      }
-      const double u = load / (cluster.capacity.value() * cap_factor[c]);
-      if (u > 1.0 + 1e-9) overflowed = true;
+      const double load = loads[c];
+      const double active_servers = servers_of[c] * cap_factor[c];
+      const bool dead = active_servers <= 0.0 || cap_value[c] <= 0.0;
+      overflowed |= dead && load > 0.0;
+      const double u = dead ? 0.0 : load / (cap_value[c] * cap_factor[c]);
+      overflowed |= u > 1.0 + 1e-9;
       // The model is linear in n; scale the one-server energy by the
       // (possibly fractional) active server count.
       const double per_server_mwh =
           config_.pue_of ? hour_models[c].energy(u, 1, dt).value()
                          : model.energy(u, 1, dt).value();
-      const MegawattHours e = MegawattHours{per_server_mwh * active_servers};
-      const Usd cost = UsdPerMwh{bill_price[c]} * e;
-      step_energy[c] = e.value();
-      result.cluster_energy[c] += e.value();
-      result.cluster_cost[c] += cost.value();
-      result.total_energy += e;
-      result.total_cost += cost;
+      const double e = dead ? 0.0 : per_server_mwh * active_servers;
+      step_energy[c] = e;
+      step_cost[c] = (UsdPerMwh{bill_price[c]} * MegawattHours{e}).value();
+    }
+    for (std::size_t c = 0; c < n_clusters; ++c) {
+      result.cluster_energy[c] += step_energy[c];
+      result.cluster_cost[c] += step_cost[c];
+      result.total_energy += MegawattHours{step_energy[c]};
+      result.total_cost += Usd{step_cost[c]};
     }
     if (overflowed) ++result.overflow_steps;
     if (config_.enforce_p95) budgets.record_all(alloc.cluster_totals());
@@ -280,8 +314,12 @@ RunResult SimulationEngine::run(const Workload& workload, Router& router,
       dist_stats.add(distance_km_[e.state * n_clusters + e.cluster],
                      alloc.hits(e) * dt.value());
     }
+    // Branch-free hit-hours scan (the max() folds the old `> 0` guard:
+    // zero or negative demand contributes exact +0.0), hoisted into its
+    // own vectorizable pass over the state axis.
+    const double dt_value = dt.value();
     for (std::size_t s = 0; s < n_states; ++s) {
-      if (demand[s] > 0.0) result.hit_hours += demand[s] * dt.value();
+      result.hit_hours += std::max(demand[s], 0.0) * dt_value;
     }
   }
 

@@ -1,8 +1,11 @@
 #include "market/lazy_price_history.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <utility>
+
+#include "stats/descriptive.h"
 
 namespace cebis::market {
 
@@ -83,10 +86,45 @@ const PriceSet& LazyPriceHistory::cover(Period need,
       std::make_unique<PriceSet>(sim_.generate(window, samples_per_hour)));
 }
 
+const std::vector<double>& LazyPriceHistory::study_rt_means() const {
+  if (study_rt_means_.has_value()) return *study_rt_means_;
+  ++study_mean_passes_;
+
+  // Pick the cheapest exact source: the pinned market's hourly view
+  // (the pin contract: the caller took over price generation), the
+  // already-materialized full hourly set if one exists, else a scratch
+  // generation of the study period that is reduced to means and
+  // dropped - window-invariance makes the scratch values byte-identical
+  // to full()'s, without retaining 39 months in the history.
+  const PriceSet* src = nullptr;
+  std::unique_ptr<PriceSet> scratch;
+  if (pinned_) {
+    src = &cover(study_period(), 1);
+  } else {
+    const auto it = current_.find(1);
+    if (it != current_.end() && it->second->period == study_period()) {
+      src = it->second;
+    } else {
+      scratch = std::make_unique<PriceSet>(sim_.generate(study_period(), 1));
+      src = scratch.get();
+    }
+  }
+
+  std::vector<double> means(src->rt.size(),
+                            std::numeric_limits<double>::infinity());
+  for (std::size_t h = 0; h < src->rt.size(); ++h) {
+    if (!src->rt[h].empty()) means[h] = stats::mean(src->rt[h].values());
+  }
+  study_rt_means_ = std::move(means);
+  return *study_rt_means_;
+}
+
 void LazyPriceHistory::pin(PriceSet set) {
   // Previously returned sets stay alive (stable-address contract); only
   // the lookup table is replaced so every future request resolves
-  // against the pinned market.
+  // against the pinned market - including the memoized study means,
+  // which must re-derive from the pinned market.
+  study_rt_means_.reset();
   current_.clear();
   sets_.push_back(std::make_unique<PriceSet>(std::move(set)));
   current_[sets_.back()->samples_per_hour] = sets_.back().get();

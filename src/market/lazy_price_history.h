@@ -20,13 +20,18 @@
 //
 // Growth is monotone and previously returned sets are retained (stable
 // addresses), so a `const PriceSet&` handed to a SimulationEngine stays
-// valid after a later, wider request. Not thread-safe - the simulator
-// is single-threaded by design (see the determinism guard in
-// tests/test_router_fuzz.cpp).
+// valid after a later, wider request.
+//
+// Thread-safety contract (parallel sweeps): materialization is NOT
+// thread-safe. run_scenarios performs every cover()/study_rt_means()
+// call in its serial plan phase; during the concurrent run phase the
+// history must not grow - engines only read the PriceSet references
+// resolved up front, which the stable-address guarantee keeps valid.
 
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "base/simtime.h"
@@ -53,6 +58,17 @@ class LazyPriceHistory {
     return cover(study_period(), 1);
   }
 
+  /// Per-hub mean real-time price over the full study period at hourly
+  /// resolution (infinity for hubs without an rt market), computed once
+  /// and memoized. The values are byte-identical to averaging full()'s
+  /// series, but the full 39-month PriceSet is NOT retained when it was
+  /// never otherwise requested: the scratch set is generated, reduced
+  /// to one mean per hub and discarded, so a short-window sweep that
+  /// needs the static-relocation target (Fixture::cheapest_cluster)
+  /// does not keep 28464 hours x hubs alive. A pinned history derives
+  /// the means from the pinned market's hourly view instead.
+  [[nodiscard]] const std::vector<double>& study_rt_means() const;
+
   /// Replaces the history with an explicit set (ablations that swap in
   /// a differently parameterized market). Subsequent cover()/full()
   /// calls at the set's own samples_per_hour return it unconditionally;
@@ -75,6 +91,11 @@ class LazyPriceHistory {
   [[nodiscard]] std::size_t generations() const noexcept {
     return sets_.size();
   }
+  /// How many times study_rt_means() actually walked the study period
+  /// (0 before the first call; stays 1 after, memoization guard).
+  [[nodiscard]] std::size_t study_mean_passes() const noexcept {
+    return study_mean_passes_;
+  }
 
  private:
   const PriceSet& store(std::unique_ptr<PriceSet> set) const;
@@ -85,6 +106,9 @@ class LazyPriceHistory {
   mutable std::vector<std::unique_ptr<PriceSet>> sets_;
   // Widest set so far per native interval (samples_per_hour -> set).
   mutable std::map<int, const PriceSet*> current_;
+  // Memoized study-period per-hub rt means (invalidated by pin()).
+  mutable std::optional<std::vector<double>> study_rt_means_;
+  mutable std::size_t study_mean_passes_ = 0;
   bool pinned_ = false;
 };
 

@@ -133,15 +133,41 @@ TEST(LazyFixture, ResultsAreByteIdenticalToTheEagerPath) {
   expect_identical(lazy_synth, eager_synth);
 }
 
-TEST(LazyFixture, CheapestClusterForcesAndReusesTheFullHistory) {
+TEST(LazyFixture, CheapestClusterDoesNotRetainTheFullHistory) {
+  // The static-relocation target is *defined over the full study
+  // period* (all 28464 hours feed the per-hub means), but resolving it
+  // used to materialize - and retain - the entire 39-month history,
+  // defeating the lazy fixture for any sweep that mentions
+  // "static-cheapest". The means are now streamed from a scratch set
+  // that is discarded: same argmin, no retained hours.
   const Fixture fixture = Fixture::make(test::kTestSeed);
   const std::size_t cheapest = fixture.cheapest_cluster();
   EXPECT_EQ(fixture.clusters[cheapest].label, "IL");
-  EXPECT_EQ(fixture.price_history->materialized_hours(), study_period().hours());
-  const std::size_t generations = fixture.price_history->generations();
-  // Every later request is served from the full set.
-  (void)run_scenario(fixture, trace_spec());
-  EXPECT_EQ(fixture.price_history->generations(), generations);
+  EXPECT_EQ(fixture.price_history->materialized_hours(), 0);
+  EXPECT_EQ(fixture.price_history->generations(), 0u);
+
+  // Memoized at both layers: repeated calls re-read neither the study
+  // period (LazyPriceHistory::study_rt_means) nor the means (Fixture).
+  EXPECT_EQ(fixture.cheapest_cluster(), cheapest);
+  EXPECT_EQ(fixture.cheapest_cluster(), cheapest);
+  EXPECT_EQ(fixture.price_history->study_mean_passes(), 1u);
+}
+
+TEST(LazyFixture, StaticCheapestSweepOnlyMaterializesTheTraceWindow) {
+  // End-to-end version of the guard above: a 24-day sweep through the
+  // router that needs the relocation target must still only pay for the
+  // trace window (+1h delay margin), not the full study period.
+  const Fixture fixture = Fixture::make(test::kTestSeed);
+  ScenarioSpec spec = trace_spec();
+  spec.router = "static-cheapest";
+  spec.config = std::monostate{};
+  const std::vector<ScenarioSpec> specs{spec};
+  (void)run_scenarios(fixture, specs, SweepOptions{.threads = 1});
+  EXPECT_EQ(fixture.price_history->materialized_hours(),
+            trace_period().hours() + 1);
+  EXPECT_LT(fixture.price_history->materialized_hours(),
+            study_period().hours() / 10);
+  EXPECT_EQ(fixture.price_history->study_mean_passes(), 1u);
 }
 
 }  // namespace

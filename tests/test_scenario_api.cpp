@@ -7,12 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <string_view>
 #include <vector>
 
 #include "core/experiment.h"
 #include "core/observers.h"
 #include "core/router_registry.h"
+#include "storage/battery.h"
 #include "test_support.h"
 
 namespace cebis::core {
@@ -225,6 +227,195 @@ TEST_F(ScenarioApiTest, HookedScenariosGetPrivateEngines) {
   EXPECT_EQ(stats.engines_built, 2u);
   EXPECT_EQ(runs[0].total_cost.value(), runs[1].total_cost.value());
   EXPECT_EQ(runs[0].total_cost.value(), runs[2].total_cost.value());
+}
+
+// --- parallel sweeps --------------------------------------------------------
+
+/// Field-by-field bitwise comparison of two runs, storage included.
+void expect_bitwise_equal(const RunResult& a, const RunResult& b,
+                          std::size_t index) {
+  EXPECT_EQ(a.total_cost.value(), b.total_cost.value()) << index;
+  EXPECT_EQ(a.total_energy.value(), b.total_energy.value()) << index;
+  EXPECT_EQ(a.mean_distance_km, b.mean_distance_km) << index;
+  EXPECT_EQ(a.p99_distance_km, b.p99_distance_km) << index;
+  EXPECT_EQ(a.hit_hours, b.hit_hours) << index;
+  EXPECT_EQ(a.overflow_steps, b.overflow_steps) << index;
+  ASSERT_EQ(a.cluster_cost.size(), b.cluster_cost.size()) << index;
+  for (std::size_t c = 0; c < a.cluster_cost.size(); ++c) {
+    EXPECT_EQ(a.cluster_cost[c], b.cluster_cost[c]) << index;
+    EXPECT_EQ(a.cluster_energy[c], b.cluster_energy[c]) << index;
+    EXPECT_EQ(a.realized_p95[c], b.realized_p95[c]) << index;
+  }
+  ASSERT_EQ(a.hourly_energy.data().size(), b.hourly_energy.data().size());
+  for (std::size_t i = 0; i < a.hourly_energy.data().size(); ++i) {
+    EXPECT_EQ(a.hourly_energy.data()[i], b.hourly_energy.data()[i]) << index;
+  }
+  EXPECT_EQ(a.storage.engaged, b.storage.engaged) << index;
+  EXPECT_EQ(a.storage.raw_energy.value(), b.storage.raw_energy.value()) << index;
+  EXPECT_EQ(a.storage.raw_demand.value(), b.storage.raw_demand.value()) << index;
+  EXPECT_EQ(a.storage.net_energy.value(), b.storage.net_energy.value()) << index;
+  EXPECT_EQ(a.storage.net_demand.value(), b.storage.net_demand.value()) << index;
+  EXPECT_EQ(a.storage.charged_mwh, b.storage.charged_mwh) << index;
+  EXPECT_EQ(a.storage.discharged_mwh, b.storage.discharged_mwh) << index;
+  EXPECT_EQ(a.storage.final_soc_mwh, b.storage.final_soc_mwh) << index;
+}
+
+TEST_F(ScenarioApiTest, ParallelSweepMatchesSerialByteForByte) {
+  // The determinism contract of SweepOptions::threads: a mixed sweep -
+  // shared engines, a private-engine hook, a storage cell, a sub-hourly
+  // market and an observer-carrying (pinned) cell - must produce
+  // bitwise-identical results at threads = 1 and threads = 4.
+  std::vector<ScenarioSpec> specs;
+  const ScenarioSpec base{
+      .router = "baseline",
+      .energy = energy::google_params(),
+      .workload = WorkloadKind::kTrace24Day,
+  };
+  specs.push_back(base);
+  {
+    ScenarioSpec st = base;
+    st.router = "static-cheapest";
+    specs.push_back(st);
+  }
+  for (const double km : {0.0, 1500.0}) {
+    for (const bool follow : {true, false}) {
+      ScenarioSpec s = base;
+      s.router = "price-aware";
+      s.config = PriceAwareConfig{.distance_threshold = Km{km}};
+      s.enforce_p95 = follow;
+      specs.push_back(s);
+    }
+  }
+  {
+    ScenarioSpec joint = base;
+    joint.router = "joint-objective";
+    joint.config = JointObjectiveConfig{.lambda_usd_per_mwh_km = 0.01};
+    specs.push_back(joint);
+  }
+  {
+    ScenarioSpec st = base;
+    st.router = "price_aware+storage";
+    st.config = PriceAwareConfig{.distance_threshold = Km{1500.0}};
+    StorageSpec storage;
+    storage.battery = storage::battery_for_mean_load(0.2, 4.0);
+    storage.policy = "lyapunov";
+    storage.tariff.demand_usd_per_kw_month = Usd{12.0};
+    st.storage = storage;
+    specs.push_back(st);
+  }
+  {
+    ScenarioSpec sub = base;
+    sub.router = "price-aware";
+    sub.config = PriceAwareConfig{.distance_threshold = Km{1500.0}};
+    sub.market_interval_minutes = 5;
+    specs.push_back(sub);
+  }
+  {
+    ScenarioSpec hooked = base;
+    hooked.router = "price-aware";
+    hooked.config = PriceAwareConfig{.distance_threshold = Km{1500.0}};
+    hooked.capacity_factor = [](std::size_t, HourIndex) { return 1.0; };
+    specs.push_back(hooked);
+  }
+  // The observer-carrying cell gets its own recorder per sweep so the
+  // two sweeps cannot share mutable caller state.
+  HourlyEnergyRecorder serial_recorder;
+  HourlyEnergyRecorder parallel_recorder;
+  {
+    ScenarioSpec observed = base;
+    observed.router = "price-aware";
+    observed.config = PriceAwareConfig{.distance_threshold = Km{1500.0}};
+    specs.push_back(observed);
+  }
+
+  std::vector<ScenarioSpec> serial_specs = specs;
+  serial_specs.back().observers = {&serial_recorder};
+  std::vector<ScenarioSpec> parallel_specs = specs;
+  parallel_specs.back().observers = {&parallel_recorder};
+
+  SweepStats serial_stats;
+  const std::vector<RunResult> serial = run_scenarios(
+      *fixture_, serial_specs, SweepOptions{.threads = 1}, &serial_stats);
+  EXPECT_EQ(serial_stats.threads_used, 1);
+
+  SweepStats parallel_stats;
+  const std::vector<RunResult> parallel = run_scenarios(
+      *fixture_, parallel_specs, SweepOptions{.threads = 4}, &parallel_stats);
+  EXPECT_EQ(parallel_stats.threads_used, 4);
+  // The hooked and the observer-carrying cells are pinned to the
+  // calling thread; everything else is eligible for the pool.
+  EXPECT_EQ(parallel_stats.serial_cells, 2u);
+  EXPECT_EQ(parallel_stats.parallel_cells, specs.size() - 2);
+  EXPECT_EQ(parallel_stats.engines_built, serial_stats.engines_built);
+  EXPECT_EQ(parallel_stats.workloads_built, serial_stats.workloads_built);
+
+  ASSERT_EQ(serial.size(), specs.size());
+  ASSERT_EQ(parallel.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    expect_bitwise_equal(serial[i], parallel[i], i);
+  }
+  ASSERT_EQ(serial_recorder.energy().data().size(),
+            parallel_recorder.energy().data().size());
+  for (std::size_t i = 0; i < serial_recorder.energy().data().size(); ++i) {
+    EXPECT_EQ(serial_recorder.energy().data()[i],
+              parallel_recorder.energy().data()[i]);
+  }
+}
+
+/// Router whose every route() call throws - a mid-run failure inside a
+/// worker thread.
+class ThrowingRouter final : public Router {
+ public:
+  void route(const RoutingContext&, Allocation&) override {
+    throw std::runtime_error("ThrowingRouter: scripted mid-run failure");
+  }
+  [[nodiscard]] std::string_view name() const override {
+    return "test-throwing";
+  }
+};
+
+TEST_F(ScenarioApiTest, ThrowingCellPropagatesWithoutDeadlock) {
+  RouterRegistry& reg = RouterRegistry::instance();
+  if (!reg.contains("test-throwing")) {
+    reg.add("test-throwing",
+            RouterEntry{.make = [](const Fixture&, const ScenarioSpec&)
+                            -> std::unique_ptr<Router> {
+              return std::make_unique<ThrowingRouter>();
+            }});
+  }
+
+  std::vector<ScenarioSpec> specs;
+  const ScenarioSpec good{
+      .router = "baseline",
+      .energy = energy::google_params(),
+      .workload = WorkloadKind::kTrace24Day,
+  };
+  for (int i = 0; i < 4; ++i) specs.push_back(good);
+  specs[2].router = "test-throwing";
+
+  // The cell's exception must surface unchanged from both schedules -
+  // and the parallel one must join its workers rather than deadlock or
+  // terminate.
+  for (const int threads : {1, 4}) {
+    try {
+      (void)run_scenarios(*fixture_, specs, SweepOptions{.threads = threads});
+      FAIL() << "sweep with a throwing cell must throw (threads="
+             << threads << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string_view(e.what()).find("scripted mid-run failure"),
+                std::string_view::npos);
+    }
+  }
+
+  // The failure is confined to that sweep: a fresh parallel sweep runs.
+  specs[2].router = "baseline";
+  SweepStats stats;
+  const std::vector<RunResult> runs =
+      run_scenarios(*fixture_, specs, SweepOptions{.threads = 4}, &stats);
+  ASSERT_EQ(runs.size(), specs.size());
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i].total_cost.value(), runs[0].total_cost.value());
+  }
 }
 
 // --- observers --------------------------------------------------------------

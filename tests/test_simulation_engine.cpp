@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 
 #include "core/baseline_routers.h"
 #include "core/observers.h"
@@ -278,6 +279,48 @@ TEST_F(EngineTest, RejectsUncoveredPricePeriod) {
   ConstWorkload workload(Period{100, 104}, {1.0, 1.0}, 1);
   ClosestRouter router(*distances_, 2);
   EXPECT_THROW((void)engine.run(workload, router), std::invalid_argument);
+}
+
+TEST_F(EngineTest, RejectsPriceSetEndingBeforeTheWorkload) {
+  // Regression: the pre-run guard used to check only the *start* of the
+  // priced window. A price set covering the first hours but ending
+  // early sailed through, fired on_run_begin, and then blew up inside
+  // PriceSeries::at mid-run - with on_run_end never called, leaving
+  // stateful observers half-open. The guard must reject the whole
+  // priced window before any observer is touched.
+  const market::PriceSet prices = const_prices(100, 4, 50.0, 50.0);  // [98, 104)
+  EngineConfig cfg;
+  cfg.delay_hours = 1;
+  cfg.enforce_p95 = false;
+  SimulationEngine engine(clusters_, prices, *distances_, cfg);
+  ConstWorkload workload(Period{100, 106}, {1.0, 1.0}, 1);  // needs [99, 106)
+  ClosestRouter router(*distances_, 2);
+
+  /// Records whether the run ever started.
+  class BeginProbe final : public StepObserver {
+   public:
+    void on_run_begin(const RunInfo&, std::span<const Cluster>) override {
+      ++begins;
+    }
+    void on_step(const StepView&) override {}
+    void on_run_end(RunResult&) override { ++ends; }
+    int begins = 0;
+    int ends = 0;
+  };
+  BeginProbe probe;
+  StepObserver* observers[] = {&probe};
+
+  try {
+    (void)engine.run(workload, router, observers);
+    FAIL() << "uncovered tail of the priced window must be rejected";
+  } catch (const std::invalid_argument& e) {
+    // The message names both windows so the mismatch is debuggable.
+    const std::string what = e.what();
+    EXPECT_NE(what.find("[98, 104)"), std::string::npos) << what;
+    EXPECT_NE(what.find("[99, 106)"), std::string::npos) << what;
+  }
+  EXPECT_EQ(probe.begins, 0);
+  EXPECT_EQ(probe.ends, 0);
 }
 
 TEST_F(EngineTest, ConstructorValidation) {
