@@ -4,7 +4,8 @@
 Three checks, one hard and two soft:
 
 * Figure gate (hard): the rows each gated figure bench
-  (bench_ext_battery_arbitrage, bench_ext_five_minute_market) wrote to
+  (bench_ext_battery_arbitrage, bench_ext_five_minute_market,
+  bench_ext_delay_steps) wrote to
   its CSV must match the pinned rows exactly at the printed precision
   (same key cell, same dollars to the cent), every pinned row must be
   PRESENT in the CSV (a silently dropped row is as much a behaviour
@@ -16,7 +17,8 @@ Three checks, one hard and two soft:
   the CI runner - the repo's only cross-host float comparison.
 
 * Timing gate (soft): every google-benchmark entry of bench_perf_router
-  / bench_perf_market is compared against its pinned real_time. A
+  / bench_perf_market / bench_perf_service is compared against its
+  pinned real_time. A
   regression beyond --threshold (default 1.25x) emits a GitHub
   ::warning:: annotation but never fails the job - CI runners are far
   too noisy for hard timing gates; the annotation is the paper trail.
@@ -59,6 +61,11 @@ FIGURE_GATES = {
         "keys": ("market_interval_min",),
         "values": ("baseline_usd", "optimized_usd", "saved_pct",
                    "storage_net_usd", "net_demand_usd"),
+    },
+    "bench_ext_delay_steps": {
+        "csv": "cebis_ext_delay_steps.csv",
+        "keys": ("reaction_delay_min",),
+        "values": ("baseline_usd", "optimized_usd", "saved_pct"),
     },
 }
 
@@ -162,7 +169,8 @@ def check_figure_rows(baseline: dict, results: pathlib.Path) -> None:
 
 
 def check_timings(baseline: dict, results: pathlib.Path, threshold: float) -> None:
-    for harness in ("bench_perf_router", "bench_perf_market"):
+    for harness in ("bench_perf_router", "bench_perf_market",
+                    "bench_perf_service"):
         json_path = results / f"{harness}.json"
         if not json_path.exists():
             error(f"timing gate: {json_path} missing (did the bench run?)")

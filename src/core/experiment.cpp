@@ -48,6 +48,7 @@ struct EngineKey {
   std::string cluster_tag;  ///< "" = fixture clusters; else the router name
   bool enforce_p95 = true;
   int delay_hours = 1;
+  int delay_steps = 0;
   const market::PriceSet* routing_prices = nullptr;
   energy::EnergyModelParams energy;
 
@@ -114,7 +115,12 @@ Period priced_window_of(const Fixture& fixture, const ScenarioSpec& spec) {
   const Period p = spec.workload == WorkloadKind::kSynthetic39Month
                        ? synthetic_window_of(spec)
                        : fixture.trace.period();
-  return Period{p.begin - spec.delay_hours, p.end};
+  // delay_steps replaces the hour delay: its front margin is that many
+  // native market intervals, rounded up to whole hours.
+  const int sph = market_samples_per_hour(spec);
+  const int margin = spec.delay_steps > 0 ? (spec.delay_steps + sph - 1) / sph
+                                          : spec.delay_hours;
+  return Period{p.begin - margin, p.end};
 }
 
 }  // namespace
@@ -215,6 +221,7 @@ std::vector<RunResult> run_scenarios(const Fixture& fixture,
     EngineConfig cfg;
     cfg.energy = spec.energy;
     cfg.delay_hours = spec.delay_hours;
+    cfg.delay_steps = spec.delay_steps;
     cfg.enforce_p95 = enforce;
     cfg.capacity_factor = spec.capacity_factor;
     cfg.pue_of = spec.pue_of;
@@ -235,7 +242,7 @@ std::vector<RunResult> run_scenarios(const Fixture& fixture,
       engine = private_engines.back().get();
     } else {
       EngineKey key{entry.clusters ? spec.router : std::string{}, enforce,
-                    spec.delay_hours, &prices, spec.energy};
+                    spec.delay_hours, spec.delay_steps, &prices, spec.energy};
       auto found = std::find_if(engines.begin(), engines.end(),
                                 [&key](const auto& e) { return e.first == key; });
       if (found == engines.end()) {

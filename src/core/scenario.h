@@ -85,6 +85,13 @@ struct ScenarioSpec {
   WorkloadKind workload = WorkloadKind::kTrace24Day;
   bool enforce_p95 = true;
   int delay_hours = 1;
+  /// When > 0, routing reacts to the price `delay_steps` native market
+  /// intervals ago instead of `delay_hours` hours ago (ROADMAP's price-
+  /// freshness knob; see EngineConfig::delay_steps). With
+  /// market_interval_minutes = 5, delay_steps = 1 reacts to the
+  /// previous 5-minute settlement and delay_steps = 12 reproduces
+  /// delay_hours = 1 byte-for-byte. 0 disables.
+  int delay_steps = 0;
 
   /// Native interval of the market the scenario prices against, in
   /// minutes (must divide 60). 60 replays the paper's hourly real-time

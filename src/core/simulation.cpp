@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "billing/percentile_billing.h"
 #include "stats/percentile.h"
@@ -45,6 +46,11 @@ class DistanceStats {
   double total_ = 0.0;
 };
 
+/// Floored division (hour of a possibly negative absolute interval).
+constexpr std::int64_t floor_div(std::int64_t a, std::int64_t b) noexcept {
+  return a / b - ((a % b != 0) && ((a % b < 0) != (b < 0)) ? 1 : 0);
+}
+
 }  // namespace
 
 SimulationEngine::SimulationEngine(std::vector<Cluster> clusters,
@@ -59,6 +65,9 @@ SimulationEngine::SimulationEngine(std::vector<Cluster> clusters,
   if (config_.delay_hours < 0) {
     throw std::invalid_argument("SimulationEngine: negative delay");
   }
+  if (config_.delay_steps < 0) {
+    throw std::invalid_argument("SimulationEngine: negative delay_steps");
+  }
   if (distances_.site_count() < clusters_.size()) {
     throw std::invalid_argument("SimulationEngine: distance model too small");
   }
@@ -71,10 +80,103 @@ SimulationEngine::SimulationEngine(std::vector<Cluster> clusters,
   }
 }
 
-RunResult SimulationEngine::run(const Workload& workload, Router& router,
-                                std::span<StepObserver* const> observers) const {
+/// The whole per-run state of one stepped (or batch) run: every local
+/// the historical run() loop kept on its stack, plus the step cursor.
+/// run() drains a Session, so the batch and stepped paths execute the
+/// same code and stay byte-identical by construction.
+struct SimulationEngine::Session::State {
+  const SimulationEngine* engine;
+  const Workload* workload;
+  Router* router;
+  std::vector<StepObserver*> observers;
+
+  Period period;
+  std::size_t n_clusters;
+  std::size_t n_states;
+  int sph;
+  Hours dt;
+  int psph;
+  energy::ClusterEnergyModel model;
+
+  // Routing context buffers, bound once: the spans in `ctx` alias these
+  // vectors for the whole run (they never reallocate), so each step only
+  // rewrites the values, not the context.
+  std::vector<double> demand;
+  std::vector<double> price;
+  std::vector<double> bill_price;
+  std::vector<double> capacity;
+  std::vector<double> cap_factor;
+  std::vector<double> step_energy;
+  std::vector<double> step_cost;
+  // Per-cluster constants hoisted out of the step loop so the
+  // accounting passes below are straight-line array arithmetic.
+  std::vector<double> cap_value;
+  std::vector<double> servers_of;
+  std::vector<double> p95_limit;
+  std::vector<std::uint8_t> can_burst;
+  billing::FleetBurstBudgets budgets;
+  RoutingContext ctx;
+
+  // Per-hour energy models when a pue_of hook is active (rebuilt when
+  // the hour advances instead of every 5-minute step).
+  std::vector<energy::ClusterEnergyModel> hour_models;
+
+  Allocation alloc;
+  RunResult result;
+  DistanceStats dist_stats;
+  // Realized 95th percentiles stream through an exact top-K sketch
+  // instead of retaining every interval's load (stats::StreamingPercentile
+  // reproduces stats::p95 bit-for-bit).
+  std::vector<stats::StreamingPercentile> load_p95;
+
+  HourIndex cached_hour;
+  int cached_sub = -1;
+  std::int64_t step = 0;
+  std::int64_t steps_total;
+  bool finished = false;
+
+  State(const SimulationEngine& eng, const Workload& wl, Router& r,
+        std::span<StepObserver* const> obs)
+      : engine(&eng),
+        workload(&wl),
+        router(&r),
+        observers(obs.begin(), obs.end()),
+        period(wl.period()),
+        n_clusters(eng.clusters_.size()),
+        n_states(wl.state_count()),
+        sph(wl.steps_per_hour()),
+        dt{1.0 / sph},
+        psph(eng.prices_.samples_per_hour),
+        model(eng.config_.energy),
+        demand(n_states, 0.0),
+        price(n_clusters, 0.0),
+        bill_price(n_clusters, 0.0),
+        capacity(n_clusters, 0.0),
+        cap_factor(n_clusters, 1.0),
+        step_energy(n_clusters, 0.0),
+        step_cost(n_clusters, 0.0),
+        cap_value(n_clusters, 0.0),
+        servers_of(n_clusters, 0.0),
+        budgets(std::vector<double>(n_clusters, 0.0)),
+        alloc(n_states, n_clusters),
+        cached_hour(period.begin - 1),
+        steps_total(wl.steps()) {}
+
+  void step_once();
+  [[nodiscard]] RunResult finish();
+};
+
+SimulationEngine::Session SimulationEngine::begin(
+    const Workload& workload, Router& router,
+    std::span<StepObserver* const> observers) const {
   const Period period = workload.period();
-  const Period priced{period.begin - config_.delay_hours, period.end};
+  const int psph = prices_.samples_per_hour;
+  // Front margin delayed routing reads: `delay_steps` native intervals
+  // round up to whole hours; otherwise the classic hour delay.
+  const int margin_hours =
+      config_.delay_steps > 0 ? (config_.delay_steps + psph - 1) / psph
+                              : config_.delay_hours;
+  const Period priced{period.begin - margin_hours, period.end};
   // The guard must check the WHOLE priced window: a price set covering
   // the start but ending early used to pass here and then blow up in
   // PriceSeries::at mid-run - after on_run_begin had fired and with
@@ -97,232 +199,215 @@ RunResult SimulationEngine::run(const Workload& workload, Router& router,
           std::string(c.label) + "'");
     }
   }
-
-  const std::size_t n_clusters = clusters_.size();
-  const std::size_t n_states = workload.state_count();
-  if (n_states > distances_.state_count()) {
+  if (workload.state_count() > distances_.state_count()) {
     throw std::invalid_argument(
         "SimulationEngine::run: workload has more states than the distance model");
   }
   const int sph = workload.steps_per_hour();
-  const Hours dt{1.0 / sph};
-  const int psph = prices_.samples_per_hour;
   if (psph < 1 || (psph > 1 && sph % psph != 0 && psph % sph != 0)) {
     throw std::invalid_argument(
         "SimulationEngine::run: workload steps and the price set's native "
         "interval must nest (one samples-per-hour must divide the other)");
   }
-  const energy::ClusterEnergyModel model(config_.energy);
 
-  // Routing context buffers, bound once: the spans in `ctx` alias these
-  // vectors for the whole run (they never reallocate), so each step only
-  // rewrites the values, not the context.
-  std::vector<double> demand(n_states, 0.0);
-  std::vector<double> price(n_clusters, 0.0);
-  std::vector<double> bill_price(n_clusters, 0.0);
-  std::vector<double> capacity(n_clusters, 0.0);
-  std::vector<double> cap_factor(n_clusters, 1.0);
-  std::vector<double> step_energy(n_clusters, 0.0);
-  std::vector<double> step_cost(n_clusters, 0.0);
-  // Per-cluster constants hoisted out of the step loop so the
-  // accounting passes below are straight-line array arithmetic.
-  std::vector<double> cap_value(n_clusters, 0.0);
-  std::vector<double> servers_of(n_clusters, 0.0);
-  std::vector<double> p95_limit;
-  std::vector<std::uint8_t> can_burst;
-  for (std::size_t c = 0; c < n_clusters; ++c) {
-    capacity[c] = clusters_[c].capacity.value();
-    cap_value[c] = clusters_[c].capacity.value();
-    servers_of[c] = static_cast<double>(clusters_[c].servers);
+  auto state = std::make_unique<Session::State>(*this, workload, router, observers);
+  Session::State& s = *state;
+  for (std::size_t c = 0; c < s.n_clusters; ++c) {
+    s.capacity[c] = clusters_[c].capacity.value();
+    s.cap_value[c] = clusters_[c].capacity.value();
+    s.servers_of[c] = static_cast<double>(clusters_[c].servers);
   }
   if (config_.enforce_p95) {
-    p95_limit.resize(n_clusters);
-    can_burst.assign(n_clusters, 1);
-    for (std::size_t c = 0; c < n_clusters; ++c) {
-      p95_limit[c] = clusters_[c].p95_reference.value();
+    s.p95_limit.resize(s.n_clusters);
+    s.can_burst.assign(s.n_clusters, 1);
+    for (std::size_t c = 0; c < s.n_clusters; ++c) {
+      s.p95_limit[c] = clusters_[c].p95_reference.value();
     }
+    s.budgets = billing::FleetBurstBudgets(s.p95_limit);
   }
-  std::vector<double> p95_refs = p95_limit;
-  billing::FleetBurstBudgets budgets(p95_refs.empty() ? std::vector<double>(n_clusters, 0.0)
-                                                      : p95_refs);
 
-  RoutingContext ctx;
-  ctx.demand = demand;
-  ctx.price = price;
-  ctx.capacity = capacity;
+  s.ctx.demand = s.demand;
+  s.ctx.price = s.price;
+  s.ctx.capacity = s.capacity;
   if (config_.enforce_p95) {
-    ctx.p95_limit = p95_limit;
-    ctx.can_burst = can_burst;
+    s.ctx.p95_limit = s.p95_limit;
+    s.ctx.can_burst = s.can_burst;
   }
 
-  // Per-hour energy models when a pue_of hook is active (rebuilt when
-  // the hour advances instead of every 5-minute step).
-  std::vector<energy::ClusterEnergyModel> hour_models;
-  if (config_.pue_of) hour_models.reserve(n_clusters);
+  if (config_.pue_of) s.hour_models.reserve(s.n_clusters);
 
-  Allocation alloc(n_states, n_clusters);
-  RunResult result;
-  result.cluster_cost.assign(n_clusters, 0.0);
-  result.cluster_energy.assign(n_clusters, 0.0);
-  DistanceStats dist_stats;
-  // Realized 95th percentiles stream through an exact top-K sketch
-  // instead of retaining every interval's load (stats::StreamingPercentile
-  // reproduces stats::p95 bit-for-bit).
-  std::vector<stats::StreamingPercentile> load_p95;
-  load_p95.reserve(n_clusters);
-  for (std::size_t c = 0; c < n_clusters; ++c) {
-    load_p95.emplace_back(workload.steps(), 95.0);
+  s.result.cluster_cost.assign(s.n_clusters, 0.0);
+  s.result.cluster_energy.assign(s.n_clusters, 0.0);
+  s.load_p95.reserve(s.n_clusters);
+  for (std::size_t c = 0; c < s.n_clusters; ++c) {
+    s.load_p95.emplace_back(workload.steps(), 95.0);
   }
 
-  const RunInfo run_info{period, sph, psph};
-  for (StepObserver* obs : observers) {
+  const RunInfo run_info{s.period, s.sph, s.psph};
+  for (StepObserver* obs : s.observers) {
     obs->on_run_begin(run_info, clusters_);
   }
+  return Session(std::move(state));
+}
 
-  HourIndex cached_hour = period.begin - 1;
-  int cached_sub = -1;
-  for (std::int64_t step = 0; step < workload.steps(); ++step) {
-    const HourIndex hour = period.begin + step / sph;
+void SimulationEngine::Session::State::step_once() {
+  const SimulationEngine& eng = *engine;
+  const EngineConfig& config = eng.config_;
+  const market::PriceSet& prices = eng.prices_;
+  const std::vector<Cluster>& clusters = eng.clusters_;
 
-    if (hour != cached_hour) {
-      cached_hour = hour;
-      cached_sub = -1;
+  const HourIndex hour = period.begin + step / sph;
+
+  if (hour != cached_hour) {
+    cached_hour = hour;
+    cached_sub = -1;
+    for (std::size_t c = 0; c < n_clusters; ++c) {
+      if (psph == 1) {
+        // With delay_steps active an hourly interval IS the native
+        // interval, so the step delay degenerates to an hour delay.
+        const int delay =
+            config.delay_steps > 0 ? config.delay_steps : config.delay_hours;
+        price[c] = prices.rt_at(clusters[c].hub, hour - delay).value();
+        // Billing uses the concurrent price, not the stale routing price.
+        bill_price[c] = prices.rt_at(clusters[c].hub, hour).value();
+      }
+      double factor = 1.0;
+      if (config.capacity_factor) {
+        factor = std::clamp(config.capacity_factor(c, hour), 0.0, 1.0);
+      }
+      // A factor below 1 models suspended servers (demand response):
+      // both the serving capacity and the powered server count shrink.
+      cap_factor[c] = factor;
+      capacity[c] = clusters[c].capacity.value() * factor;
+    }
+    if (config.pue_of) {
+      // The hook swaps in the hour's effective PUE (weather-dependent
+      // free cooling); one model per cluster covers all its steps.
+      hour_models.clear();
       for (std::size_t c = 0; c < n_clusters; ++c) {
-        if (psph == 1) {
-          price[c] =
-              prices_.rt_at(clusters_[c].hub, hour - config_.delay_hours).value();
-          // Billing uses the concurrent price, not the stale routing price.
-          bill_price[c] = prices_.rt_at(clusters_[c].hub, hour).value();
-        }
-        double factor = 1.0;
-        if (config_.capacity_factor) {
-          factor = std::clamp(config_.capacity_factor(c, hour), 0.0, 1.0);
-        }
-        // A factor below 1 models suspended servers (demand response):
-        // both the serving capacity and the powered server count shrink.
-        cap_factor[c] = factor;
-        capacity[c] = clusters_[c].capacity.value() * factor;
-      }
-      if (config_.pue_of) {
-        // The hook swaps in the hour's effective PUE (weather-dependent
-        // free cooling); one model per cluster covers all its steps.
-        hour_models.clear();
-        for (std::size_t c = 0; c < n_clusters; ++c) {
-          energy::EnergyModelParams p = config_.energy;
-          p.pue = std::max(1.0, config_.pue_of(c, hour));
-          hour_models.emplace_back(p);
-        }
+        energy::EnergyModelParams p = config.energy;
+        p.pue = std::max(1.0, config.pue_of(c, hour));
+        hour_models.emplace_back(p);
       }
     }
-    if (psph > 1) {
-      // Sub-hourly market: prices refresh on the native interval, not
-      // the hour. Routing reads the same sub-interval of hour - delay
-      // (delay-stale reaction at market granularity); billing stays
-      // concurrent. A workload stepping coarser than the market bills
-      // at the step's time-mean price, exact since demand is uniform
-      // within a step.
-      if (sph >= psph) {
-        const int sub = static_cast<int>((step % sph) * psph / sph);
-        if (sub != cached_sub) {
-          cached_sub = sub;
-          for (std::size_t c = 0; c < n_clusters; ++c) {
-            price[c] = prices_
-                           .rt_at(clusters_[c].hub, hour - config_.delay_hours,
-                                  sub)
-                           .value();
-            bill_price[c] = prices_.rt_at(clusters_[c].hub, hour, sub).value();
-          }
-        }
-      } else {
-        const int per_step = psph / sph;
-        const int sub0 = static_cast<int>(step % sph) * per_step;
+  }
+  if (psph > 1) {
+    // Sub-hourly market: prices refresh on the native interval, not
+    // the hour. Routing reads the same sub-interval of hour - delay
+    // (delay-stale reaction at market granularity) - or, under
+    // delay_steps, the interval exactly that many settlements back;
+    // billing stays concurrent. A workload stepping coarser than the
+    // market bills at the step's time-mean price, exact since demand
+    // is uniform within a step.
+    const auto routing_price = [&](std::size_t c, int sub) {
+      if (config.delay_steps > 0) {
+        const std::int64_t abs_interval =
+            hour * psph + sub - config.delay_steps;
+        const HourIndex h = floor_div(abs_interval, psph);
+        const int s = static_cast<int>(abs_interval - h * psph);
+        return prices.rt_at(clusters[c].hub, h, s).value();
+      }
+      return prices.rt_at(clusters[c].hub, hour - config.delay_hours, sub)
+          .value();
+    };
+    if (sph >= psph) {
+      const int sub = static_cast<int>((step % sph) * psph / sph);
+      if (sub != cached_sub) {
+        cached_sub = sub;
         for (std::size_t c = 0; c < n_clusters; ++c) {
-          double route_sum = 0.0;
-          double bill_sum = 0.0;
-          for (int i = 0; i < per_step; ++i) {
-            route_sum += prices_
-                             .rt_at(clusters_[c].hub,
-                                    hour - config_.delay_hours, sub0 + i)
-                             .value();
-            bill_sum +=
-                prices_.rt_at(clusters_[c].hub, hour, sub0 + i).value();
-          }
-          price[c] = route_sum / per_step;
-          bill_price[c] = bill_sum / per_step;
+          price[c] = routing_price(c, sub);
+          bill_price[c] = prices.rt_at(clusters[c].hub, hour, sub).value();
         }
       }
-    }
-    if (config_.enforce_p95) {
+    } else {
+      const int per_step = psph / sph;
+      const int sub0 = static_cast<int>(step % sph) * per_step;
       for (std::size_t c = 0; c < n_clusters; ++c) {
-        can_burst[c] = budgets.at(c).can_burst() ? 1 : 0;
+        double route_sum = 0.0;
+        double bill_sum = 0.0;
+        for (int i = 0; i < per_step; ++i) {
+          route_sum += routing_price(c, sub0 + i);
+          bill_sum += prices.rt_at(clusters[c].hub, hour, sub0 + i).value();
+        }
+        price[c] = route_sum / per_step;
+        bill_price[c] = bill_sum / per_step;
       }
     }
-
-    workload.demand(step, demand);
-    router.route(ctx, alloc);
-
-    // --- accounting ----------------------------------------------------
-    //
-    // Three passes over the cluster axis instead of one branchy loop:
-    // (1) stream the realized loads into the p95 sketches, (2) compute
-    // each cluster's step energy/cost branch-free into scratch arrays
-    // (dead clusters - zero capacity or a zero capacity factor -
-    // contribute exact +0.0, which is what the old skip produced), and
-    // (3) fold the scratch arrays into the result accumulators in the
-    // same fixed cluster order as before. Only the energy-model call
-    // (u^1.4) resists vectorization; everything around it is
-    // straight-line array arithmetic. All three passes are bit-exact
-    // with the historical single loop.
-    const std::span<const double> loads = alloc.cluster_totals();
+  }
+  if (config.enforce_p95) {
     for (std::size_t c = 0; c < n_clusters; ++c) {
-      load_p95[c].add(loads[c]);
-    }
-    bool overflowed = false;
-    for (std::size_t c = 0; c < n_clusters; ++c) {
-      const double load = loads[c];
-      const double active_servers = servers_of[c] * cap_factor[c];
-      const bool dead = active_servers <= 0.0 || cap_value[c] <= 0.0;
-      overflowed |= dead && load > 0.0;
-      const double u = dead ? 0.0 : load / (cap_value[c] * cap_factor[c]);
-      overflowed |= u > 1.0 + 1e-9;
-      // The model is linear in n; scale the one-server energy by the
-      // (possibly fractional) active server count.
-      const double per_server_mwh =
-          config_.pue_of ? hour_models[c].energy(u, 1, dt).value()
-                         : model.energy(u, 1, dt).value();
-      const double e = dead ? 0.0 : per_server_mwh * active_servers;
-      step_energy[c] = e;
-      step_cost[c] = (UsdPerMwh{bill_price[c]} * MegawattHours{e}).value();
-    }
-    for (std::size_t c = 0; c < n_clusters; ++c) {
-      result.cluster_energy[c] += step_energy[c];
-      result.cluster_cost[c] += step_cost[c];
-      result.total_energy += MegawattHours{step_energy[c]};
-      result.total_cost += Usd{step_cost[c]};
-    }
-    if (overflowed) ++result.overflow_steps;
-    if (config_.enforce_p95) budgets.record_all(alloc.cluster_totals());
-
-    if (!observers.empty()) {
-      const StepView view{hour, step, dt, alloc, step_energy, bill_price};
-      for (StepObserver* obs : observers) obs->on_step(view);
-    }
-
-    // Distance metrics over the nonzero assignments only (an interval
-    // touches ~1-2 clusters per state, not the full matrix).
-    for (const Allocation::Entry& e : alloc.nonzero()) {
-      dist_stats.add(distance_km_[e.state * n_clusters + e.cluster],
-                     alloc.hits(e) * dt.value());
-    }
-    // Branch-free hit-hours scan (the max() folds the old `> 0` guard:
-    // zero or negative demand contributes exact +0.0), hoisted into its
-    // own vectorizable pass over the state axis.
-    const double dt_value = dt.value();
-    for (std::size_t s = 0; s < n_states; ++s) {
-      result.hit_hours += std::max(demand[s], 0.0) * dt_value;
+      can_burst[c] = budgets.at(c).can_burst() ? 1 : 0;
     }
   }
 
+  workload->demand(step, demand);
+  router->route(ctx, alloc);
+
+  // --- accounting ----------------------------------------------------
+  //
+  // Three passes over the cluster axis instead of one branchy loop:
+  // (1) stream the realized loads into the p95 sketches, (2) compute
+  // each cluster's step energy/cost branch-free into scratch arrays
+  // (dead clusters - zero capacity or a zero capacity factor -
+  // contribute exact +0.0, which is what the old skip produced), and
+  // (3) fold the scratch arrays into the result accumulators in the
+  // same fixed cluster order as before. Only the energy-model call
+  // (u^1.4) resists vectorization; everything around it is
+  // straight-line array arithmetic. All three passes are bit-exact
+  // with the historical single loop.
+  const std::span<const double> loads = alloc.cluster_totals();
+  for (std::size_t c = 0; c < n_clusters; ++c) {
+    load_p95[c].add(loads[c]);
+  }
+  bool overflowed = false;
+  for (std::size_t c = 0; c < n_clusters; ++c) {
+    const double load = loads[c];
+    const double active_servers = servers_of[c] * cap_factor[c];
+    const bool dead = active_servers <= 0.0 || cap_value[c] <= 0.0;
+    overflowed |= dead && load > 0.0;
+    const double u = dead ? 0.0 : load / (cap_value[c] * cap_factor[c]);
+    overflowed |= u > 1.0 + 1e-9;
+    // The model is linear in n; scale the one-server energy by the
+    // (possibly fractional) active server count.
+    const double per_server_mwh =
+        config.pue_of ? hour_models[c].energy(u, 1, dt).value()
+                      : model.energy(u, 1, dt).value();
+    const double e = dead ? 0.0 : per_server_mwh * active_servers;
+    step_energy[c] = e;
+    step_cost[c] = (UsdPerMwh{bill_price[c]} * MegawattHours{e}).value();
+  }
+  for (std::size_t c = 0; c < n_clusters; ++c) {
+    result.cluster_energy[c] += step_energy[c];
+    result.cluster_cost[c] += step_cost[c];
+    result.total_energy += MegawattHours{step_energy[c]};
+    result.total_cost += Usd{step_cost[c]};
+  }
+  if (overflowed) ++result.overflow_steps;
+  if (config.enforce_p95) budgets.record_all(alloc.cluster_totals());
+
+  if (!observers.empty()) {
+    const StepView view{hour, step, dt, alloc, step_energy, bill_price};
+    for (StepObserver* obs : observers) obs->on_step(view);
+  }
+
+  // Distance metrics over the nonzero assignments only (an interval
+  // touches ~1-2 clusters per state, not the full matrix).
+  for (const Allocation::Entry& e : alloc.nonzero()) {
+    dist_stats.add(eng.distance_km_[e.state * n_clusters + e.cluster],
+                   alloc.hits(e) * dt.value());
+  }
+  // Branch-free hit-hours scan (the max() folds the old `> 0` guard:
+  // zero or negative demand contributes exact +0.0), hoisted into its
+  // own vectorizable pass over the state axis.
+  const double dt_value = dt.value();
+  for (std::size_t s = 0; s < n_states; ++s) {
+    result.hit_hours += std::max(demand[s], 0.0) * dt_value;
+  }
+
+  ++step;
+}
+
+RunResult SimulationEngine::Session::State::finish() {
   result.mean_distance_km = dist_stats.mean();
   result.p99_distance_km = dist_stats.percentile(99.0);
   result.realized_p95.resize(n_clusters);
@@ -330,7 +415,62 @@ RunResult SimulationEngine::run(const Workload& workload, Router& router,
     result.realized_p95[c] = load_p95[c].value();
   }
   for (StepObserver* obs : observers) obs->on_run_end(result);
-  return result;
+  finished = true;
+  return std::move(result);
+}
+
+// --- Session surface --------------------------------------------------------
+
+SimulationEngine::Session::Session(std::unique_ptr<State> state)
+    : state_(std::move(state)) {}
+SimulationEngine::Session::~Session() = default;
+SimulationEngine::Session::Session(Session&&) noexcept = default;
+SimulationEngine::Session& SimulationEngine::Session::operator=(
+    Session&&) noexcept = default;
+
+void SimulationEngine::Session::step() {
+  if (state_->finished || state_->step >= state_->steps_total) {
+    throw std::logic_error("Session::step: run already complete");
+  }
+  state_->step_once();
+}
+
+bool SimulationEngine::Session::done() const noexcept {
+  return state_->step >= state_->steps_total;
+}
+
+std::int64_t SimulationEngine::Session::steps_done() const noexcept {
+  return state_->step;
+}
+
+std::int64_t SimulationEngine::Session::steps_total() const noexcept {
+  return state_->steps_total;
+}
+
+HourIndex SimulationEngine::Session::current_hour() const noexcept {
+  const std::int64_t step = std::min(state_->step, state_->steps_total - 1);
+  return state_->period.begin + step / state_->sph;
+}
+
+double SimulationEngine::Session::cost_so_far() const noexcept {
+  return state_->result.total_cost.value();
+}
+
+double SimulationEngine::Session::energy_so_far() const noexcept {
+  return state_->result.total_energy.value();
+}
+
+RunResult SimulationEngine::Session::finish() {
+  if (!done()) throw std::logic_error("Session::finish: steps remain");
+  if (state_->finished) throw std::logic_error("Session::finish: already finished");
+  return state_->finish();
+}
+
+RunResult SimulationEngine::run(const Workload& workload, Router& router,
+                                std::span<StepObserver* const> observers) const {
+  Session session = begin(workload, router, observers);
+  while (!session.done()) session.step();
+  return session.finish();
 }
 
 }  // namespace cebis::core

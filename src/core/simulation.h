@@ -28,7 +28,9 @@
 // 95th percentiles stream through an exact top-K sketch instead of
 // retaining the full per-step load history.
 
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -45,6 +47,13 @@ namespace cebis::core {
 struct EngineConfig {
   energy::EnergyModelParams energy;
   int delay_hours = 1;      ///< routing reacts to the price of hour t-delay
+  /// When > 0, routing reacts to the price `delay_steps` *native market
+  /// intervals* ago instead of `delay_hours` hours ago (billing stays
+  /// concurrent either way). With a 5-minute market, 1 is the previous
+  /// 5-minute settlement and 12 reproduces delay_hours = 1 exactly; the
+  /// knob measures what price freshness buys over the paper's
+  /// conservative one-hour staleness. 0 disables (use delay_hours).
+  int delay_steps = 0;
   bool enforce_p95 = true;  ///< apply the 95/5 constraints to the router
 
   /// Optional per-interval capacity multiplier in [0,1] (cluster index,
@@ -171,6 +180,51 @@ class SimulationEngine {
   /// Runs the workload through the router. `observers` are invoked in
   /// order at run begin, after every step's accounting, and at run end.
   [[nodiscard]] RunResult run(const Workload& workload, Router& router,
+                              std::span<StepObserver* const> observers = {}) const;
+
+  /// An in-progress run, advanced one accounting step at a time. run()
+  /// is exactly `begin` + step() to completion + finish(), so a stepped
+  /// run is byte-identical to the batch loop - the seam the live
+  /// service mode (src/service/) is built on: a LiveEngine holds a
+  /// Session open, feeds it demand as ticks arrive, and reads rolling
+  /// cost/energy between steps. Sessions borrow the engine, workload,
+  /// router and observers - all must outlive the session - and a step
+  /// that throws leaves the run unfinished (on_run_end is never fired),
+  /// matching run()'s exception behavior.
+  class Session {
+   public:
+    ~Session();
+    Session(Session&&) noexcept;
+    Session& operator=(Session&&) noexcept;
+
+    /// Executes the next accounting step (throws std::logic_error when
+    /// the run is already complete or finished).
+    void step();
+    [[nodiscard]] bool done() const noexcept;
+    [[nodiscard]] std::int64_t steps_done() const noexcept;
+    [[nodiscard]] std::int64_t steps_total() const noexcept;
+    /// The hour the next step falls in (the last step's hour once done).
+    [[nodiscard]] HourIndex current_hour() const noexcept;
+
+    /// Primary dollar/energy accounting accumulated so far (rolling
+    /// telemetry between steps; equals the final totals once done).
+    [[nodiscard]] double cost_so_far() const noexcept;
+    [[nodiscard]] double energy_so_far() const noexcept;
+
+    /// Fires on_run_end and returns the result. Requires done(); call
+    /// at most once (throws std::logic_error otherwise).
+    [[nodiscard]] RunResult finish();
+
+   private:
+    friend class SimulationEngine;
+    struct State;
+    explicit Session(std::unique_ptr<State> state);
+    std::unique_ptr<State> state_;
+  };
+
+  /// Opens a stepped run (validates inputs and fires on_run_begin, like
+  /// the head of run()).
+  [[nodiscard]] Session begin(const Workload& workload, Router& router,
                               std::span<StepObserver* const> observers = {}) const;
 
   [[nodiscard]] const std::vector<Cluster>& clusters() const noexcept {

@@ -38,6 +38,19 @@ double PriceSeries::at(HourIndex h) const {
   return sum / static_cast<double>(samples_per_hour_);
 }
 
+void PriceSeries::set_sample(HourIndex h, int sample, double value) {
+  if (!period_.contains(h)) {
+    throw std::out_of_range("PriceSeries::set_sample: hour outside period");
+  }
+  if (sample < 0 || sample >= samples_per_hour_) {
+    throw std::out_of_range(
+        "PriceSeries::set_sample: sample outside native interval");
+  }
+  values_[static_cast<std::size_t>(h - period_.begin) *
+              static_cast<std::size_t>(samples_per_hour_) +
+          static_cast<std::size_t>(sample)] = value;
+}
+
 double PriceSeries::at(HourIndex h, int sample) const {
   if (!period_.contains(h)) {
     throw std::out_of_range("PriceSeries::at: hour outside period");

@@ -44,6 +44,12 @@ class PriceSeries {
   /// Native sample `sample` (0 .. samples_per_hour-1) of hour `h`.
   [[nodiscard]] double at(HourIndex h, int sample) const;
 
+  /// Overwrites one native sample (bounds-checked like at()). The live
+  /// tick assembly (market/tick_assembler.h) pre-sizes a series over
+  /// the session window and writes settlements into place as they
+  /// arrive; batch code never needs this.
+  void set_sample(HourIndex h, int sample, double value);
+
   /// Values restricted to a sub-period (view, native layout).
   [[nodiscard]] std::span<const double> slice(const Period& p) const;
 

@@ -1,0 +1,172 @@
+#ifndef CEBIS_SERVICE_LIVE_ENGINE_H
+#define CEBIS_SERVICE_LIVE_ENGINE_H
+
+// Tick-driven live service mode over the batch simulator.
+//
+// The batch path consumes a finished PriceSet and a whole Workload; a
+// service consumes a stream: settlement ticks arrive per (hub,
+// interval) and demand arrives one accounting step at a time. The
+// LiveEngine wraps the exact batch machinery behind that streaming
+// surface:
+//
+//   on_price_tick()  feeds a market::TickAssembler that writes each
+//                    settlement into the PriceSet the engine reads
+//   advance()        pushes one step of demand and advances an open
+//                    SimulationEngine::Session by one step - after
+//                    checking the step's price intervals are sealed, so
+//                    the engine never reads an unpriced placeholder
+//   finish()         closes the session and returns the RunResult
+//
+// Because the Session IS the batch loop (run() = begin + step* +
+// finish), a live run is byte-identical to the batch run over the same
+// inputs. Every input is optionally recorded to an EventLog
+// (service/event_log.h) as it arrives, and service/replay.h re-runs a
+// recorded log through the plain batch path - replay-equals-live is the
+// headline contract, pinned in tests/test_replay_equals_live.cpp.
+//
+// Between steps the engine exposes rolling telemetry: bill rate and
+// savings-vs-baseline (per-step dollars through RollingEstimators), and
+// the price-aware router's plan-rebuild counter. Savings come from a
+// shadow baseline session stepped in lockstep on a second engine - the
+// same fixture, prices and workload, routed by the "baseline" scheme.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/observers.h"
+#include "core/simulation.h"
+#include "market/tick_assembler.h"
+#include "service/event_log.h"
+#include "service/rolling_estimators.h"
+
+namespace cebis::service {
+
+/// A Workload fed one step at a time: the live loop push()es demand as
+/// it arrives, the replay path push()es every recorded step up front.
+/// demand() serves only pushed steps (throws std::out_of_range beyond
+/// the pushed prefix - the engine never reads ahead of the stream).
+class PushWorkload final : public core::Workload {
+ public:
+  PushWorkload(Period period, int steps_per_hour, std::size_t state_count);
+
+  /// Appends the next step's per-state demand (size must equal
+  /// state_count; throws std::invalid_argument on shape errors or when
+  /// the workload is already fully fed).
+  void push(std::span<const double> demand);
+
+  [[nodiscard]] std::int64_t pushed() const noexcept {
+    return static_cast<std::int64_t>(data_.size() / state_count_);
+  }
+
+  [[nodiscard]] Period period() const override { return period_; }
+  [[nodiscard]] int steps_per_hour() const override { return steps_per_hour_; }
+  [[nodiscard]] std::size_t state_count() const override { return state_count_; }
+  void demand(std::int64_t step, std::span<double> out) const override;
+
+ private:
+  Period period_;
+  int steps_per_hour_;
+  std::size_t state_count_;
+  std::vector<double> data_;  // pushed() x state_count, row-major
+};
+
+/// Static configuration of one live session (the declarative subset of
+/// a ScenarioSpec that a stream can honour - no caller hooks, no price
+/// overrides).
+struct LiveConfig {
+  std::string router = "price-aware";
+  core::RouterConfig router_config{};
+  /// Workload window (absolute hours); required, must be non-empty.
+  Period period{0, 0};
+  int steps_per_hour = 12;    ///< demand cadence (12 = 5-minute steps)
+  int samples_per_hour = 12;  ///< native market interval of the tick stream
+  energy::EnergyModelParams energy;
+  bool enforce_p95 = true;
+  int delay_hours = 1;
+  /// See EngineConfig::delay_steps (> 0 routes on the settlement
+  /// delay_steps native intervals back; 0 uses delay_hours).
+  int delay_steps = 0;
+  /// Attach a native-interval HourlyEnergyRecorder (per-interval rows in
+  /// RunResult::hourly_energy).
+  bool record_hourly_energy = false;
+  /// Battery storage behind every cluster (see core::StorageSpec; the
+  /// loggable subset only - empty per_cluster, default policy_config).
+  std::optional<core::StorageSpec> storage;
+  /// Step a shadow "baseline" session in lockstep and report rolling
+  /// savings telemetry.
+  bool shadow_baseline = true;
+  double telemetry_ewma_alpha = 0.1;
+};
+
+/// Rolling per-step dollar telemetry (see RollingEstimators; all
+/// estimators sample once per advance()).
+struct LiveTelemetry {
+  RollingEstimators bill_usd_per_step;
+  /// Present only with LiveConfig::shadow_baseline.
+  RollingEstimators savings_usd_per_step;
+  /// PriceAwareRouter::plan_rebuilds() of the live router (0 for
+  /// routers without a plan counter).
+  std::int64_t plan_rebuilds = 0;
+};
+
+class LiveEngine {
+ public:
+  /// Builds clusters/router/engine from the fixture exactly like the
+  /// scenario runner would, opens the session, and - when `log` is
+  /// given - writes the SessionMeta frame. `log` and `fixture` must
+  /// outlive the LiveEngine. Throws std::invalid_argument on a config
+  /// the service mode cannot honour.
+  LiveEngine(const core::Fixture& fixture, LiveConfig config,
+             EventLogWriter* log = nullptr);
+  ~LiveEngine();
+
+  LiveEngine(const LiveEngine&) = delete;
+  LiveEngine& operator=(const LiveEngine&) = delete;
+
+  /// Ingests one settlement tick (absolute native interval =
+  /// hour * samples_per_hour + sub). Ticks must arrive gapless per hub
+  /// (market::TickAssembler's discipline); recorded to the log.
+  void on_price_tick(HubId hub, std::int64_t interval, double price);
+
+  /// Advances the simulation one accounting step on `demand` (per-state,
+  /// size = state_count()). Throws std::logic_error when the run is
+  /// complete or when the step's price intervals are not yet sealed by
+  /// the tick stream.
+  void advance(std::span<const double> demand);
+
+  /// Fires run-end accounting and returns the result (call once, after
+  /// the last step).
+  [[nodiscard]] core::RunResult finish();
+
+  // --- streaming state --------------------------------------------------
+  [[nodiscard]] bool done() const noexcept;
+  [[nodiscard]] std::int64_t steps_done() const noexcept;
+  [[nodiscard]] std::int64_t steps_total() const noexcept;
+  [[nodiscard]] double cost_so_far() const noexcept;
+  [[nodiscard]] double energy_so_far() const noexcept;
+  /// One-past-the-last absolute interval priced by every tracked hub.
+  [[nodiscard]] std::int64_t sealed_end() const noexcept;
+  /// One-past-the-last absolute interval the NEXT step needs sealed.
+  [[nodiscard]] std::int64_t needed_end() const noexcept;
+  [[nodiscard]] std::size_t state_count() const noexcept;
+  [[nodiscard]] std::size_t cluster_count() const noexcept;
+  [[nodiscard]] const LiveTelemetry& telemetry() const noexcept;
+  [[nodiscard]] const LiveConfig& config() const noexcept { return config_; }
+  /// The SessionMeta a log of this session carries.
+  [[nodiscard]] const SessionMeta& meta() const noexcept { return meta_; }
+
+ private:
+  struct Impl;
+  LiveConfig config_;
+  SessionMeta meta_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace cebis::service
+
+#endif  // CEBIS_SERVICE_LIVE_ENGINE_H

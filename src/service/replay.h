@@ -1,0 +1,45 @@
+#ifndef CEBIS_SERVICE_REPLAY_H
+#define CEBIS_SERVICE_REPLAY_H
+
+// Deterministic replay of a recorded live session through the batch
+// engine - the verification half of the replay-equals-live contract.
+//
+// A session log (service/event_log.h) carries the session's static
+// configuration plus every input the live loop consumed: the price
+// ticks and the per-step demand. Replay rebuilds the environment the
+// way the live engine did - same fixture-derived clusters and router
+// factories, a TickAssembler re-fed the recorded ticks, a PushWorkload
+// re-fed the recorded demand - and runs SimulationEngine::run, the
+// plain batch path. Because the live session advanced an engine Session
+// over byte-identical inputs (doubles round-trip through the log as raw
+// bits), the replayed RunResult is byte-identical to what the live
+// session's finish() returned; diff_run_results() checks exactly that.
+
+#include <string>
+
+#include "core/experiment.h"
+#include "core/simulation.h"
+#include "service/event_log.h"
+
+namespace cebis::service {
+
+/// Re-runs a recorded session through the batch engine. The fixture
+/// must be the one the live session ran against (same seed - checked
+/// against the log's SessionMeta; throws std::invalid_argument on a
+/// mismatch, or when the recorded inputs are incomplete/ill-shaped).
+[[nodiscard]] core::RunResult replay(const core::Fixture& fixture,
+                                     const RecordedSession& session);
+
+/// read_session() + replay().
+[[nodiscard]] core::RunResult replay_file(const core::Fixture& fixture,
+                                          const std::string& path);
+
+/// Empty when the two results are bit-for-bit identical (every double
+/// compared as its IEEE-754 bits - no tolerances); otherwise a
+/// description of the first mismatching field.
+[[nodiscard]] std::string diff_run_results(const core::RunResult& a,
+                                           const core::RunResult& b);
+
+}  // namespace cebis::service
+
+#endif  // CEBIS_SERVICE_REPLAY_H

@@ -1,0 +1,383 @@
+// The binary event log (service/event_log.h): header and frame
+// round-trips for every record type, the SessionMeta encoding with and
+// without storage, and the strict-reader contract - torn final frames,
+// CRC corruption, foreign headers and ordering violations must all
+// raise EventLogError naming the byte offset, never a silent partial
+// replay.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "service/event_log.h"
+#include "test_support.h"
+
+namespace cebis::service {
+namespace {
+
+constexpr std::int64_t kHeaderSize = 16;  // magic + version + reserved
+
+SessionMeta small_meta() {
+  SessionMeta meta;
+  meta.seed = 42;
+  meta.router = "price-aware";
+  meta.router_config = core::PriceAwareConfig{.distance_threshold = Km{1500.0},
+                                              .price_threshold = UsdPerMwh{2.5}};
+  meta.period = Period{100, 148};
+  meta.steps_per_hour = 12;
+  meta.samples_per_hour = 12;
+  meta.delay_hours = 1;
+  meta.delay_steps = 3;
+  meta.enforce_p95 = false;
+  meta.n_states = 7;
+  meta.n_clusters = 3;
+  meta.record_hourly_energy = true;
+  return meta;
+}
+
+/// Overwrites one byte of the file at `offset` with `value`.
+void poke(const std::string& path, std::int64_t offset, char value) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open());
+  f.seekp(offset);
+  f.put(value);
+}
+
+/// Truncates the file to `size` bytes.
+void truncate_to(const std::string& path, std::int64_t size) {
+  const std::string all = test::slurp(path);
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(all.data(), size);
+}
+
+// --- round-trips ------------------------------------------------------------
+
+TEST(EventLog, RoundTripsEveryRecordType) {
+  test::TempFile file("event_log_roundtrip.eventlog");
+  {
+    EventLogWriter writer(file.path());
+    writer.write(small_meta());
+    writer.write(PriceTickRecord{HubId(4), 1207, 55.125});
+    writer.write(WorkloadStepRecord{0, {1.0, 2.5, 0.0}});
+    writer.write(RoutingDecisionRecord{0, {3.5, 0.0}});
+    writer.write(StorageActionRecord{0, {0.25, -0.125}});
+    EXPECT_EQ(writer.frames(), 5);
+    EXPECT_GT(writer.bytes_written(), kHeaderSize);
+    writer.close();
+  }
+
+  EventLogReader reader(file.path());
+  EXPECT_EQ(reader.offset(), kHeaderSize);
+
+  const auto meta_rec = reader.next();
+  ASSERT_TRUE(meta_rec.has_value());
+  const auto* meta = std::get_if<SessionMeta>(&*meta_rec);
+  ASSERT_NE(meta, nullptr);
+  EXPECT_EQ(meta->seed, 42u);
+  EXPECT_EQ(meta->router, "price-aware");
+  const auto* pa = std::get_if<core::PriceAwareConfig>(&meta->router_config);
+  ASSERT_NE(pa, nullptr);
+  EXPECT_EQ(pa->distance_threshold.value(), 1500.0);
+  EXPECT_EQ(pa->price_threshold.value(), 2.5);
+  EXPECT_EQ(meta->period.begin, 100);
+  EXPECT_EQ(meta->period.end, 148);
+  EXPECT_EQ(meta->steps_per_hour, 12);
+  EXPECT_EQ(meta->samples_per_hour, 12);
+  EXPECT_EQ(meta->delay_hours, 1);
+  EXPECT_EQ(meta->delay_steps, 3);
+  EXPECT_FALSE(meta->enforce_p95);
+  EXPECT_EQ(meta->n_states, 7u);
+  EXPECT_EQ(meta->n_clusters, 3u);
+  EXPECT_TRUE(meta->record_hourly_energy);
+  EXPECT_FALSE(meta->storage.has_value());
+
+  const auto tick_rec = reader.next();
+  ASSERT_TRUE(tick_rec.has_value());
+  const auto* tick = std::get_if<PriceTickRecord>(&*tick_rec);
+  ASSERT_NE(tick, nullptr);
+  EXPECT_EQ(tick->hub.index(), 4u);
+  EXPECT_EQ(tick->interval, 1207);
+  EXPECT_EQ(tick->price, 55.125);
+
+  const auto step_rec = reader.next();
+  ASSERT_TRUE(step_rec.has_value());
+  const auto* step = std::get_if<WorkloadStepRecord>(&*step_rec);
+  ASSERT_NE(step, nullptr);
+  EXPECT_EQ(step->step, 0);
+  EXPECT_EQ(step->demand, (std::vector<double>{1.0, 2.5, 0.0}));
+
+  const auto decision_rec = reader.next();
+  ASSERT_TRUE(decision_rec.has_value());
+  const auto* decision = std::get_if<RoutingDecisionRecord>(&*decision_rec);
+  ASSERT_NE(decision, nullptr);
+  EXPECT_EQ(decision->cluster_load, (std::vector<double>{3.5, 0.0}));
+
+  const auto action_rec = reader.next();
+  ASSERT_TRUE(action_rec.has_value());
+  const auto* action = std::get_if<StorageActionRecord>(&*action_rec);
+  ASSERT_NE(action, nullptr);
+  EXPECT_EQ(action->soc_delta_mwh, (std::vector<double>{0.25, -0.125}));
+
+  EXPECT_FALSE(reader.next().has_value());  // clean end-of-log
+}
+
+TEST(EventLog, DoublesRoundTripBitForBit) {
+  // The whole replay-equals-live contract rests on doubles surviving
+  // the log as raw bits - pin it on awkward values (denormal, -0.0,
+  // values with no short decimal form).
+  const std::vector<double> awkward = {
+      1.0 / 3.0, -0.0, 5e-324, 123456.789012345678,
+      std::numeric_limits<double>::infinity()};
+  test::TempFile file("event_log_bits.eventlog");
+  {
+    EventLogWriter writer(file.path());
+    writer.write(small_meta());
+    writer.write(WorkloadStepRecord{0, awkward});
+    writer.close();
+  }
+  RecordedSession session = read_session(file.path());
+  ASSERT_EQ(session.steps.size(), 1u);
+  ASSERT_EQ(session.steps[0].demand.size(), awkward.size());
+  for (std::size_t i = 0; i < awkward.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(session.steps[0].demand[i]),
+              std::bit_cast<std::uint64_t>(awkward[i]))
+        << i;
+  }
+}
+
+TEST(EventLog, SessionMetaRoundTripsStorage) {
+  SessionMeta meta = small_meta();
+  core::StorageSpec storage;
+  storage.battery.capacity = MegawattHours{2.0};
+  storage.battery.max_charge = Watts{500'000.0};
+  storage.battery.max_discharge = Watts{750'000.0};
+  storage.battery.round_trip_efficiency = 0.9;
+  storage.battery.initial_soc_fraction = 0.5;
+  storage.policy = "arbitrage";
+  storage.policy_config = storage::PolicyConfig{};  // default: loggable
+  storage.cap_charge_at_peak = false;
+  storage.tariff.index_to_wholesale = false;
+  storage.tariff.energy_adder = UsdPerMwh{42.5};
+  storage.tariff.demand_usd_per_kw_month = Usd{11.0};
+  storage.tariff.demand_percentile = 95.0;
+  meta.storage = storage;
+
+  test::TempFile file("event_log_storage_meta.eventlog");
+  {
+    EventLogWriter writer(file.path());
+    writer.write(meta);
+    writer.close();
+  }
+  const RecordedSession session = read_session(file.path());
+  ASSERT_TRUE(session.meta.storage.has_value());
+  const core::StorageSpec& got = *session.meta.storage;
+  EXPECT_EQ(got.battery.capacity.value(), 2.0);
+  EXPECT_EQ(got.battery.max_charge.value(), 500'000.0);
+  EXPECT_EQ(got.battery.max_discharge.value(), 750'000.0);
+  EXPECT_EQ(got.battery.round_trip_efficiency, 0.9);
+  EXPECT_EQ(got.battery.initial_soc_fraction, 0.5);
+  EXPECT_EQ(got.policy, "arbitrage");
+  EXPECT_TRUE(got.per_cluster.empty());
+  EXPECT_FALSE(got.cap_charge_at_peak);
+  EXPECT_FALSE(got.tariff.index_to_wholesale);
+  EXPECT_EQ(got.tariff.energy_adder.value(), 42.5);
+  EXPECT_EQ(got.tariff.demand_usd_per_kw_month.value(), 11.0);
+  EXPECT_EQ(got.tariff.demand_percentile, 95.0);
+}
+
+TEST(EventLog, WriterRejectsNonRoundTrippableStorage) {
+  // Specs the wire format cannot carry exactly are refused up front.
+  test::TempFile file("event_log_reject.eventlog");
+  SessionMeta meta = small_meta();
+  meta.storage = core::StorageSpec{};
+  meta.storage->per_cluster.resize(3);  // per-cluster override: not loggable
+  {
+    EventLogWriter writer(file.path());
+    EXPECT_THROW(writer.write(meta), std::invalid_argument);
+  }
+  meta.storage = core::StorageSpec{};
+  meta.storage->policy_config = storage::ArbitrageConfig{};  // non-default
+  {
+    EventLogWriter writer(file.path());
+    EXPECT_THROW(writer.write(meta), std::invalid_argument);
+  }
+}
+
+TEST(EventLog, WriterClosesOnce) {
+  test::TempFile file("event_log_close.eventlog");
+  EventLogWriter writer(file.path());
+  writer.write(small_meta());
+  writer.close();
+  EXPECT_THROW(writer.write(PriceTickRecord{}), std::logic_error);
+}
+
+// --- corruption -------------------------------------------------------------
+
+TEST(EventLog, TornFinalFrameNamesTheByteOffset) {
+  test::TempFile file("event_log_torn.eventlog");
+  std::int64_t after_first_frame = 0;
+  {
+    EventLogWriter writer(file.path());
+    writer.write(small_meta());
+    after_first_frame = writer.bytes_written();
+    writer.write(PriceTickRecord{HubId(0), 5, 10.0});
+    writer.close();
+  }
+  // Cut the file mid-way through the second frame's payload.
+  truncate_to(file.path(), after_first_frame + 7);
+
+  EventLogReader reader(file.path());
+  ASSERT_TRUE(reader.next().has_value());  // the intact meta frame
+  try {
+    (void)reader.next();
+    FAIL() << "torn frame must throw";
+  } catch (const EventLogError& e) {
+    EXPECT_EQ(e.byte_offset(), after_first_frame);
+    EXPECT_NE(std::string(e.what()).find("torn frame"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what())
+                  .find("byte offset " + std::to_string(after_first_frame)),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(EventLog, CrcMismatchNamesTheByteOffset) {
+  test::TempFile file("event_log_crc.eventlog");
+  std::int64_t second_frame_at = 0;
+  {
+    EventLogWriter writer(file.path());
+    writer.write(small_meta());
+    second_frame_at = writer.bytes_written();
+    writer.write(PriceTickRecord{HubId(0), 5, 10.0});
+    writer.close();
+  }
+  // Flip a payload byte inside the second frame (past its 5-byte frame
+  // header), leaving the stored CRC stale.
+  poke(file.path(), second_frame_at + 6, '\x7f');
+
+  EventLogReader reader(file.path());
+  ASSERT_TRUE(reader.next().has_value());
+  try {
+    (void)reader.next();
+    FAIL() << "CRC mismatch must throw";
+  } catch (const EventLogError& e) {
+    EXPECT_EQ(e.byte_offset(), second_frame_at);
+    EXPECT_NE(std::string(e.what()).find("CRC mismatch"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(EventLog, RejectsForeignHeaders) {
+  test::TempFile file("event_log_header.eventlog");
+  {
+    EventLogWriter writer(file.path());
+    writer.write(small_meta());
+    writer.close();
+  }
+
+  poke(file.path(), 0, 'X');  // break the magic
+  EXPECT_THROW(EventLogReader r(file.path()), EventLogError);
+
+  poke(file.path(), 0, 'C');             // restore
+  poke(file.path(), 8, '\x09');          // version 9
+  EXPECT_THROW(EventLogReader r(file.path()), EventLogError);
+
+  truncate_to(file.path(), 10);  // EOF inside the header
+  EXPECT_THROW(EventLogReader r(file.path()), EventLogError);
+
+  EXPECT_THROW(EventLogReader r("/nonexistent/never.eventlog"), EventLogError);
+}
+
+TEST(EventLog, RejectsUnknownRecordTypes) {
+  test::TempFile file("event_log_unknown_type.eventlog");
+  std::int64_t second_frame_at = 0;
+  {
+    EventLogWriter writer(file.path());
+    writer.write(small_meta());
+    second_frame_at = writer.bytes_written();
+    writer.write(PriceTickRecord{HubId(0), 5, 10.0});
+    writer.close();
+  }
+  // An unknown type byte also breaks the CRC, so rewriting just the
+  // type is reported as corruption either way; assert it throws with
+  // the right offset.
+  poke(file.path(), second_frame_at, '\x63');
+  EventLogReader reader(file.path());
+  ASSERT_TRUE(reader.next().has_value());
+  try {
+    (void)reader.next();
+    FAIL() << "unknown record type must throw";
+  } catch (const EventLogError& e) {
+    EXPECT_EQ(e.byte_offset(), second_frame_at);
+  }
+}
+
+// --- read_session ordering --------------------------------------------------
+
+TEST(EventLog, ReadSessionRequiresMetaFirst) {
+  test::TempFile file("event_log_no_meta.eventlog");
+  {
+    EventLogWriter writer(file.path());
+    writer.write(PriceTickRecord{HubId(0), 5, 10.0});
+    writer.close();
+  }
+  EXPECT_THROW((void)read_session(file.path()), EventLogError);
+
+  test::TempFile empty("event_log_empty.eventlog");
+  {
+    EventLogWriter writer(empty.path());
+    writer.close();
+  }
+  EXPECT_THROW((void)read_session(empty.path()), EventLogError);
+}
+
+TEST(EventLog, ReadSessionRejectsDuplicateMeta) {
+  test::TempFile file("event_log_two_meta.eventlog");
+  {
+    EventLogWriter writer(file.path());
+    writer.write(small_meta());
+    writer.write(small_meta());
+    writer.close();
+  }
+  EXPECT_THROW((void)read_session(file.path()), EventLogError);
+}
+
+TEST(EventLog, ReadSessionBucketsByType) {
+  test::TempFile file("event_log_buckets.eventlog");
+  {
+    EventLogWriter writer(file.path());
+    writer.write(small_meta());
+    writer.write(PriceTickRecord{HubId(1), 10, 1.0});
+    writer.write(PriceTickRecord{HubId(1), 11, 2.0});
+    writer.write(WorkloadStepRecord{0, {1.0}});
+    writer.write(RoutingDecisionRecord{0, {1.0}});
+    writer.write(StorageActionRecord{0, {0.0}});
+    writer.close();
+  }
+  const RecordedSession session = read_session(file.path());
+  EXPECT_EQ(session.ticks.size(), 2u);
+  EXPECT_EQ(session.steps.size(), 1u);
+  EXPECT_EQ(session.decisions.size(), 1u);
+  EXPECT_EQ(session.storage_actions.size(), 1u);
+  EXPECT_EQ(session.ticks[1].interval, 11);
+}
+
+// --- crc32 ------------------------------------------------------------------
+
+TEST(EventLog, Crc32MatchesKnownVectors) {
+  // The IEEE 802.3 check value for "123456789".
+  const std::uint8_t check[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(check, sizeof(check)), 0xCBF43926u);
+  EXPECT_EQ(crc32(nullptr, 0), 0u);
+}
+
+}  // namespace
+}  // namespace cebis::service

@@ -1,0 +1,306 @@
+// The service mode's headline contract: a live tick-driven session, the
+// plain batch run over the same inputs, and a replay of the recorded
+// event log must produce byte-identical RunResults. Because
+// SimulationEngine::Session IS the batch loop, any drift here means a
+// live/batch divergence (observer order, seal arithmetic, assembler
+// fidelity) - the suite pins every field with bit_cast comparison via
+// service::diff_run_results.
+//
+// Runs in every CI leg including TSan (short window, single-threaded).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/observers.h"
+#include "core/router_registry.h"
+#include "service/event_log.h"
+#include "service/live_engine.h"
+#include "service/replay.h"
+#include "storage/storage_controller.h"
+#include "test_support.h"
+
+namespace cebis::service {
+namespace {
+
+class ReplayEqualsLive : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    fixture_ = new core::Fixture(core::Fixture::make(test::kTestSeed));
+  }
+  static void TearDownTestSuite() {
+    delete fixture_;
+    fixture_ = nullptr;
+  }
+  static core::Fixture* fixture_;
+};
+
+core::Fixture* ReplayEqualsLive::fixture_ = nullptr;
+
+/// The live session's window: the first `hours` of the fixture trace
+/// (short - this suite runs under TSan).
+Period window_of(const core::Fixture& fixture, std::int64_t hours) {
+  const Period trace = fixture.trace.period();
+  return Period{trace.begin, trace.begin + hours};
+}
+
+struct LiveRun {
+  core::RunResult result;
+  std::vector<std::vector<double>> demand;  ///< the rows fed to advance()
+};
+
+/// Drives a full live session: settlement ticks in interval order from
+/// the fixture's own generated market, demand from the fixture trace,
+/// every step advanced as soon as its price intervals seal.
+LiveRun drive_live(const core::Fixture& fixture, const LiveConfig& config,
+                   EventLogWriter* log) {
+  LiveEngine live(fixture, config, log);
+
+  const int sph = config.samples_per_hour;
+  const int margin = config.delay_steps > 0
+                         ? (config.delay_steps + sph - 1) / sph
+                         : config.delay_hours;
+  const Period priced{config.period.begin - margin, config.period.end};
+  const market::PriceSet& feed = fixture.prices_covering(priced, sph);
+
+  std::vector<HubId> hubs;
+  for (const core::Cluster& c : fixture.clusters) {
+    bool seen = false;
+    for (const HubId h : hubs) seen = seen || h.index() == c.hub.index();
+    if (!seen) hubs.push_back(c.hub);
+  }
+
+  const core::TraceWorkload demand_feed(fixture.trace, fixture.allocation);
+  LiveRun run;
+  std::vector<double> demand(demand_feed.state_count(), 0.0);
+  for (std::int64_t interval = priced.begin * sph;
+       interval < config.period.end * sph; ++interval) {
+    const HourIndex hour = interval / sph;
+    const int sub = static_cast<int>(interval - hour * sph);
+    for (const HubId hub : hubs) {
+      live.on_price_tick(hub, interval, feed.rt_at(hub, hour, sub).value());
+    }
+    while (!live.done() && live.needed_end() <= live.sealed_end()) {
+      demand_feed.demand(live.steps_done(), demand);
+      run.demand.push_back(demand);
+      live.advance(demand);
+    }
+  }
+  EXPECT_TRUE(live.done());
+  run.result = live.finish();
+  return run;
+}
+
+/// The plain batch run over the fixture's own PriceSet and the exact
+/// demand rows the live session consumed - constructed through the same
+/// registry factories the LiveEngine used, but reading the fixture
+/// prices directly (no TickAssembler). Byte-equality against the live
+/// result proves both the Session seam and the assembler's fidelity.
+core::RunResult batch_over_fixture(const core::Fixture& fixture,
+                                   const LiveConfig& config,
+                                   const std::vector<std::vector<double>>& rows) {
+  core::ScenarioSpec spec;
+  spec.router = config.router;
+  spec.config = config.router_config;
+  spec.energy = config.energy;
+  spec.enforce_p95 = config.enforce_p95;
+  spec.delay_hours = config.delay_hours;
+  spec.delay_steps = config.delay_steps;
+  spec.market_interval_minutes = 60 / config.samples_per_hour;
+
+  const core::RouterEntry& entry =
+      core::RouterRegistry::instance().at(spec.router);
+  std::vector<core::Cluster> clusters =
+      entry.clusters ? entry.clusters(fixture, spec) : fixture.clusters;
+
+  const int sph = config.samples_per_hour;
+  const int margin = spec.delay_steps > 0
+                         ? (spec.delay_steps + sph - 1) / sph
+                         : spec.delay_hours;
+  const Period priced{config.period.begin - margin, config.period.end};
+
+  core::EngineConfig cfg;
+  cfg.energy = spec.energy;
+  cfg.delay_hours = spec.delay_hours;
+  cfg.delay_steps = spec.delay_steps;
+  cfg.enforce_p95 = spec.enforce_p95 && !entry.forces_relaxed_p95;
+
+  PushWorkload workload(config.period, config.steps_per_hour,
+                        fixture.trace.state_count());
+  for (const std::vector<double>& row : rows) workload.push(row);
+
+  const core::SimulationEngine engine(std::move(clusters),
+                                      fixture.prices_covering(priced, sph),
+                                      fixture.distances, cfg);
+  const std::unique_ptr<core::Router> router = entry.make(fixture, spec);
+
+  std::unique_ptr<core::HourlyEnergyRecorder> recorder;
+  std::unique_ptr<storage::StorageController> controller;
+  std::vector<core::StepObserver*> observers;
+  if (config.record_hourly_energy) {
+    recorder =
+        std::make_unique<core::HourlyEnergyRecorder>(/*native_intervals=*/true);
+    observers.push_back(recorder.get());
+  }
+  if (config.storage.has_value()) {
+    controller = std::make_unique<storage::StorageController>(*config.storage);
+    observers.push_back(controller.get());
+  }
+  return engine.run(workload, *router, observers);
+}
+
+// --- the contract -----------------------------------------------------------
+
+TEST_F(ReplayEqualsLive, LiveEqualsBatchEqualsReplay) {
+  test::TempFile log_file("replay_equals_live_basic.eventlog");
+  LiveConfig config;
+  config.router = "price-aware";
+  config.period = window_of(*fixture_, 6);
+  config.steps_per_hour = 12;
+  config.samples_per_hour = 12;
+  config.delay_hours = 1;
+  config.shadow_baseline = true;  // telemetry must not perturb the run
+
+  LiveRun live;
+  {
+    EventLogWriter log(log_file.path());
+    live = drive_live(*fixture_, config, &log);
+    log.close();
+  }
+  ASSERT_EQ(live.demand.size(), 6u * 12u);
+
+  // Leg 1: live == batch over the fixture's own prices (Session seam
+  // and TickAssembler fidelity).
+  const core::RunResult batch =
+      batch_over_fixture(*fixture_, config, live.demand);
+  EXPECT_EQ(diff_run_results(live.result, batch), "");
+
+  // Leg 2: live == replay of the recorded log (the full round trip
+  // through the binary format).
+  const core::RunResult replayed = replay_file(*fixture_, log_file.path());
+  EXPECT_EQ(diff_run_results(live.result, replayed), "");
+}
+
+TEST_F(ReplayEqualsLive, HoldsWithStorageAndRecorder) {
+  test::TempFile log_file("replay_equals_live_storage.eventlog");
+  LiveConfig config;
+  config.router = "price-aware";
+  config.period = window_of(*fixture_, 6);
+  config.steps_per_hour = 12;
+  config.samples_per_hour = 12;
+  config.record_hourly_energy = true;
+  config.shadow_baseline = false;
+  core::StorageSpec storage;
+  storage.battery.capacity = MegawattHours{1.0};
+  storage.battery.max_charge = Watts{400'000.0};
+  storage.battery.max_discharge = Watts{400'000.0};
+  storage.battery.round_trip_efficiency = 0.9;
+  config.storage = storage;
+
+  LiveRun live;
+  {
+    EventLogWriter log(log_file.path());
+    live = drive_live(*fixture_, config, &log);
+    log.close();
+  }
+  EXPECT_TRUE(live.result.storage.engaged);
+
+  const core::RunResult batch =
+      batch_over_fixture(*fixture_, config, live.demand);
+  EXPECT_EQ(diff_run_results(live.result, batch), "");
+
+  const core::RunResult replayed = replay_file(*fixture_, log_file.path());
+  EXPECT_EQ(diff_run_results(live.result, replayed), "");
+
+  // The audit records cover every step: one routing decision, one
+  // storage action.
+  const RecordedSession session = read_session(log_file.path());
+  EXPECT_EQ(session.decisions.size(), live.demand.size());
+  EXPECT_EQ(session.storage_actions.size(), live.demand.size());
+  EXPECT_TRUE(session.meta.storage.has_value());
+  EXPECT_TRUE(session.meta.record_hourly_energy);
+}
+
+TEST_F(ReplayEqualsLive, HoldsUnderDelayStepsRouting) {
+  // The satellite knob through the full live/replay stack: route on the
+  // previous 5-minute settlement instead of the previous hour.
+  test::TempFile log_file("replay_equals_live_delay_steps.eventlog");
+  LiveConfig config;
+  config.router = "price-aware";
+  config.period = window_of(*fixture_, 6);
+  config.steps_per_hour = 12;
+  config.samples_per_hour = 12;
+  config.delay_steps = 1;
+  config.shadow_baseline = false;
+
+  LiveRun live;
+  {
+    EventLogWriter log(log_file.path());
+    live = drive_live(*fixture_, config, &log);
+    log.close();
+  }
+  const core::RunResult batch =
+      batch_over_fixture(*fixture_, config, live.demand);
+  EXPECT_EQ(diff_run_results(live.result, batch), "");
+  const core::RunResult replayed = replay_file(*fixture_, log_file.path());
+  EXPECT_EQ(diff_run_results(live.result, replayed), "");
+}
+
+// --- streaming guards -------------------------------------------------------
+
+TEST_F(ReplayEqualsLive, AdvanceThrowsBeforeThePricesSeal) {
+  LiveConfig config;
+  config.period = window_of(*fixture_, 2);
+  config.shadow_baseline = false;
+  LiveEngine live(*fixture_, config);
+
+  const std::vector<double> demand(live.state_count(), 1.0);
+  // No ticks ingested: the first step's intervals cannot be sealed.
+  EXPECT_GT(live.needed_end(), live.sealed_end());
+  EXPECT_THROW(live.advance(demand), std::logic_error);
+  EXPECT_EQ(live.steps_done(), 0);
+  EXPECT_EQ(live.steps_total(), 2 * 12);
+}
+
+TEST_F(ReplayEqualsLive, ReplayValidatesTheFixture) {
+  test::TempFile log_file("replay_wrong_seed.eventlog");
+  LiveConfig config;
+  config.period = window_of(*fixture_, 2);
+  config.shadow_baseline = false;
+  {
+    EventLogWriter log(log_file.path());
+    (void)drive_live(*fixture_, config, &log);
+    log.close();
+  }
+  RecordedSession session = read_session(log_file.path());
+  session.meta.seed = 777;  // not the fixture's seed
+  EXPECT_THROW((void)replay(*fixture_, session), std::invalid_argument);
+}
+
+TEST_F(ReplayEqualsLive, PushWorkloadGuardsItsShape) {
+  PushWorkload workload(Period{0, 1}, 4, 3);
+  EXPECT_EQ(workload.steps(), 4);
+  EXPECT_EQ(workload.pushed(), 0);
+  const std::vector<double> bad(2, 1.0);
+  EXPECT_THROW(workload.push(bad), std::invalid_argument);
+
+  const std::vector<double> row = {1.0, 2.0, 3.0};
+  workload.push(row);
+  std::vector<double> out(3, 0.0);
+  workload.demand(0, out);
+  EXPECT_EQ(out, row);
+  EXPECT_THROW(workload.demand(1, out), std::out_of_range);  // not pushed yet
+
+  workload.push(row);
+  workload.push(row);
+  workload.push(row);
+  EXPECT_THROW(workload.push(row), std::invalid_argument);  // full
+}
+
+}  // namespace
+}  // namespace cebis::service

@@ -1,0 +1,101 @@
+// RollingEstimators (service/rolling_estimators.h): the online mean and
+// percentile must match the batch stats:: functions bit-for-bit at
+// every prefix - the live dashboard and the nightly batch report may
+// never disagree by floating-point drift. Plus the EWMA seeding and
+// parameter validation.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "service/rolling_estimators.h"
+#include "stats/descriptive.h"
+#include "stats/percentile.h"
+#include "test_support.h"
+
+namespace cebis::service {
+namespace {
+
+/// Samples nasty enough to expose accumulation-order differences:
+/// alternating magnitudes, negatives, exact ties.
+std::vector<double> awkward_samples(std::size_t n) {
+  stats::Rng rng = test::test_rng(/*stream=*/77);
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double scale = (i % 3 == 0) ? 1e8 : (i % 3 == 1 ? 1e-6 : 1.0);
+    double x = scale * (rng.uniform() - 0.5);
+    if (i % 7 == 0 && i > 0) x = xs[i - 1];  // exact ties
+    xs.push_back(x);
+  }
+  return xs;
+}
+
+TEST(RollingEstimators, MeanMatchesBatchStatsBitForBit) {
+  const std::vector<double> xs = awkward_samples(500);
+  RollingEstimators est;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    est.add(xs[i]);
+    const std::span<const double> prefix(xs.data(), i + 1);
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(est.mean()),
+              std::bit_cast<std::uint64_t>(stats::mean(prefix)))
+        << "prefix length " << i + 1;
+  }
+  EXPECT_EQ(est.count(), static_cast<std::int64_t>(xs.size()));
+  EXPECT_EQ(est.last(), xs.back());
+}
+
+TEST(RollingEstimators, PercentilesMatchBatchStatsBitForBit) {
+  const std::vector<double> xs = awkward_samples(300);
+  RollingEstimators est;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    est.add(xs[i]);
+    // Checking every prefix at every p is quadratic; sample prefixes.
+    if (i % 13 != 0 && i + 1 != xs.size()) continue;
+    const std::span<const double> prefix(xs.data(), i + 1);
+    for (const double p : {0.0, 5.0, 50.0, 95.0, 99.0, 100.0}) {
+      ASSERT_EQ(std::bit_cast<std::uint64_t>(est.percentile(p)),
+                std::bit_cast<std::uint64_t>(stats::percentile(prefix, p)))
+          << "prefix length " << i + 1 << ", p=" << p;
+    }
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(est.p95()),
+              std::bit_cast<std::uint64_t>(stats::percentile(prefix, 95.0)))
+        << "prefix length " << i + 1;
+  }
+}
+
+TEST(RollingEstimators, EwmaSeedsWithTheFirstSample) {
+  RollingEstimators est(0.25);
+  est.add(8.0);
+  EXPECT_EQ(est.ewma(), 8.0);  // seeded, not decayed from zero
+  est.add(4.0);
+  EXPECT_DOUBLE_EQ(est.ewma(), 0.25 * 4.0 + 0.75 * 8.0);
+  est.add(4.0);
+  EXPECT_DOUBLE_EQ(est.ewma(), 0.25 * 4.0 + 0.75 * (0.25 * 4.0 + 0.75 * 8.0));
+
+  // alpha = 1 tracks the last sample exactly.
+  RollingEstimators track(1.0);
+  track.add(3.0);
+  track.add(9.0);
+  EXPECT_EQ(track.ewma(), 9.0);
+}
+
+TEST(RollingEstimators, ValidatesParametersAndEmptyQueries) {
+  EXPECT_THROW(RollingEstimators(0.0), std::invalid_argument);
+  EXPECT_THROW(RollingEstimators(-0.5), std::invalid_argument);
+  EXPECT_THROW(RollingEstimators(1.5), std::invalid_argument);
+
+  const RollingEstimators empty;
+  EXPECT_EQ(empty.count(), 0);
+  EXPECT_EQ(empty.sum(), 0.0);
+  EXPECT_THROW((void)empty.mean(), std::logic_error);
+  EXPECT_THROW((void)empty.ewma(), std::logic_error);
+  EXPECT_THROW((void)empty.p95(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace cebis::service
