@@ -1,0 +1,182 @@
+// Microbenchmarks (google-benchmark): the observability layer's
+// overhead contract.
+//
+// BM_ObsOverhead is the gate: each iteration runs the instrumented
+// 24-day price-aware simulation twice - once uninstrumented, once with
+// a MetricsRegistry attached (no tracer; span timestamps cost clock
+// reads by design and are opt-in) - and reports the enabled/disabled
+// wall-clock ratio as the `overhead_ratio` counter.
+// check_bench_results.py soft-warns when it exceeds 1.02 (the < 2%
+// contract from the obs layer's design). The run's deterministic
+// counters (plan rebuilds per run, materialized price-history hours)
+// ride along and are gated exactly via "deterministic_counters" in
+// BENCH_perf.json - they drift only when the routing or lazy-history
+// machinery changes behaviour.
+//
+// BM_Run24Day/0 and /1 pin the absolute times of the two legs;
+// BM_CounterAdd / BM_HistogramObserve pin the per-update cost of the
+// hot handles; BM_SnapshotPrometheus pins the exposition path.
+//
+// The custom main() additionally drives one traced + metered run after
+// the benchmarks and drops a Prometheus text snapshot plus a Chrome
+// trace JSON next to the results (CEBIS_OBS_ARTIFACTS, default ".") -
+// the Release CI leg uploads both as workflow artifacts.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "io/metrics_export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace {
+
+using namespace cebis;
+
+const core::Fixture& fixture() {
+  static const core::Fixture fx = core::Fixture::make(2009);
+  return fx;
+}
+
+core::ScenarioSpec spec_24day() {
+  core::ScenarioSpec spec;
+  spec.router = "price-aware";
+  spec.config = core::PriceAwareConfig{.distance_threshold = Km{1500.0}};
+  spec.energy = energy::google_params();
+  spec.workload = core::WorkloadKind::kTrace24Day;
+  return spec;
+}
+
+/// One serial 24-day sweep cell, optionally metered. threads = 1 keeps
+/// the measurement free of pool scheduling noise.
+double run_24day(const core::Fixture& fx, obs::MetricsRegistry* metrics) {
+  const core::ScenarioSpec specs[] = {spec_24day()};
+  core::SweepOptions options;
+  options.threads = 1;
+  options.metrics = metrics;
+  return core::run_scenarios(fx, specs, options)[0].total_cost.value();
+}
+
+void BM_Run24Day(benchmark::State& state) {
+  const core::Fixture& fx = fixture();
+  (void)run_24day(fx, nullptr);  // materialize the lazy price history
+  const bool metered = state.range(0) != 0;
+  obs::MetricsRegistry reg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_24day(fx, metered ? &reg : nullptr));
+  }
+  state.SetLabel(metered ? "metrics:on" : "metrics:off");
+}
+BENCHMARK(BM_Run24Day)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_ObsOverhead(benchmark::State& state) {
+  const core::Fixture& fx = fixture();
+  (void)run_24day(fx, nullptr);
+  obs::MetricsRegistry reg;
+  using clock = std::chrono::steady_clock;
+  double off_s = 0.0;
+  double on_s = 0.0;
+  std::int64_t runs = 0;
+  for (auto _ : state) {
+    const clock::time_point t0 = clock::now();
+    benchmark::DoNotOptimize(run_24day(fx, nullptr));
+    const clock::time_point t1 = clock::now();
+    benchmark::DoNotOptimize(run_24day(fx, &reg));
+    const clock::time_point t2 = clock::now();
+    off_s += std::chrono::duration<double>(t1 - t0).count();
+    on_s += std::chrono::duration<double>(t2 - t1).count();
+    ++runs;
+  }
+  state.counters["overhead_ratio"] = off_s > 0.0 ? on_s / off_s : 0.0;
+
+  // Deterministic per-run counters: exact properties of the code path,
+  // gated via "deterministic_counters" in BENCH_perf.json.
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  state.counters["plan_rebuilds_per_run"] =
+      snap.value_or("cebis_router_plan_rebuilds_total", 0.0,
+                    {{"router", "price-aware"}}) /
+      static_cast<double>(runs);
+  state.counters["materialized_hours"] =
+      snap.value_or("cebis_price_history_materialized_hours", 0.0);
+}
+BENCHMARK(BM_ObsOverhead)->Unit(benchmark::kMillisecond);
+
+void BM_CounterAdd(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  obs::Counter c = reg.counter("bench_counter_total", "per-update cost");
+  for (auto _ : state) {
+    c.add();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterAdd);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  const std::vector<double> bounds =
+      obs::MetricsRegistry::linear_bounds(0.0, 10.0, 0.5);
+  obs::Histogram h = reg.histogram("bench_hist", "per-observe cost", bounds);
+  double v = 0.0;
+  for (auto _ : state) {
+    h.observe(v);
+    v += 0.37;
+    if (v > 12.0) v = 0.0;  // exercise every bucket incl. overflow
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramObserve);
+
+void BM_SnapshotPrometheus(benchmark::State& state) {
+  // ~120 series across kinds: the shape a real sweep registry ends up
+  // with (engine counters x routers, per-worker series, histograms).
+  obs::MetricsRegistry reg;
+  const std::vector<double> bounds =
+      obs::MetricsRegistry::linear_bounds(0.0, 10.0, 0.5);
+  for (int i = 0; i < 50; ++i) {
+    reg.counter("bench_c", "c", {{"i", std::to_string(i)}}).add(double(i));
+    reg.gauge("bench_g", "g", {{"i", std::to_string(i)}}).set(double(i));
+  }
+  for (int i = 0; i < 20; ++i) {
+    obs::Histogram h =
+        reg.histogram("bench_h", "h", bounds, {{"i", std::to_string(i)}});
+    h.observe(double(i % 11));
+  }
+  std::int64_t bytes = 0;
+  for (auto _ : state) {
+    const std::string text = io::to_prometheus_text(reg.snapshot());
+    benchmark::DoNotOptimize(text.data());
+    bytes += static_cast<std::int64_t>(text.size());
+  }
+  state.SetBytesProcessed(bytes);
+}
+BENCHMARK(BM_SnapshotPrometheus)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // Artifact pass: one fully tapped (metrics + tracer) 24-day run,
+  // dumped as a Prometheus snapshot and a Perfetto-loadable trace.
+  const char* dir = std::getenv("CEBIS_OBS_ARTIFACTS");
+  const std::string out = dir != nullptr ? dir : ".";
+  obs::MetricsRegistry reg;
+  obs::Tracer tracer;
+  const core::ScenarioSpec specs[] = {spec_24day()};
+  core::SweepOptions options;
+  options.threads = 1;
+  options.metrics = &reg;
+  options.tracer = &tracer;
+  (void)core::run_scenarios(fixture(), specs, options);
+  io::write_prometheus_file(reg.snapshot(), out + "/bench_perf_obs.prom");
+  tracer.write(out + "/bench_perf_obs_trace.json");
+  return 0;
+}

@@ -25,11 +25,20 @@ Three checks, one hard and two soft:
 
 * Deterministic-counter gate (soft): pinned entries may list counters
   under "deterministic_counters" (e.g. BM_FiveMinutePlanReplay pins
-  plan_rebuilds_per_step). Unlike wall time such counters are exact
+  plan_rebuilds_per_step; BM_ObsOverhead pins plan_rebuilds_per_run and
+  materialized_hours). Unlike wall time such counters are exact
   properties of the code path, so a measured value above the pinned one
   means the underlying machinery regressed - the hour-scoped plans
   rebuild more often than the price cadence requires, a sweep stopped
   sharing engines, etc. -> ::warning::.
+
+* Observability-overhead gate (soft): bench_perf_obs' BM_ObsOverhead
+  reports the enabled/disabled wall-clock ratio of the metered 24-day
+  simulation as `overhead_ratio`. A ratio above --obs-overhead (default
+  1.02, the obs layer's < 2% contract) emits ::warning:: - timing-based
+  like the regression gate, so soft, but with its own much tighter
+  threshold because the two legs run interleaved in the same process
+  and share any machine-level noise.
 
 Usage:
   python3 bench/check_bench_results.py \
@@ -170,7 +179,7 @@ def check_figure_rows(baseline: dict, results: pathlib.Path) -> None:
 
 def check_timings(baseline: dict, results: pathlib.Path, threshold: float) -> None:
     for harness in ("bench_perf_router", "bench_perf_market",
-                    "bench_perf_service"):
+                    "bench_perf_service", "bench_perf_obs"):
         json_path = results / f"{harness}.json"
         if not json_path.exists():
             error(f"timing gate: {json_path} missing (did the bench run?)")
@@ -227,6 +236,32 @@ def check_timings(baseline: dict, results: pathlib.Path, threshold: float) -> No
             print(f"timing gate: {harness}:{name} has no pinned baseline (new bench?)")
 
 
+def check_obs_overhead(results: pathlib.Path, threshold: float) -> None:
+    """The obs layer's < 2% contract: metered vs unmetered 24-day run."""
+    json_path = results / "bench_perf_obs.json"
+    if not json_path.exists():
+        return  # already reported by the timing gate
+    with json_path.open() as fh:
+        measured = {b["name"]: b for b in json.load(fh).get("benchmarks", [])}
+    got = measured.get("BM_ObsOverhead")
+    if got is None or "overhead_ratio" not in got:
+        error("obs gate: BM_ObsOverhead missing from bench_perf_obs.json "
+              "(the overhead contract went unmeasured)")
+        return
+    ratio = float(got["overhead_ratio"])
+    if ratio > threshold:
+        warn(
+            f"obs overhead: metrics-enabled 24-day run is {ratio:.4f}x the "
+            f"disabled run (soft contract {threshold:.2f}x) - a hot-path "
+            f"handle got more expensive or a new tap landed on the step path"
+        )
+        status = "REGRESSED"
+    else:
+        status = "ok"
+    print(f"obs gate: BM_ObsOverhead overhead_ratio = {ratio:.4f} "
+          f"(threshold {threshold:.2f}) [{status}]")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", type=pathlib.Path, default="BENCH_perf.json")
@@ -237,6 +272,12 @@ def main() -> int:
         default=1.25,
         help="soft-warn when real_time exceeds baseline by this factor",
     )
+    parser.add_argument(
+        "--obs-overhead",
+        type=float,
+        default=1.02,
+        help="soft-warn when BM_ObsOverhead's overhead_ratio exceeds this",
+    )
     args = parser.parse_args()
 
     with args.baseline.open() as fh:
@@ -244,6 +285,7 @@ def main() -> int:
 
     check_figure_rows(baseline, args.results)
     check_timings(baseline, args.results, args.threshold)
+    check_obs_overhead(args.results, args.obs_overhead)
 
     if errors:
         print(f"FAILED: {errors} error(s), {warnings} timing warning(s)")

@@ -12,7 +12,16 @@
 // engine (service/replay.h) and every RunResult field is compared
 // bit-for-bit.
 //
-// Usage: cebis_serve [hours] [seed] [log-path]
+// The whole session is tapped by the obs layer (write-only: the
+// numbers never feed back into a decision, so results are
+// byte-identical with the taps absent). Each simulated day - and once
+// more at the end - the metrics registry is dumped as a Prometheus
+// text snapshot (<metrics-dir>/cebis_serve.prom, the file a node
+// exporter's textfile collector would scrape), and the finished run's
+// spans land in <metrics-dir>/cebis_serve_trace.json, loadable in
+// Perfetto / chrome://tracing.
+//
+// Usage: cebis_serve [hours] [seed] [log-path] [metrics-dir]
 
 #include <cstdio>
 #include <cstdlib>
@@ -20,6 +29,9 @@
 #include <vector>
 
 #include "core/experiment.h"
+#include "io/metrics_export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/live_engine.h"
 #include "service/replay.h"
 
@@ -30,16 +42,24 @@ int main(int argc, char** argv) {
       argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2009;
   const std::string log_path =
       argc > 3 ? argv[3] : "cebis_session.eventlog";
+  const std::string metrics_dir = argc > 4 ? argv[4] : ".";
   if (hours <= 0) {
-    std::fprintf(stderr, "usage: cebis_serve [hours > 0] [seed] [log-path]\n");
+    std::fprintf(stderr,
+                 "usage: cebis_serve [hours > 0] [seed] [log-path] "
+                 "[metrics-dir]\n");
     return 2;
   }
+  const std::string prom_path = metrics_dir + "/cebis_serve.prom";
+  const std::string trace_path = metrics_dir + "/cebis_serve_trace.json";
 
   std::printf("Building fixture (seed %llu)...\n",
               static_cast<unsigned long long>(seed));
   const core::Fixture fixture = core::Fixture::make(seed);
   const Period trace = fixture.trace.period();
   const Period window{trace.begin, std::min(trace.begin + hours, trace.end)};
+
+  obs::MetricsRegistry metrics;
+  obs::Tracer tracer;
 
   service::LiveConfig config;
   config.router = "price-aware";
@@ -48,8 +68,10 @@ int main(int argc, char** argv) {
   config.samples_per_hour = 12;  // a true 5-minute settlement stream
   config.delay_hours = 1;
   config.shadow_baseline = true;
+  config.metrics = &metrics;
+  config.tracer = &tracer;
 
-  service::EventLogWriter log(log_path);
+  service::EventLogWriter log(log_path, &metrics, &tracer);
   service::LiveEngine live(fixture, config, &log);
 
   // The synthesized market doubles as the settlement feed: the
@@ -95,6 +117,9 @@ int main(int argc, char** argv) {
           t.bill_usd_per_step.mean(), t.bill_usd_per_step.ewma(),
           t.bill_usd_per_step.p95(), t.savings_usd_per_step.mean(),
           static_cast<long long>(t.plan_rebuilds));
+      // Periodic exposition: overwrite the textfile-collector snapshot
+      // once per simulated day, like a scrape would.
+      io::write_prometheus_file(metrics.snapshot(), prom_path);
     }
   }
 
@@ -107,6 +132,12 @@ int main(int argc, char** argv) {
   std::printf("Event log: %s (%lld frames, %lld bytes)\n", log_path.c_str(),
               static_cast<long long>(log.frames()),
               static_cast<long long>(log.bytes_written()));
+
+  io::write_prometheus_file(metrics.snapshot(), prom_path);
+  tracer.write(trace_path);
+  std::printf("Metrics: %s (%zu series)  Trace: %s (%zu events)\n",
+              prom_path.c_str(), metrics.series_count(), trace_path.c_str(),
+              tracer.events());
 
   std::printf("\nReplaying the log through the batch engine...\n");
   const core::RunResult replayed = service::replay_file(fixture, log_path);

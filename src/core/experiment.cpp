@@ -1,13 +1,17 @@
 #include "core/experiment.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <map>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "core/parallel.h"
 #include "core/router_registry.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/descriptive.h"
 #include "storage/storage_controller.h"
 
@@ -133,6 +137,17 @@ std::vector<RunResult> run_scenarios(const Fixture& fixture,
   SweepStats local;
   std::vector<RunResult> out(specs.size());
 
+  // Phase timing and spans are observation only: the clock reads never
+  // feed a decision, so results are byte-identical with or without them.
+  using sweep_clock = std::chrono::steady_clock;
+  const auto ms_since = [](sweep_clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(sweep_clock::now() - t0)
+        .count();
+  };
+  const sweep_clock::time_point plan_t0 = sweep_clock::now();
+  obs::Tracer::Span plan_span =
+      obs::maybe_span(options.tracer, "sweep/plan", "sweep");
+
   // Materialize the union of the fixture-priced windows up front - one
   // union window per requested market resolution - so every spec in the
   // sweep shares one PriceSet per resolution (maximal engine reuse) and
@@ -225,6 +240,10 @@ std::vector<RunResult> run_scenarios(const Fixture& fixture,
     cfg.enforce_p95 = enforce;
     cfg.capacity_factor = spec.capacity_factor;
     cfg.pue_of = spec.pue_of;
+    // Every engine in the sweep shares the caller's taps (the same
+    // pointers sweep-wide, so tap identity never splits an EngineKey).
+    cfg.metrics = options.metrics;
+    cfg.tracer = options.tracer;
 
     auto make_engine = [&] {
       std::vector<Cluster> clusters =
@@ -264,25 +283,61 @@ std::vector<RunResult> run_scenarios(const Fixture& fixture,
         spec.observers.empty() && !spec.capacity_factor && !spec.pue_of;
   }
 
+  plan_span.end();
+  local.plan_wall_ms = ms_since(plan_t0);
+
+  if (options.metrics != nullptr) {
+    obs::MetricsRegistry& metrics = *options.metrics;
+    // Gauges snapshot the shared lazy history's state as of this plan
+    // phase; counters accumulate across sweeps.
+    metrics
+        .gauge("cebis_price_history_materialized_hours",
+               "Hub-hours of price data the lazy history has materialized")
+        .set(static_cast<double>(fixture.price_history->materialized_hours()));
+    metrics
+        .gauge("cebis_price_history_generations",
+               "Price-set (re)generations incl. widenings and pinning")
+        .set(static_cast<double>(fixture.price_history->generations()));
+    metrics
+        .counter("cebis_sweep_engines_built_total",
+                 "Engines constructed by sweep plan phases")
+        .add(static_cast<double>(local.engines_built));
+    metrics
+        .counter("cebis_sweep_workloads_built_total",
+                 "Workloads constructed by sweep plan phases")
+        .add(static_cast<double>(local.workloads_built));
+    metrics
+        .counter("cebis_sweep_cells_total", "Sweep cells executed")
+        .add(static_cast<double>(specs.size()));
+  }
+
   // --- Run phase (concurrent) -----------------------------------------------
   //
   // SimulationEngine::run is const with run-local buffers, so cells
   // sharing one engine are safe to run from multiple threads; each cell
   // owns its router, its observers list and its result slot.
 
-  auto run_cell = [&cells, &out](std::size_t i) {
+  local.cell_wall_ms.assign(specs.size(), 0.0);
+  auto run_cell = [&cells, &out, &options, &local, &ms_since](std::size_t i) {
+    const sweep_clock::time_point cell_t0 = sweep_clock::now();
+    obs::Tracer::Span cell_span = obs::maybe_span(
+        options.tracer, "sweep/cell", "sweep",
+        {{"spec", std::to_string(i)}, {"router", cells[i].spec->router}});
     const Cell& cell = cells[i];
     const ScenarioSpec& spec = *cell.spec;
     if (spec.storage.has_value()) {
       // Battery storage composes as one more observer on the run; its
       // raw/net tariff accounting lands in RunResult::storage.
-      storage::StorageController controller(*spec.storage);
+      storage::StorageController controller(*spec.storage, options.metrics);
       std::vector<StepObserver*> observers = spec.observers;
       observers.push_back(&controller);
       out[i] = cell.engine->run(*cell.workload, *cell.router, observers);
     } else {
       out[i] = cell.engine->run(*cell.workload, *cell.router, spec.observers);
     }
+    // Each cell owns its slot (spec-indexed, like `out`), so the
+    // parallel fan-out writes race-free.
+    local.cell_wall_ms[i] = ms_since(cell_t0);
   };
 
   std::vector<std::size_t> pooled;
@@ -299,6 +354,8 @@ std::vector<RunResult> run_scenarios(const Fixture& fixture,
       std::max<std::size_t>(pooled.size(), 1)));
   local.threads_used = threads;
 
+  const sweep_clock::time_point run_t0 = sweep_clock::now();
+  WorkerStats worker_stats;
   if (threads <= 1) {
     // The historical serial path, byte-for-byte: every cell in spec
     // order on the calling thread, first failure aborts the sweep.
@@ -310,12 +367,40 @@ std::vector<RunResult> run_scenarios(const Fixture& fixture,
     // so parallel_for_index's lowest-index exception contract reports
     // the lowest throwing *spec* index.
     for (const std::size_t i : pinned) run_cell(i);
-    parallel_for_index(static_cast<std::int64_t>(pooled.size()), threads,
-                       [&](std::int64_t j) {
-                         run_cell(pooled[static_cast<std::size_t>(j)]);
-                       });
+    parallel_for_index(
+        static_cast<std::int64_t>(pooled.size()), threads,
+        [&](std::int64_t j) { run_cell(pooled[static_cast<std::size_t>(j)]); },
+        options.metrics != nullptr ? &worker_stats : nullptr);
   }
   local.runs = specs.size();
+  local.run_wall_ms = ms_since(run_t0);
+  for (std::size_t i = 0; i < local.cell_wall_ms.size(); ++i) {
+    if (local.cell_wall_ms[i] > local.cell_wall_ms[local.slowest_cell]) {
+      local.slowest_cell = i;
+    }
+  }
+
+  if (options.metrics != nullptr && !worker_stats.cells.empty()) {
+    // Per-worker fan-out balance: claimed cells, busy and idle seconds
+    // (idle = waiting on the tail of the fan-out after the last claim).
+    obs::MetricsRegistry& metrics = *options.metrics;
+    for (std::size_t w = 0; w < worker_stats.cells.size(); ++w) {
+      const obs::Labels labels{{"worker", std::to_string(w)}};
+      metrics
+          .counter("cebis_sweep_worker_cells_total",
+                   "Sweep cells claimed per pool worker", labels)
+          .add(static_cast<double>(worker_stats.cells[w]));
+      metrics
+          .counter("cebis_sweep_worker_busy_seconds_total",
+                   "Time pool workers spent inside cells", labels)
+          .add(worker_stats.busy_ms[w] / 1e3);
+      metrics
+          .counter("cebis_sweep_worker_idle_seconds_total",
+                   "Pool worker time not spent inside cells", labels)
+          .add(std::max(0.0, worker_stats.wall_ms - worker_stats.busy_ms[w]) /
+               1e3);
+    }
+  }
 
   if (stats != nullptr) *stats = local;
   return out;

@@ -112,6 +112,17 @@ struct SweepStats {
   /// (caller-supplied observers / engine hooks; see SweepOptions).
   std::size_t parallel_cells = 0;
   std::size_t serial_cells = 0;
+
+  /// Wall-clock per cell, indexed by spec position (ms), and the spec
+  /// index of the slowest cell - parallel-sweep skew without a
+  /// profiler. Timing only; results never depend on it.
+  std::vector<double> cell_wall_ms;
+  std::size_t slowest_cell = 0;
+
+  /// Plan- and run-phase wall clock (the run phase includes pinned
+  /// cells; with threads > 1 the pooled fan-out overlaps inside it).
+  double plan_wall_ms = 0.0;
+  double run_wall_ms = 0.0;
 };
 
 /// Execution knobs for run_scenarios' fan-out phase.
@@ -121,6 +132,15 @@ struct SweepOptions {
   /// serial path - results are byte-identical either way, guarded in
   /// tests/test_scenario_api.cpp). Clamped to the parallel cell count.
   int threads = 0;
+
+  /// Observability taps threaded through every engine the sweep builds
+  /// (see EngineConfig::metrics/tracer) plus sweep-level series:
+  /// plan/cell spans, per-worker fan-out counters, the price history's
+  /// materialized-hours gauges. Write-only - results stay byte-identical
+  /// with or without them (tests/test_obs.cpp mirrors the parallel
+  /// determinism guard with metrics on). Borrowed; null = uninstrumented.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Runs one scenario against the fixture.

@@ -57,6 +57,10 @@ class JointObjectiveRouter final : public Router {
     return plan_rebuilds_;
   }
 
+  [[nodiscard]] std::vector<RouterCounter> counters() const override {
+    return {{"plan_rebuilds", plan_rebuilds_}};
+  }
+
  private:
   JointObjectiveConfig config_;
   std::size_t cluster_count_;

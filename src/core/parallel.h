@@ -22,12 +22,24 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <exception>
 #include <thread>
 #include <vector>
 
 namespace cebis::core {
+
+/// Per-worker execution accounting for one parallel_for_index call
+/// (observability only - collecting it never changes scheduling).
+/// Worker 0 is the calling thread. Idle time for a worker is
+/// wall_ms - busy_ms[w]: the time it spent waiting on the tail of the
+/// fan-out after its last claimed index (sweep skew).
+struct WorkerStats {
+  std::vector<std::int64_t> cells;  ///< indices claimed, per worker
+  std::vector<double> busy_ms;      ///< time inside fn, per worker
+  double wall_ms = 0.0;             ///< the whole call, first fork to last join
+};
 
 /// The pool width "auto" resolves to: hardware_concurrency, with the
 /// 0-means-unknown escape hatch clamped to 1.
@@ -40,37 +52,70 @@ namespace cebis::core {
 /// calling thread is one of them; threads <= 1 degenerates to a plain
 /// serial loop with no pool, no atomics). fn must only touch state
 /// owned by its index. Rethrows the lowest throwing index's exception
-/// after all in-flight work has completed.
+/// after all in-flight work has completed. `stats`, when given, reports
+/// per-worker claimed-index counts and busy time (two clock reads per
+/// index - skipped entirely when null, and never consulted for
+/// scheduling, so results are identical either way).
 template <typename Fn>
-void parallel_for_index(std::int64_t n, int threads, Fn&& fn) {
-  if (n <= 0) return;
+void parallel_for_index(std::int64_t n, int threads, Fn&& fn,
+                        WorkerStats* stats = nullptr) {
+  using clock = std::chrono::steady_clock;
+  const auto ms_since = [](clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(clock::now() - t0)
+        .count();
+  };
+  if (n <= 0) {
+    if (stats != nullptr) *stats = WorkerStats{};
+    return;
+  }
   threads = std::clamp<std::int64_t>(threads, 1, n);
   if (threads == 1) {
+    if (stats == nullptr) {
+      for (std::int64_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    const clock::time_point t0 = clock::now();
     for (std::int64_t i = 0; i < n; ++i) fn(i);
+    stats->cells.assign(1, n);
+    stats->busy_ms.assign(1, ms_since(t0));
+    stats->wall_ms = stats->busy_ms[0];
     return;
   }
 
+  if (stats != nullptr) {
+    stats->cells.assign(static_cast<std::size_t>(threads), 0);
+    stats->busy_ms.assign(static_cast<std::size_t>(threads), 0.0);
+  }
+  const clock::time_point wall0 = clock::now();
   std::atomic<std::int64_t> next{0};
   std::atomic<bool> stop{false};
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
-  const auto worker = [&]() noexcept {
+  const auto worker = [&](int w) noexcept {
     while (!stop.load(std::memory_order_relaxed)) {
       const std::int64_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) break;
+      const clock::time_point t0 =
+          stats != nullptr ? clock::now() : clock::time_point{};
       try {
         fn(i);
       } catch (...) {
         errors[static_cast<std::size_t>(i)] = std::current_exception();
         stop.store(true, std::memory_order_relaxed);
       }
+      if (stats != nullptr) {
+        // Each worker owns its own slots; the join below publishes them.
+        ++stats->cells[static_cast<std::size_t>(w)];
+        stats->busy_ms[static_cast<std::size_t>(w)] += ms_since(t0);
+      }
     }
   };
 
   std::vector<std::thread> pool;
   pool.reserve(static_cast<std::size_t>(threads) - 1);
-  for (int t = 1; t < threads; ++t) pool.emplace_back(worker);
-  worker();
+  for (int t = 1; t < threads; ++t) pool.emplace_back(worker, t);
+  worker(0);
   for (std::thread& t : pool) t.join();
+  if (stats != nullptr) stats->wall_ms = ms_since(wall0);
 
   for (const std::exception_ptr& e : errors) {
     if (e) std::rethrow_exception(e);

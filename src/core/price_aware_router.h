@@ -76,6 +76,11 @@ class PriceAwareRouter final : public Router {
     return limit_refreshes_;
   }
 
+  [[nodiscard]] std::vector<RouterCounter> counters() const override {
+    return {{"plan_rebuilds", plan_rebuilds_},
+            {"limit_refreshes", limit_refreshes_}};
+  }
+
  private:
   PriceAwareConfig config_;
   std::size_t cluster_count_;

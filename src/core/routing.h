@@ -96,6 +96,14 @@ struct RoutingContext {
   return std::equal(a.begin(), a.end(), b.begin(), b.end());
 }
 
+/// One named monotone counter a router exposes for observability (plan
+/// rebuilds, limit refreshes, ...). Values are cumulative since the
+/// router was constructed; names are stable snake_case identifiers.
+struct RouterCounter {
+  std::string_view name;
+  std::int64_t value = 0;
+};
+
 class Router {
  public:
   virtual ~Router() = default;
@@ -104,6 +112,13 @@ class Router {
   virtual void route(const RoutingContext& ctx, Allocation& out) = 0;
 
   [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// The router's observability counters (empty by default). Consumers
+  /// - LiveTelemetry, the engine's metric publication - read these
+  /// generically instead of downcasting to concrete router types.
+  [[nodiscard]] virtual std::vector<RouterCounter> counters() const {
+    return {};
+  }
 };
 
 }  // namespace cebis::core

@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "billing/percentile_billing.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/percentile.h"
 
 namespace cebis::core {
@@ -135,6 +137,20 @@ struct SimulationEngine::Session::State {
   std::int64_t steps_total;
   bool finished = false;
 
+  // Observability taps (inert unless EngineConfig::metrics is set).
+  // Handles are resolved in begin() on the thread that will run the
+  // session, binding them to that thread's registry shard; the
+  // per-step cost is a null-check branch when uninstrumented and a few
+  // relaxed stores when instrumented - no clock reads (spans, which do
+  // read the clock, additionally require EngineConfig::tracer).
+  obs::Counter m_steps;
+  obs::Counter m_overflows;
+  obs::Counter m_runs;
+  obs::Histogram m_step_energy;
+  /// Router counters at begin(): finish() publishes the run's delta, so
+  /// a router reused across runs is not double-counted.
+  std::vector<RouterCounter> router_counters_begin;
+
   State(const SimulationEngine& eng, const Workload& wl, Router& r,
         std::span<StepObserver* const> obs)
       : engine(&eng),
@@ -169,6 +185,8 @@ struct SimulationEngine::Session::State {
 SimulationEngine::Session SimulationEngine::begin(
     const Workload& workload, Router& router,
     std::span<StepObserver* const> observers) const {
+  const obs::Tracer::Span trace_begin =
+      obs::maybe_span(config_.tracer, "engine/begin", "engine");
   const Period period = workload.period();
   const int psph = prices_.samples_per_hour;
   // Front margin delayed routing reads: `delay_steps` native intervals
@@ -243,6 +261,26 @@ SimulationEngine::Session SimulationEngine::begin(
     s.load_p95.emplace_back(workload.steps(), 95.0);
   }
 
+  if (config_.metrics != nullptr) {
+    obs::MetricsRegistry& metrics = *config_.metrics;
+    const obs::Labels labels{{"router", std::string(router.name())}};
+    s.m_steps = metrics.counter("cebis_engine_steps_total",
+                                "Accounting steps executed", labels);
+    s.m_overflows = metrics.counter(
+        "cebis_engine_overflow_steps_total",
+        "Steps where a cluster was loaded past capacity", labels);
+    s.m_runs = metrics.counter("cebis_engine_runs_total",
+                               "Simulation runs finished", labels);
+    // Bins sized for the 5-minute trace fleet (a step is a few MWh);
+    // coarser workloads overflow into the +Inf bucket, which is fine -
+    // the histogram is a shape, not an exact meter (total_energy is).
+    s.m_step_energy = metrics.histogram(
+        "cebis_engine_step_energy_mwh",
+        "Fleet grid energy per accounting step (MWh)",
+        obs::MetricsRegistry::linear_bounds(0.0, 10.0, 0.5), labels);
+    s.router_counters_begin = router.counters();
+  }
+
   const RunInfo run_info{s.period, s.sph, s.psph};
   for (StepObserver* obs : s.observers) {
     obs->on_run_begin(run_info, clusters_);
@@ -253,6 +291,8 @@ SimulationEngine::Session SimulationEngine::begin(
 void SimulationEngine::Session::State::step_once() {
   const SimulationEngine& eng = *engine;
   const EngineConfig& config = eng.config_;
+  const obs::Tracer::Span trace_step =
+      obs::maybe_span(config.tracer, "engine/step", "engine");
   const market::PriceSet& prices = eng.prices_;
   const std::vector<Cluster>& clusters = eng.clusters_;
 
@@ -385,6 +425,14 @@ void SimulationEngine::Session::State::step_once() {
   if (overflowed) ++result.overflow_steps;
   if (config.enforce_p95) budgets.record_all(alloc.cluster_totals());
 
+  m_steps.add();
+  if (overflowed) m_overflows.add();
+  if (m_step_energy.live()) {
+    double step_mwh = 0.0;
+    for (std::size_t c = 0; c < n_clusters; ++c) step_mwh += step_energy[c];
+    m_step_energy.observe(step_mwh);
+  }
+
   if (!observers.empty()) {
     const StepView view{hour, step, dt, alloc, step_energy, bill_price};
     for (StepObserver* obs : observers) obs->on_step(view);
@@ -408,6 +456,8 @@ void SimulationEngine::Session::State::step_once() {
 }
 
 RunResult SimulationEngine::Session::State::finish() {
+  const obs::Tracer::Span trace_finish =
+      obs::maybe_span(engine->config_.tracer, "engine/finish", "engine");
   result.mean_distance_km = dist_stats.mean();
   result.p99_distance_km = dist_stats.percentile(99.0);
   result.realized_p95.resize(n_clusters);
@@ -416,6 +466,25 @@ RunResult SimulationEngine::Session::State::finish() {
   }
   for (StepObserver* obs : observers) obs->on_run_end(result);
   finished = true;
+
+  m_runs.add();
+  if (engine->config_.metrics != nullptr) {
+    // The run's router-counter deltas (plan rebuilds, limit refreshes,
+    // ...), published generically via Router::counters() so every
+    // plan-carrying router is covered without downcasts.
+    obs::MetricsRegistry& metrics = *engine->config_.metrics;
+    const obs::Labels labels{{"router", std::string(router->name())}};
+    for (const RouterCounter& rc : router->counters()) {
+      std::int64_t at_begin = 0;
+      for (const RouterCounter& b : router_counters_begin) {
+        if (b.name == rc.name) at_begin = b.value;
+      }
+      metrics
+          .counter("cebis_router_" + std::string(rc.name) + "_total",
+                   "Router counter (see Router::counters)", labels)
+          .add(static_cast<double>(rc.value - at_begin));
+    }
+  }
   return std::move(result);
 }
 

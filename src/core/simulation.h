@@ -42,6 +42,11 @@
 #include "geo/distance_model.h"
 #include "market/price_series.h"
 
+namespace cebis::obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace cebis::obs
+
 namespace cebis::core {
 
 struct EngineConfig {
@@ -65,6 +70,18 @@ struct EngineConfig {
   /// overriding energy.pue. Used by the weather extension: free cooling
   /// lowers the PUE when the ambient temperature allows it.
   std::function<double(std::size_t, HourIndex)> pue_of;
+
+  /// Observability taps (src/obs/). Write-only: counters, histograms
+  /// and spans observe the run but never feed a decision, so RunResults
+  /// are byte-identical with them enabled, disabled or absent (guarded
+  /// in tests/test_obs.cpp). `metrics` publishes step/run counters, the
+  /// per-step energy histogram and the router's own counters
+  /// (Router::counters()) labeled by router name; `tracer` - strictly
+  /// opt-in, it costs two clock reads per span - wraps begin/finish and
+  /// every step. Both borrowed; null = uninstrumented (the default and
+  /// the historical behavior).
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Per-interval, per-cluster energy in one flat row-major buffer (one

@@ -21,6 +21,7 @@
 // leaving a silent hole the engine would later read as NaN.
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "base/ids.h"
@@ -59,6 +60,17 @@ class TickAssembler {
   [[nodiscard]] const PriceSet& set() const noexcept { return set_; }
   [[nodiscard]] int samples_per_hour() const noexcept { return samples_per_hour_; }
   [[nodiscard]] std::int64_t ticks() const noexcept { return ticks_; }
+
+  /// The hubs ticks are accepted for, and - parallel to it - the next
+  /// absolute interval each expects. A hub whose next interval trails
+  /// sealed_end() is the gap stalling the seal (observability: the live
+  /// engine publishes per-hub lag from these).
+  [[nodiscard]] std::span<const HubId> tracked() const noexcept {
+    return tracked_;
+  }
+  [[nodiscard]] std::span<const std::int64_t> next_intervals() const noexcept {
+    return next_;
+  }
 
  private:
   Period priced_;

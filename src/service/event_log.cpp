@@ -5,6 +5,8 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace cebis::service {
 
 namespace {
@@ -260,10 +262,21 @@ std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
 
 // --- writer -----------------------------------------------------------------
 
-EventLogWriter::EventLogWriter(const std::string& path)
-    : path_(path), out_(path, std::ios::binary | std::ios::trunc) {
+EventLogWriter::EventLogWriter(const std::string& path,
+                               obs::MetricsRegistry* metrics,
+                               obs::Tracer* tracer)
+    : path_(path),
+      out_(path, std::ios::binary | std::ios::trunc),
+      tracer_(tracer) {
   if (!out_) {
     throw std::runtime_error("EventLogWriter: cannot open " + path);
+  }
+  if (metrics != nullptr) {
+    m_frames_ = metrics->counter("cebis_eventlog_frames_written_total",
+                                 "Frames appended to the binary event log");
+    m_bytes_ = metrics->counter("cebis_eventlog_bytes_written_total",
+                                "Bytes appended to the binary event log "
+                                "(frames only, header excluded)");
   }
   out_.write(kEventLogMagic, sizeof(kEventLogMagic));
   const std::uint32_t version = kEventLogVersion;
@@ -278,6 +291,8 @@ void EventLogWriter::frame(RecordType type,
   if (closed_) {
     throw std::logic_error("EventLogWriter: write after close");
   }
+  const obs::Tracer::Span span =
+      obs::maybe_span(tracer_, "eventlog/write", "eventlog");
   // CRC covers type + length + payload, so a frame whose header bytes
   // rot is as detectable as one whose payload does.
   std::vector<std::uint8_t> buf;
@@ -294,6 +309,8 @@ void EventLogWriter::frame(RecordType type,
   }
   bytes_ += static_cast<std::int64_t>(buf.size() + sizeof(crc));
   ++frames_;
+  m_frames_.add();
+  m_bytes_.add(static_cast<double>(buf.size() + sizeof(crc)));
 }
 
 void EventLogWriter::write(const SessionMeta& meta) {
@@ -341,9 +358,22 @@ void EventLogWriter::close() {
 
 // --- reader -----------------------------------------------------------------
 
-EventLogReader::EventLogReader(const std::string& path) : in_(path, std::ios::binary) {
+EventLogReader::EventLogReader(const std::string& path,
+                               obs::MetricsRegistry* metrics,
+                               obs::Tracer* tracer)
+    : in_(path, std::ios::binary), tracer_(tracer) {
   if (!in_) {
     throw EventLogError("cannot open event log " + path, 0);
+  }
+  if (metrics != nullptr) {
+    m_frames_ = metrics->counter("cebis_eventlog_frames_read_total",
+                                 "Frames decoded from the binary event log");
+    m_bytes_ = metrics->counter("cebis_eventlog_bytes_read_total",
+                                "Bytes decoded from the binary event log "
+                                "(frames only, header excluded)");
+    m_crc_failures_ =
+        metrics->counter("cebis_eventlog_crc_failures_total",
+                         "Frames rejected for a checksum mismatch");
   }
   std::array<char, kHeaderSize> header{};
   in_.read(header.data(), header.size());
@@ -366,6 +396,8 @@ EventLogReader::EventLogReader(const std::string& path) : in_(path, std::ios::bi
 }
 
 std::optional<EventRecord> EventLogReader::next() {
+  const obs::Tracer::Span span =
+      obs::maybe_span(tracer_, "eventlog/read", "eventlog");
   const std::int64_t frame_offset = offset_;
   std::uint8_t type = 0;
   in_.read(reinterpret_cast<char*>(&type), 1);
@@ -401,11 +433,14 @@ std::optional<EventRecord> EventLogReader::next() {
   }
   const std::uint32_t computed = crc32(buf.data(), buf.size());
   if (computed != stored_crc) {
+    m_crc_failures_.add();
     throw EventLogError(std::string("CRC mismatch in a ") + type_name(type) +
                             " frame",
                         frame_offset);
   }
   offset_ = frame_offset + static_cast<std::int64_t>(buf.size() + sizeof(stored_crc));
+  m_frames_.add();
+  m_bytes_.add(static_cast<double>(buf.size() + sizeof(stored_crc)));
 
   const std::vector<std::uint8_t> payload(buf.begin() + 1 + sizeof(payload_len),
                                           buf.end());

@@ -35,6 +35,11 @@
 #include "base/ids.h"
 #include "base/simtime.h"
 #include "core/scenario.h"
+#include "obs/metrics.h"
+
+namespace cebis::obs {
+class Tracer;
+}
 
 namespace cebis::service {
 
@@ -125,8 +130,12 @@ class EventLogError : public std::runtime_error {
 class EventLogWriter {
  public:
   /// Opens `path` (truncating) and writes the header. Throws
-  /// std::runtime_error when the file cannot be opened.
-  explicit EventLogWriter(const std::string& path);
+  /// std::runtime_error when the file cannot be opened. `metrics` and
+  /// `tracer` (borrowed, may be null) receive frame/byte counters and a
+  /// span per frame written; the wire format is independent of them.
+  explicit EventLogWriter(const std::string& path,
+                          obs::MetricsRegistry* metrics = nullptr,
+                          obs::Tracer* tracer = nullptr);
 
   void write(const SessionMeta& meta);
   void write(const PriceTickRecord& tick);
@@ -149,13 +158,21 @@ class EventLogWriter {
   std::int64_t bytes_ = 0;
   std::int64_t frames_ = 0;
   bool closed_ = false;
+  obs::Counter m_frames_;
+  obs::Counter m_bytes_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 class EventLogReader {
  public:
   /// Opens `path` and validates the header (magic + version). Throws
-  /// EventLogError on a missing/truncated/foreign header.
-  explicit EventLogReader(const std::string& path);
+  /// EventLogError on a missing/truncated/foreign header. `metrics` and
+  /// `tracer` (borrowed, may be null) receive frame/byte counters plus
+  /// a CRC-failure counter (bumped before the EventLogError is raised)
+  /// and a span per frame read; parsing is independent of them.
+  explicit EventLogReader(const std::string& path,
+                          obs::MetricsRegistry* metrics = nullptr,
+                          obs::Tracer* tracer = nullptr);
 
   /// The next record, or nullopt at clean end-of-log. Throws
   /// EventLogError on a torn frame, CRC mismatch, unknown type or
@@ -168,6 +185,10 @@ class EventLogReader {
  private:
   std::ifstream in_;
   std::int64_t offset_ = 0;
+  obs::Counter m_frames_;
+  obs::Counter m_bytes_;
+  obs::Counter m_crc_failures_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 /// A fully parsed session log, records bucketed by type in arrival

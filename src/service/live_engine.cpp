@@ -4,10 +4,11 @@
 #include <stdexcept>
 #include <utility>
 
-#include "core/joint_router.h"
-#include "core/price_aware_router.h"
 #include "core/router_registry.h"
+#include "core/routing.h"
 #include "market/hub.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/storage_controller.h"
 
 namespace cebis::service {
@@ -144,10 +145,13 @@ struct LiveEngine::Impl {
   std::unique_ptr<core::SimulationEngine> shadow_engine;
   std::unique_ptr<core::Router> shadow_router;
 
-  // Plan-counter taps into the live router (null when the scheme has no
-  // plan to rebuild).
-  const core::PriceAwareRouter* pa_router = nullptr;
-  const core::JointObjectiveRouter* joint_router = nullptr;
+  // Live-mode observability handles (inert when LiveConfig::metrics is
+  // null). Per-hub gap gauges are parallel to assembler.tracked().
+  obs::Counter m_ticks;
+  obs::Counter m_blocked;
+  obs::Gauge g_seal_headroom;
+  std::vector<obs::Gauge> g_hub_gap;
+  obs::Tracer* tracer = nullptr;
 
   EventLogWriter* log = nullptr;
   LiveTelemetry telemetry;
@@ -207,6 +211,8 @@ LiveEngine::LiveEngine(const core::Fixture& fixture, LiveConfig config,
   cfg.delay_hours = spec.delay_hours;
   cfg.delay_steps = spec.delay_steps;
   cfg.enforce_p95 = enforce;
+  cfg.metrics = config_.metrics;
+  cfg.tracer = config_.tracer;
 
   impl_ = std::make_unique<Impl>(
       market::TickAssembler(priced, sph,
@@ -221,9 +227,28 @@ LiveEngine::LiveEngine(const core::Fixture& fixture, LiveConfig config,
                                RollingEstimators(config_.telemetry_ewma_alpha)};
 
   im.router = entry.make(fixture, spec);
-  im.pa_router = dynamic_cast<const core::PriceAwareRouter*>(im.router.get());
-  im.joint_router =
-      dynamic_cast<const core::JointObjectiveRouter*>(im.router.get());
+  im.tracer = config_.tracer;
+  if (config_.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *config_.metrics;
+    im.m_ticks = reg.counter("cebis_live_price_ticks_total",
+                             "Settlement ticks ingested by the live session");
+    im.m_blocked = reg.counter(
+        "cebis_live_blocked_advances_total",
+        "advance() calls rejected because the tick stream had not sealed "
+        "the step's price intervals yet");
+    im.g_seal_headroom = reg.gauge(
+        "cebis_live_seal_headroom_intervals",
+        "Sealed intervals beyond what the last advance() needed (how far "
+        "the tick stream runs ahead of the simulation)");
+    const market::HubRegistry& hubs = market::HubRegistry::instance();
+    for (const HubId hub : im.assembler.tracked()) {
+      im.g_hub_gap.push_back(reg.gauge(
+          "cebis_live_hub_gap_intervals",
+          "Intervals this hub's tick stream trails the furthest-ahead "
+          "tracked hub (the largest gap is the hub stalling the seal)",
+          {{"hub", std::string(hubs.info(hub).code)}}));
+    }
+  }
 
   if (config_.record_hourly_energy) {
     im.recorder =
@@ -231,7 +256,8 @@ LiveEngine::LiveEngine(const core::Fixture& fixture, LiveConfig config,
     im.observers.push_back(im.recorder.get());
   }
   if (config_.storage.has_value()) {
-    im.controller = std::make_unique<storage::StorageController>(*config_.storage);
+    im.controller = std::make_unique<storage::StorageController>(
+        *config_.storage, config_.metrics);
     im.observers.push_back(im.controller.get());
   }
   if (log != nullptr) {
@@ -281,7 +307,9 @@ LiveEngine::~LiveEngine() = default;
 
 void LiveEngine::on_price_tick(HubId hub, std::int64_t interval, double price) {
   Impl& im = *impl_;
+  const obs::Tracer::Span span = obs::maybe_span(im.tracer, "live/tick", "live");
   im.assembler.add(hub, interval, price);
+  im.m_ticks.add();
   if (im.log != nullptr) {
     im.log->write(PriceTickRecord{hub, interval, price});
   }
@@ -296,11 +324,14 @@ void LiveEngine::advance(std::span<const double> demand) {
   const std::int64_t need = im.needed_end_for(k);
   const std::int64_t sealed = im.assembler.sealed_end();
   if (sealed < need) {
+    im.m_blocked.add();
     throw std::logic_error(
         "LiveEngine::advance: step " + std::to_string(k) +
         " needs prices sealed through interval " + std::to_string(need) +
         ", tick stream has sealed " + std::to_string(sealed));
   }
+  const obs::Tracer::Span span =
+      obs::maybe_span(im.tracer, "live/advance", "live");
   im.workload.push(demand);
   if (im.log != nullptr) {
     im.log->write(
@@ -319,10 +350,20 @@ void LiveEngine::advance(std::span<const double> demand) {
                                           bill_step);
     im.prev_shadow_cost = shadow_cost;
   }
-  if (im.pa_router != nullptr) {
-    im.telemetry.plan_rebuilds = im.pa_router->plan_rebuilds();
-  } else if (im.joint_router != nullptr) {
-    im.telemetry.plan_rebuilds = im.joint_router->plan_rebuilds();
+  for (const core::RouterCounter& counter : im.router->counters()) {
+    if (counter.name == "plan_rebuilds") {
+      im.telemetry.plan_rebuilds = counter.value;
+    }
+  }
+
+  if (im.g_seal_headroom.live()) {
+    im.g_seal_headroom.set(static_cast<double>(sealed - need));
+    const std::span<const std::int64_t> next = im.assembler.next_intervals();
+    std::int64_t lead = 0;
+    for (const std::int64_t n : next) lead = std::max(lead, n);
+    for (std::size_t i = 0; i < im.g_hub_gap.size(); ++i) {
+      im.g_hub_gap[i].set(static_cast<double>(lead - next[i]));
+    }
   }
 }
 

@@ -101,6 +101,15 @@ struct LiveConfig {
   /// savings telemetry.
   bool shadow_baseline = true;
   double telemetry_ewma_alpha = 0.1;
+
+  /// Observability taps (borrowed, may be null). Threaded into the
+  /// underlying engine (see EngineConfig::metrics/tracer) and extended
+  /// with live-mode series: tick counts, the tick stream's seal lag
+  /// against what the next step needs, per-hub gap stalls, and blocked
+  /// advances. Write-only - the simulation never reads them back, so a
+  /// live run stays byte-identical to its replay with or without them.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Rolling per-step dollar telemetry (see RollingEstimators; all
@@ -109,8 +118,9 @@ struct LiveTelemetry {
   RollingEstimators bill_usd_per_step;
   /// Present only with LiveConfig::shadow_baseline.
   RollingEstimators savings_usd_per_step;
-  /// PriceAwareRouter::plan_rebuilds() of the live router (0 for
-  /// routers without a plan counter).
+  /// The live router's "plan_rebuilds" counter, read generically from
+  /// Router::counters() - any scheme that publishes one is covered (0
+  /// for routers without a plan to rebuild).
   std::int64_t plan_rebuilds = 0;
 };
 

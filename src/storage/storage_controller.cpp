@@ -10,8 +10,9 @@
 
 namespace cebis::storage {
 
-StorageController::StorageController(core::StorageSpec spec)
-    : spec_(std::move(spec)) {
+StorageController::StorageController(core::StorageSpec spec,
+                                     obs::MetricsRegistry* metrics)
+    : spec_(std::move(spec)), metrics_(metrics) {
   if (!PolicyRegistry::instance().contains(spec_.policy)) {
     throw std::invalid_argument("StorageController: unknown policy '" +
                                 spec_.policy + "'");
@@ -87,6 +88,14 @@ void StorageController::on_run_begin(const core::RunInfo& info,
   // (regression-tested for non-month-boundary starts).
   begin_month(month_index(info.period.begin));
   outcome_ = core::StorageOutcome{};
+  if (metrics_ != nullptr) {
+    // Resolved here - not at construction - so the handle binds to the
+    // metric shard of whichever thread actually steps the run.
+    m_guard_activations_ = metrics_->counter(
+        "cebis_storage_guard_activations_total",
+        "Charge-guard clamps that reduced a policy's charge request",
+        {{"policy", spec_.policy}});
+  }
 }
 
 double StorageController::raw_demand_floor(std::size_t cluster) {
@@ -177,6 +186,7 @@ void StorageController::on_step(const core::StepView& view) {
             request,
             std::max(0.0,
                      floor_mwh * static_cast<double>(per_step) - load));
+        if (request < intent) m_guard_activations_.add();
       } else if (guard_peaks_) {
         // Charging may fill the interval only up to the month's
         // established billed-demand level - it must never set the billed
@@ -190,6 +200,7 @@ void StorageController::on_step(const core::StepView& view) {
                      month_level_mwh_[c] - interval_net_mwh_[c]) -
             load;
         request = std::min(request, std::max(0.0, budget));
+        if (request < intent) m_guard_activations_.add();
       }
       grid += batteries_[c].charge(MegawattHours{request}, view.dt).value();
     } else if (intent < 0.0) {

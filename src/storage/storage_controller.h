@@ -54,6 +54,7 @@
 #include "core/scenario.h"
 #include "core/simulation.h"
 #include "core/step_observer.h"
+#include "obs/metrics.h"
 #include "storage/battery.h"
 #include "storage/policy.h"
 
@@ -105,7 +106,12 @@ class StorageController final : public core::StepObserver {
  public:
   /// Validates the spec eagerly (policy name, per-cluster override
   /// shape is checked at run begin). Throws std::invalid_argument.
-  explicit StorageController(core::StorageSpec spec);
+  /// `metrics`, when given (borrowed, may be null), receives the
+  /// charge-guard activation counter - incremented whenever the
+  /// demand-charge guard clips a policy's charge intent. Write-only:
+  /// the guard's decisions never read it back.
+  explicit StorageController(core::StorageSpec spec,
+                             obs::MetricsRegistry* metrics = nullptr);
   ~StorageController() override;
 
   void on_run_begin(const core::RunInfo& info,
@@ -143,6 +149,9 @@ class StorageController final : public core::StepObserver {
 
   core::StorageSpec spec_;
   core::StorageOutcome outcome_;
+
+  obs::MetricsRegistry* metrics_ = nullptr;  ///< borrowed, may be null
+  obs::Counter m_guard_activations_;         ///< resolved at run begin
 
   Period period_{0, 0};
   int steps_per_hour_ = 1;
