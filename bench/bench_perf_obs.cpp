@@ -58,7 +58,7 @@ double run_24day(const core::Fixture& fx, obs::MetricsRegistry* metrics) {
   const core::ScenarioSpec specs[] = {spec_24day()};
   core::SweepOptions options;
   options.threads = 1;
-  options.metrics = metrics;
+  options.taps.metrics = metrics;
   return core::run_scenarios(fx, specs, options)[0].total_cost.value();
 }
 
@@ -173,8 +173,8 @@ int main(int argc, char** argv) {
   const core::ScenarioSpec specs[] = {spec_24day()};
   core::SweepOptions options;
   options.threads = 1;
-  options.metrics = &reg;
-  options.tracer = &tracer;
+  options.taps.metrics = &reg;
+  options.taps.tracer = &tracer;
   (void)core::run_scenarios(fixture(), specs, options);
   io::write_prometheus_file(reg.snapshot(), out + "/bench_perf_obs.prom");
   tracer.write(out + "/bench_perf_obs_trace.json");

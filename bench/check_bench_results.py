@@ -179,7 +179,8 @@ def check_figure_rows(baseline: dict, results: pathlib.Path) -> None:
 
 def check_timings(baseline: dict, results: pathlib.Path, threshold: float) -> None:
     for harness in ("bench_perf_router", "bench_perf_market",
-                    "bench_perf_service", "bench_perf_obs"):
+                    "bench_perf_service", "bench_perf_obs",
+                    "bench_perf_net"):
         json_path = results / f"{harness}.json"
         if not json_path.exists():
             error(f"timing gate: {json_path} missing (did the bench run?)")

@@ -1,151 +1,127 @@
-// Live streaming service mode: drives a LiveEngine from a synthesized
-// 5-minute settlement stream, records every input to a binary event
-// log, and verifies the replay-equals-live contract at the end.
+// The live service's network server.
 //
-// The "feed" is the fixture's own generated market, replayed tick by
-// tick in settlement order: each 5-minute interval first publishes
-// every hub's price (on_price_tick), then the demand steps that became
-// fully priced advance the simulation (advance). Rolling telemetry -
-// bill rate, savings vs the baseline routing, plan rebuilds - streams
-// between steps, the numbers an operator dashboard would chart. When
-// the window is done the recorded log is re-run through the batch
-// engine (service/replay.h) and every RunResult field is compared
-// bit-for-bit.
+// Listens on three loopback ports (0 = kernel-assigned, announced on
+// stdout as `name_port=N` lines):
 //
-// The whole session is tapped by the obs layer (write-only: the
-// numbers never feed back into a decision, so results are
-// byte-identical with the taps absent). Each simulated day - and once
-// more at the end - the metrics registry is dumped as a Prometheus
-// text snapshot (<metrics-dir>/cebis_serve.prom, the file a node
-// exporter's textfile collector would scrape), and the finished run's
-// spans land in <metrics-dir>/cebis_serve_trace.json, loadable in
-// Perfetto / chrome://tracing.
+//   ingest     one settlement feed at a time (see cebis_feed): a
+//              SessionMeta frame configures the session, then price
+//              ticks and demand steps stream in and the simulation
+//              advances as the tick stream seals each step's prices.
+//              Every input lands in the binary event log BEFORE it
+//              takes effect, so the recorded session replays
+//              bit-identically through the batch engine.
+//   subscribe  streaming clients get per-step RoutingDecision,
+//              Telemetry and SealHeadroom frames (bounded queues,
+//              drop-oldest - a slow or killed client never stalls the
+//              tick loop).
+//   http       GET /metrics, Prometheus text exposition.
 //
-// Usage: cebis_serve [hours] [seed] [log-path] [metrics-dir]
+// A feeder that disconnects (or whose frames arrive torn) is dropped
+// with the defect logged; the session stays open and a reconnecting
+// feeder resumes from the server's cursor. The server exits after one
+// completed feed - with --replay-check it then re-runs the log through
+// the batch engine and fails loudly (exit 1) unless every RunResult
+// field matches bit-for-bit.
 
 #include <cstdio>
-#include <cstdlib>
 #include <string>
-#include <vector>
 
 #include "core/experiment.h"
 #include "io/metrics_export.h"
+#include "net/server.h"
+#include "net_flags.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "service/live_engine.h"
 #include "service/replay.h"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: cebis_serve [flags]\n"
+    "  --ingest-port N      feed port (default 0 = kernel-assigned)\n"
+    "  --subscribe-port N   subscriber port (default 0)\n"
+    "  --http-port N        /metrics port (default 0)\n"
+    "  --no-http            disable the /metrics endpoint\n"
+    "  --log PATH           event log destination (default\n"
+    "                       cebis_session.eventlog)\n"
+    "  --metrics-dir DIR    where to drop the final .prom/.json dumps\n"
+    "                       (default .)\n"
+    "  --read-timeout-ms N  per-connection read deadline (default 5000)\n"
+    "  --queue-cap N        frames buffered per subscriber (default 256)\n"
+    "  --no-shadow          skip the shadow baseline (no savings telemetry)\n"
+    "  --replay-check       after the feed: replay the log, compare\n"
+    "                       bit-for-bit, exit 1 on any mismatch\n"
+    "  --quiet              suppress per-connection event logging\n"
+    "All ports bind 127.0.0.1. Resolved ports are announced on stdout\n"
+    "as ingest_port=N / subscribe_port=N / http_port=N.\n";
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace cebis;
-  const std::int64_t hours = argc > 1 ? std::strtoll(argv[1], nullptr, 10) : 48;
-  const std::uint64_t seed =
-      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2009;
-  const std::string log_path =
-      argc > 3 ? argv[3] : "cebis_session.eventlog";
-  const std::string metrics_dir = argc > 4 ? argv[4] : ".";
-  if (hours <= 0) {
-    std::fprintf(stderr,
-                 "usage: cebis_serve [hours > 0] [seed] [log-path] "
-                 "[metrics-dir]\n");
-    return 2;
-  }
-  const std::string prom_path = metrics_dir + "/cebis_serve.prom";
-  const std::string trace_path = metrics_dir + "/cebis_serve_trace.json";
-
-  std::printf("Building fixture (seed %llu)...\n",
-              static_cast<unsigned long long>(seed));
-  const core::Fixture fixture = core::Fixture::make(seed);
-  const Period trace = fixture.trace.period();
-  const Period window{trace.begin, std::min(trace.begin + hours, trace.end)};
+  examples::FlagParser flags(argc, argv, kUsage);
+  net::ServerOptions options;
+  options.ingest_port =
+      static_cast<std::uint16_t>(flags.integer("--ingest-port", 0));
+  options.subscribe_port =
+      static_cast<std::uint16_t>(flags.integer("--subscribe-port", 0));
+  options.http_port =
+      static_cast<std::uint16_t>(flags.integer("--http-port", 0));
+  options.enable_http = !flags.boolean("--no-http");
+  options.log_path = flags.str("--log", "cebis_session.eventlog");
+  const std::string metrics_dir = flags.str("--metrics-dir", ".");
+  options.read_timeout_ms =
+      static_cast<int>(flags.integer("--read-timeout-ms", 5000));
+  options.subscriber_queue_capacity =
+      static_cast<std::size_t>(flags.integer("--queue-cap", 256));
+  options.shadow_baseline = !flags.boolean("--no-shadow");
+  const bool replay_check = flags.boolean("--replay-check");
+  options.verbose = !flags.boolean("--quiet");
+  flags.finish();
 
   obs::MetricsRegistry metrics;
   obs::Tracer tracer;
+  options.taps = {&metrics, &tracer};
 
-  service::LiveConfig config;
-  config.router = "price-aware";
-  config.period = window;
-  config.steps_per_hour = 12;    // the trace's 5-minute cadence
-  config.samples_per_hour = 12;  // a true 5-minute settlement stream
-  config.delay_hours = 1;
-  config.shadow_baseline = true;
-  config.metrics = &metrics;
-  config.tracer = &tracer;
+  net::Server server(options);
+  std::printf("ingest_port=%u\nsubscribe_port=%u\nhttp_port=%u\n",
+              server.ingest_port(), server.subscribe_port(),
+              server.http_port());
+  std::fflush(stdout);
 
-  service::EventLogWriter log(log_path, &metrics, &tracer);
-  service::LiveEngine live(fixture, config, &log);
-
-  // The synthesized market doubles as the settlement feed: the
-  // generator is window-invariant, so these are exactly the prices a
-  // batch scenario over the same window would see.
-  const int sph = config.samples_per_hour;
-  const Period priced{window.begin - config.delay_hours, window.end};
-  const market::PriceSet& feed = fixture.prices_covering(priced, sph);
-
-  std::vector<HubId> hubs;
-  for (const core::Cluster& c : fixture.clusters) {
-    bool seen = false;
-    for (const HubId h : hubs) seen = seen || h.index() == c.hub.index();
-    if (!seen) hubs.push_back(c.hub);
+  const net::ServerReport report = server.serve();
+  if (!report.result) {
+    std::fprintf(stderr, "stopped before a feed completed\n");
+    return 1;
   }
+  const core::RunResult& result = *report.result;
+  std::printf(
+      "session complete: %lld steps, %lld ticks, %lld connection(s), "
+      "$%.2f, %.1f MWh\n",
+      static_cast<long long>(report.steps_ingested),
+      static_cast<long long>(report.ticks_ingested),
+      static_cast<long long>(report.ingest_connections),
+      result.total_cost.value(), result.total_energy.value());
+  std::printf("subscribers: %lld connected, %lld frames dropped\n",
+              static_cast<long long>(report.subscribers_connected),
+              static_cast<long long>(report.subscriber_dropped_frames));
 
-  const core::TraceWorkload demand_feed(fixture.trace, fixture.allocation);
-  std::vector<double> demand(demand_feed.state_count(), 0.0);
+  io::write_prometheus_file(metrics.snapshot(),
+                            metrics_dir + "/cebis_serve.prom");
+  tracer.write(metrics_dir + "/cebis_serve_trace.json");
 
-  std::printf("Serving %lld hours, %zu hubs ticking every 5 minutes...\n",
-              static_cast<long long>(window.hours()), hubs.size());
-  std::int64_t days_reported = 0;
-  for (std::int64_t interval = priced.begin * sph; interval < window.end * sph;
-       ++interval) {
-    const HourIndex hour = interval / sph;
-    const int sub = static_cast<int>(interval - hour * sph);
-    for (const HubId hub : hubs) {
-      live.on_price_tick(hub, interval, feed.rt_at(hub, hour, sub).value());
+  if (replay_check) {
+    std::printf("replaying %s through the batch engine...\n",
+                options.log_path.c_str());
+    const core::Fixture fixture = core::Fixture::make(report.meta.seed);
+    const core::RunResult replayed =
+        service::replay_file(fixture, options.log_path);
+    const std::string diff = service::diff_run_results(result, replayed);
+    if (!diff.empty()) {
+      std::printf("REPLAY MISMATCH: %s\n", diff.c_str());
+      return 1;
     }
-    // Advance every demand step the settlement stream has now sealed.
-    while (!live.done() && live.needed_end() <= live.sealed_end()) {
-      demand_feed.demand(live.steps_done(), demand);
-      live.advance(demand);
-    }
-    const std::int64_t day = live.steps_done() / (24 * config.steps_per_hour);
-    if (day > days_reported && live.steps_done() > 0) {
-      days_reported = day;
-      const service::LiveTelemetry& t = live.telemetry();
-      std::printf(
-          "  day %2lld  bill $%.2f  step-mean $%.3f  ewma $%.3f  p95 $%.3f  "
-          "savings-mean $%.4f/step  plan rebuilds %lld\n",
-          static_cast<long long>(day), live.cost_so_far(),
-          t.bill_usd_per_step.mean(), t.bill_usd_per_step.ewma(),
-          t.bill_usd_per_step.p95(), t.savings_usd_per_step.mean(),
-          static_cast<long long>(t.plan_rebuilds));
-      // Periodic exposition: overwrite the textfile-collector snapshot
-      // once per simulated day, like a scrape would.
-      io::write_prometheus_file(metrics.snapshot(), prom_path);
-    }
-  }
-
-  const std::int64_t steps = live.steps_done();
-  const core::RunResult result = live.finish();
-  log.close();
-  std::printf("\nLive session complete: %lld steps, $%.2f, %.1f MWh\n",
-              static_cast<long long>(steps), result.total_cost.value(),
-              result.total_energy.value());
-  std::printf("Event log: %s (%lld frames, %lld bytes)\n", log_path.c_str(),
-              static_cast<long long>(log.frames()),
-              static_cast<long long>(log.bytes_written()));
-
-  io::write_prometheus_file(metrics.snapshot(), prom_path);
-  tracer.write(trace_path);
-  std::printf("Metrics: %s (%zu series)  Trace: %s (%zu events)\n",
-              prom_path.c_str(), metrics.series_count(), trace_path.c_str(),
-              tracer.events());
-
-  std::printf("\nReplaying the log through the batch engine...\n");
-  const core::RunResult replayed = service::replay_file(fixture, log_path);
-  const std::string diff = service::diff_run_results(result, replayed);
-  if (diff.empty()) {
     std::printf("replay == live: every RunResult field is bit-identical\n");
-    return 0;
   }
-  std::printf("REPLAY MISMATCH: %s\n", diff.c_str());
-  return 1;
+  return 0;
 }

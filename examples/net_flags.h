@@ -1,0 +1,83 @@
+#ifndef CEBIS_EXAMPLES_NET_FLAGS_H
+#define CEBIS_EXAMPLES_NET_FLAGS_H
+
+// Minimal named-flag parsing shared by the network service binaries
+// (cebis_serve / cebis_feed). Follows the bench_common.h convention:
+// anything unparseable prints the usage and exits 2 - a typo'd flag
+// must never silently run with defaults.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace cebis::examples {
+
+/// One --name value (or boolean --name) occurrence.
+class FlagParser {
+ public:
+  FlagParser(int argc, char** argv, std::string usage)
+      : usage_(std::move(usage)) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  /// True when `name` (e.g. "--no-http") is present as a bare flag.
+  bool boolean(const char* name) {
+    for (auto it = args_.begin(); it != args_.end(); ++it) {
+      if (*it == name) {
+        args_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// The value following `name`, or `fallback` when absent. A missing
+  /// value is a usage error.
+  std::string str(const char* name, const std::string& fallback) {
+    for (auto it = args_.begin(); it != args_.end(); ++it) {
+      if (*it == name) {
+        if (it + 1 == args_.end()) fail(std::string(name) + " needs a value");
+        const std::string value = *(it + 1);
+        args_.erase(it, it + 2);
+        return value;
+      }
+    }
+    return fallback;
+  }
+
+  /// Integer flag; garbage (trailing characters, out of range) is a
+  /// usage error, matching bench_common.h's seed_from_args.
+  std::int64_t integer(const char* name, std::int64_t fallback) {
+    const std::string raw = str(name, "");
+    if (raw.empty()) return fallback;
+    char* end = nullptr;
+    const long long value = std::strtoll(raw.c_str(), &end, 10);
+    if (end == raw.c_str() || *end != '\0') {
+      fail(std::string(name) + " got a non-integer value: " + raw);
+    }
+    return static_cast<std::int64_t>(value);
+  }
+
+  /// Call after the last flag: leftover arguments are a usage error.
+  void finish() {
+    if (!args_.empty()) {
+      fail("unrecognized argument: " + args_.front());
+    }
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) {
+    std::fprintf(stderr, "error: %s\n\n%s", why.c_str(), usage_.c_str());
+    std::exit(2);
+  }
+
+  std::vector<std::string> args_;
+  std::string usage_;
+};
+
+}  // namespace cebis::examples
+
+#endif  // CEBIS_EXAMPLES_NET_FLAGS_H

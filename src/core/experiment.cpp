@@ -146,7 +146,7 @@ std::vector<RunResult> run_scenarios(const Fixture& fixture,
   };
   const sweep_clock::time_point plan_t0 = sweep_clock::now();
   obs::Tracer::Span plan_span =
-      obs::maybe_span(options.tracer, "sweep/plan", "sweep");
+      obs::maybe_span(options.taps.tracer, "sweep/plan", "sweep");
 
   // Materialize the union of the fixture-priced windows up front - one
   // union window per requested market resolution - so every spec in the
@@ -242,8 +242,7 @@ std::vector<RunResult> run_scenarios(const Fixture& fixture,
     cfg.pue_of = spec.pue_of;
     // Every engine in the sweep shares the caller's taps (the same
     // pointers sweep-wide, so tap identity never splits an EngineKey).
-    cfg.metrics = options.metrics;
-    cfg.tracer = options.tracer;
+    cfg.taps = options.taps;
 
     auto make_engine = [&] {
       std::vector<Cluster> clusters =
@@ -286,8 +285,8 @@ std::vector<RunResult> run_scenarios(const Fixture& fixture,
   plan_span.end();
   local.plan_wall_ms = ms_since(plan_t0);
 
-  if (options.metrics != nullptr) {
-    obs::MetricsRegistry& metrics = *options.metrics;
+  if (options.taps.metrics != nullptr) {
+    obs::MetricsRegistry& metrics = *options.taps.metrics;
     // Gauges snapshot the shared lazy history's state as of this plan
     // phase; counters accumulate across sweeps.
     metrics
@@ -321,14 +320,14 @@ std::vector<RunResult> run_scenarios(const Fixture& fixture,
   auto run_cell = [&cells, &out, &options, &local, &ms_since](std::size_t i) {
     const sweep_clock::time_point cell_t0 = sweep_clock::now();
     obs::Tracer::Span cell_span = obs::maybe_span(
-        options.tracer, "sweep/cell", "sweep",
+        options.taps.tracer, "sweep/cell", "sweep",
         {{"spec", std::to_string(i)}, {"router", cells[i].spec->router}});
     const Cell& cell = cells[i];
     const ScenarioSpec& spec = *cell.spec;
     if (spec.storage.has_value()) {
       // Battery storage composes as one more observer on the run; its
       // raw/net tariff accounting lands in RunResult::storage.
-      storage::StorageController controller(*spec.storage, options.metrics);
+      storage::StorageController controller(*spec.storage, options.taps.metrics);
       std::vector<StepObserver*> observers = spec.observers;
       observers.push_back(&controller);
       out[i] = cell.engine->run(*cell.workload, *cell.router, observers);
@@ -370,7 +369,7 @@ std::vector<RunResult> run_scenarios(const Fixture& fixture,
     parallel_for_index(
         static_cast<std::int64_t>(pooled.size()), threads,
         [&](std::int64_t j) { run_cell(pooled[static_cast<std::size_t>(j)]); },
-        options.metrics != nullptr ? &worker_stats : nullptr);
+        options.taps.metrics != nullptr ? &worker_stats : nullptr);
   }
   local.runs = specs.size();
   local.run_wall_ms = ms_since(run_t0);
@@ -380,10 +379,10 @@ std::vector<RunResult> run_scenarios(const Fixture& fixture,
     }
   }
 
-  if (options.metrics != nullptr && !worker_stats.cells.empty()) {
+  if (options.taps.metrics != nullptr && !worker_stats.cells.empty()) {
     // Per-worker fan-out balance: claimed cells, busy and idle seconds
     // (idle = waiting on the tail of the fan-out after the last claim).
-    obs::MetricsRegistry& metrics = *options.metrics;
+    obs::MetricsRegistry& metrics = *options.taps.metrics;
     for (std::size_t w = 0; w < worker_stats.cells.size(); ++w) {
       const obs::Labels labels{{"worker", std::to_string(w)}};
       metrics
@@ -438,48 +437,6 @@ SavingsReport scenario_savings(const Fixture& fixture, const ScenarioSpec& spec)
   const ScenarioSpec pair[] = {std::move(baseline), spec};
   std::vector<RunResult> results = run_scenarios(fixture, pair);
   return compare(results[0], results[1]);
-}
-
-// --- Deprecated fixed-function shims ---------------------------------------
-
-namespace {
-
-ScenarioSpec from_legacy(const Scenario& s, std::string router) {
-  ScenarioSpec spec;
-  spec.router = std::move(router);
-  spec.energy = s.energy;
-  spec.workload = s.workload;
-  spec.enforce_p95 = s.enforce_p95;
-  spec.delay_hours = s.delay_hours;
-  if (spec.router == "price-aware") {
-    PriceAwareConfig cfg;
-    cfg.distance_threshold = s.distance_threshold;
-    cfg.price_threshold = s.price_threshold;
-    spec.config = cfg;
-  }
-  return spec;
-}
-
-}  // namespace
-
-RunResult run_baseline(const Fixture& f, const Scenario& s) {
-  return run_scenario(f, from_legacy(s, "baseline"));
-}
-
-RunResult run_price_aware(const Fixture& f, const Scenario& s) {
-  return run_scenario(f, from_legacy(s, "price-aware"));
-}
-
-RunResult run_closest(const Fixture& f, const Scenario& s) {
-  return run_scenario(f, from_legacy(s, "closest"));
-}
-
-RunResult run_static_cheapest(const Fixture& f, const Scenario& s) {
-  return run_scenario(f, from_legacy(s, "static-cheapest"));
-}
-
-SavingsReport price_aware_savings(const Fixture& f, const Scenario& s) {
-  return scenario_savings(f, from_legacy(s, "price-aware"));
 }
 
 }  // namespace cebis::core

@@ -133,14 +133,13 @@ struct SweepOptions {
   /// tests/test_scenario_api.cpp). Clamped to the parallel cell count.
   int threads = 0;
 
-  /// Observability taps threaded through every engine the sweep builds
-  /// (see EngineConfig::metrics/tracer) plus sweep-level series:
+  /// Observability taps (obs::Taps) threaded through every engine the
+  /// sweep builds (see EngineConfig::taps) plus sweep-level series:
   /// plan/cell spans, per-worker fan-out counters, the price history's
   /// materialized-hours gauges. Write-only - results stay byte-identical
   /// with or without them (tests/test_obs.cpp mirrors the parallel
   /// determinism guard with metrics on). Borrowed; null = uninstrumented.
-  obs::MetricsRegistry* metrics = nullptr;
-  obs::Tracer* tracer = nullptr;
+  obs::Taps taps;
 };
 
 /// Runs one scenario against the fixture.
@@ -178,36 +177,6 @@ struct SweepOptions {
 /// maps absolute hours to RunResult::hourly_energy rows with it.
 [[nodiscard]] Period scenario_period(const Fixture& fixture,
                                      const ScenarioSpec& spec);
-
-// --- Deprecated fixed-function API ----------------------------------------
-//
-// Thin shims over run_scenario, kept so pre-registry call sites keep
-// compiling. New code should build a ScenarioSpec: the knobs below
-// duplicate PriceAwareConfig and only parameterize one router.
-
-struct Scenario {
-  energy::EnergyModelParams energy;
-  Km distance_threshold{1500.0};
-  UsdPerMwh price_threshold{5.0};
-  bool enforce_p95 = true;
-  int delay_hours = 1;
-  WorkloadKind workload = WorkloadKind::kTrace24Day;
-};
-
-/// Deprecated: run_scenario with router "baseline".
-[[nodiscard]] RunResult run_baseline(const Fixture& f, const Scenario& s);
-
-/// Deprecated: run_scenario with router "price-aware".
-[[nodiscard]] RunResult run_price_aware(const Fixture& f, const Scenario& s);
-
-/// Deprecated: run_scenario with router "closest".
-[[nodiscard]] RunResult run_closest(const Fixture& f, const Scenario& s);
-
-/// Deprecated: run_scenario with router "static-cheapest".
-[[nodiscard]] RunResult run_static_cheapest(const Fixture& f, const Scenario& s);
-
-/// Deprecated: scenario_savings with router "price-aware".
-[[nodiscard]] SavingsReport price_aware_savings(const Fixture& f, const Scenario& s);
 
 }  // namespace cebis::core
 

@@ -137,7 +137,7 @@ struct SimulationEngine::Session::State {
   std::int64_t steps_total;
   bool finished = false;
 
-  // Observability taps (inert unless EngineConfig::metrics is set).
+  // Observability taps (inert unless EngineConfig::taps.metrics is set).
   // Handles are resolved in begin() on the thread that will run the
   // session, binding them to that thread's registry shard; the
   // per-step cost is a null-check branch when uninstrumented and a few
@@ -186,7 +186,7 @@ SimulationEngine::Session SimulationEngine::begin(
     const Workload& workload, Router& router,
     std::span<StepObserver* const> observers) const {
   const obs::Tracer::Span trace_begin =
-      obs::maybe_span(config_.tracer, "engine/begin", "engine");
+      obs::maybe_span(config_.taps.tracer, "engine/begin", "engine");
   const Period period = workload.period();
   const int psph = prices_.samples_per_hour;
   // Front margin delayed routing reads: `delay_steps` native intervals
@@ -261,8 +261,8 @@ SimulationEngine::Session SimulationEngine::begin(
     s.load_p95.emplace_back(workload.steps(), 95.0);
   }
 
-  if (config_.metrics != nullptr) {
-    obs::MetricsRegistry& metrics = *config_.metrics;
+  if (config_.taps.metrics != nullptr) {
+    obs::MetricsRegistry& metrics = *config_.taps.metrics;
     const obs::Labels labels{{"router", std::string(router.name())}};
     s.m_steps = metrics.counter("cebis_engine_steps_total",
                                 "Accounting steps executed", labels);
@@ -292,7 +292,7 @@ void SimulationEngine::Session::State::step_once() {
   const SimulationEngine& eng = *engine;
   const EngineConfig& config = eng.config_;
   const obs::Tracer::Span trace_step =
-      obs::maybe_span(config.tracer, "engine/step", "engine");
+      obs::maybe_span(config.taps.tracer, "engine/step", "engine");
   const market::PriceSet& prices = eng.prices_;
   const std::vector<Cluster>& clusters = eng.clusters_;
 
@@ -457,7 +457,7 @@ void SimulationEngine::Session::State::step_once() {
 
 RunResult SimulationEngine::Session::State::finish() {
   const obs::Tracer::Span trace_finish =
-      obs::maybe_span(engine->config_.tracer, "engine/finish", "engine");
+      obs::maybe_span(engine->config_.taps.tracer, "engine/finish", "engine");
   result.mean_distance_km = dist_stats.mean();
   result.p99_distance_km = dist_stats.percentile(99.0);
   result.realized_p95.resize(n_clusters);
@@ -468,11 +468,11 @@ RunResult SimulationEngine::Session::State::finish() {
   finished = true;
 
   m_runs.add();
-  if (engine->config_.metrics != nullptr) {
+  if (engine->config_.taps.metrics != nullptr) {
     // The run's router-counter deltas (plan rebuilds, limit refreshes,
     // ...), published generically via Router::counters() so every
     // plan-carrying router is covered without downcasts.
-    obs::MetricsRegistry& metrics = *engine->config_.metrics;
+    obs::MetricsRegistry& metrics = *engine->config_.taps.metrics;
     const obs::Labels labels{{"router", std::string(router->name())}};
     for (const RouterCounter& rc : router->counters()) {
       std::int64_t at_begin = 0;

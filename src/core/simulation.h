@@ -41,11 +41,7 @@
 #include "energy/energy_model.h"
 #include "geo/distance_model.h"
 #include "market/price_series.h"
-
-namespace cebis::obs {
-class MetricsRegistry;
-class Tracer;
-}  // namespace cebis::obs
+#include "obs/taps.h"
 
 namespace cebis::core {
 
@@ -71,17 +67,17 @@ struct EngineConfig {
   /// lowers the PUE when the ambient temperature allows it.
   std::function<double(std::size_t, HourIndex)> pue_of;
 
-  /// Observability taps (src/obs/). Write-only: counters, histograms
-  /// and spans observe the run but never feed a decision, so RunResults
-  /// are byte-identical with them enabled, disabled or absent (guarded
-  /// in tests/test_obs.cpp). `metrics` publishes step/run counters, the
-  /// per-step energy histogram and the router's own counters
-  /// (Router::counters()) labeled by router name; `tracer` - strictly
-  /// opt-in, it costs two clock reads per span - wraps begin/finish and
-  /// every step. Both borrowed; null = uninstrumented (the default and
-  /// the historical behavior).
-  obs::MetricsRegistry* metrics = nullptr;
-  obs::Tracer* tracer = nullptr;
+  /// Observability taps (obs::Taps - the one struct every layer
+  /// accepts). Write-only: counters, histograms and spans observe the
+  /// run but never feed a decision, so RunResults are byte-identical
+  /// with them enabled, disabled or absent (guarded in
+  /// tests/test_obs.cpp). `taps.metrics` publishes step/run counters,
+  /// the per-step energy histogram and the router's own counters
+  /// (Router::counters()) labeled by router name; `taps.tracer` -
+  /// strictly opt-in, it costs two clock reads per span - wraps
+  /// begin/finish and every step. Both borrowed; null = uninstrumented
+  /// (the default and the historical behavior).
+  obs::Taps taps;
 };
 
 /// Per-interval, per-cluster energy in one flat row-major buffer (one

@@ -1,0 +1,168 @@
+#include "net/feed_client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace cebis::net {
+
+namespace {
+
+/// Flush threshold for the send buffer: frames are tiny (tens of
+/// bytes), syscall-per-frame would dominate; 32 KiB batches amortize
+/// it without hurting liveness at feed rates.
+constexpr std::size_t kFlushBytes = 32u << 10;
+
+IngestStatusFrame read_status(FrameReader& reader, int timeout_ms) {
+  std::optional<Frame> frame = reader.next(timeout_ms);
+  if (!frame) {
+    throw NetError("server closed before sending an IngestStatus");
+  }
+  if (frame->type != static_cast<std::uint8_t>(NetFrameType::kIngestStatus)) {
+    throw WireError(std::string("expected IngestStatus, got ") +
+                        frame_type_name(frame->type),
+                    reader.offset());
+  }
+  return decode_ingest_status(frame->payload, reader.offset());
+}
+
+}  // namespace
+
+std::vector<service::EventRecord> interleave_feed(
+    const service::SessionMeta& meta,
+    std::span<const service::PriceTickRecord> ticks,
+    std::span<const service::WorkloadStepRecord> steps) {
+  // End times compared on the common grid of both cadences:
+  //   tick i ends at (i + 1) / samples_per_hour hours
+  //   step j ends at period.begin + (j + 1) / steps_per_hour hours
+  const std::int64_t sph_p = meta.samples_per_hour;
+  const std::int64_t sph_w = meta.steps_per_hour;
+  std::vector<service::EventRecord> plan;
+  plan.reserve(ticks.size() + steps.size());
+  std::size_t ti = 0;
+  std::size_t si = 0;
+  while (ti < ticks.size() || si < steps.size()) {
+    bool take_tick;
+    if (ti == ticks.size()) {
+      take_tick = false;
+    } else if (si == steps.size()) {
+      take_tick = true;
+    } else {
+      const std::int64_t tick_key = (ticks[ti].interval + 1) * sph_w;
+      const std::int64_t step_key =
+          (meta.period.begin * sph_w +
+           static_cast<std::int64_t>(steps[si].step) + 1) *
+          sph_p;
+      take_tick = tick_key <= step_key;  // tie: the tick seals first
+    }
+    if (take_tick) {
+      plan.emplace_back(ticks[ti++]);
+    } else {
+      plan.emplace_back(steps[si++]);
+    }
+  }
+  return plan;
+}
+
+FeedClient::FeedClient(FeedClientOptions options)
+    : options_(std::move(options)) {}
+
+FeedReport FeedClient::run(const service::SessionMeta& meta,
+                           std::span<const service::PriceTickRecord> ticks,
+                           std::span<const service::WorkloadStepRecord> steps) {
+  const std::vector<service::EventRecord> plan =
+      interleave_feed(meta, ticks, steps);
+  FeedReport report;
+  int attempts = 0;
+  int backoff_ms = options_.initial_backoff_ms;
+  for (;;) {
+    ++attempts;
+    try {
+      Socket sock =
+          connect_to(options_.host, options_.port, options_.connect_timeout_ms);
+      ++report.connections;
+      write_stream_header(sock, Channel::kIngest, options_.io_timeout_ms);
+      FrameReader reader(sock);
+      const IngestStatusFrame status =
+          read_status(reader, options_.io_timeout_ms);
+      if (status.complete) {
+        // The previous connection's ack was lost after the session
+        // finished; nothing left to send.
+        report.final_steps_done = status.steps_done;
+        return report;
+      }
+      if (!status.has_session) {
+        write_frame(sock,
+                    static_cast<std::uint8_t>(service::RecordType::kSessionMeta),
+                    service::encode_record(service::EventRecord{meta}),
+                    options_.io_timeout_ms);
+      }
+      std::unordered_map<std::int32_t, std::int64_t> cursor;
+      for (const IngestStatusFrame::HubCursor& c : status.cursors) {
+        cursor.emplace(c.hub, c.next_interval);
+      }
+      const std::int64_t steps_covered =
+          status.steps_done + status.steps_buffered;
+
+      std::vector<std::uint8_t> buf;
+      for (const service::EventRecord& record : plan) {
+        bool skip = false;
+        if (const auto* tick =
+                std::get_if<service::PriceTickRecord>(&record)) {
+          const auto it = cursor.find(
+              static_cast<std::int32_t>(tick->hub.value()));
+          skip = it != cursor.end() && tick->interval < it->second;
+          if (!skip) ++report.ticks_sent;
+        } else if (const auto* step =
+                       std::get_if<service::WorkloadStepRecord>(&record)) {
+          skip = step->step < steps_covered;
+          if (!skip) ++report.steps_sent;
+        }
+        if (skip) {
+          ++report.records_skipped;
+          continue;
+        }
+        append_frame(buf,
+                     static_cast<std::uint8_t>(service::record_type(record)),
+                     service::encode_record(record));
+        if (buf.size() >= kFlushBytes) {
+          sock.write_all(buf.data(), buf.size(), options_.io_timeout_ms);
+          buf.clear();
+        }
+      }
+      append_frame(buf, static_cast<std::uint8_t>(NetFrameType::kFeedEnd), {});
+      sock.write_all(buf.data(), buf.size(), options_.io_timeout_ms);
+
+      const IngestStatusFrame ack = read_status(reader, options_.io_timeout_ms);
+      if (!ack.complete) {
+        throw NetError("server acked without completing the session (" +
+                       std::to_string(ack.steps_done) + " steps advanced)");
+      }
+      report.final_steps_done = ack.steps_done;
+      return report;
+    } catch (const NetError& e) {
+      if (attempts >= options_.max_attempts) {
+        throw NetError("feed failed after " + std::to_string(attempts) +
+                       " attempts: " + e.what());
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, options_.max_backoff_ms);
+    } catch (const service::EventLogError& e) {
+      // A torn/garbled status frame: same retry discipline as a
+      // connection failure.
+      if (attempts >= options_.max_attempts) {
+        throw NetError("feed failed after " + std::to_string(attempts) +
+                       " attempts: " + e.what());
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, options_.max_backoff_ms);
+    }
+  }
+}
+
+}  // namespace cebis::net

@@ -1,0 +1,121 @@
+#include "net/http_metrics.h"
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "io/metrics_export.h"
+#include "net/socket.h"
+#include "obs/metrics.h"
+
+namespace cebis::net {
+
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 8192;
+
+std::string response(int code, const char* reason, const std::string& body,
+                     const char* content_type) {
+  std::string out = "HTTP/1.1 " + std::to_string(code) + " " + reason + "\r\n";
+  out += "Content-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size()) +
+         "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+struct HttpMetricsServer::Impl {
+  HttpMetricsOptions options;
+  Listener listener;
+  std::atomic<bool> stopping{false};
+  std::atomic<std::int64_t> requests{0};
+  std::thread server;
+
+  explicit Impl(HttpMetricsOptions opts)
+      : options(std::move(opts)), listener(options.port) {}
+
+  void handle(Socket& sock) {
+    // Read until the blank line ending the request head (we ignore any
+    // body - GET has none) or give up at the size/time limits.
+    std::string request;
+    while (request.find("\r\n\r\n") == std::string::npos) {
+      if (request.size() >= kMaxRequestBytes) return;
+      char buf[1024];
+      std::size_t n = 0;
+      try {
+        n = sock.read_some(buf, sizeof(buf), options.read_timeout_ms);
+      } catch (const NetError&) {
+        return;
+      }
+      if (n == 0) return;  // peer closed before a full request
+      request.append(buf, n);
+    }
+    const std::size_t line_end = request.find("\r\n");
+    const std::string line = request.substr(0, line_end);
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 = line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos) return;
+    const std::string method = line.substr(0, sp1);
+    const std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+
+    std::string reply;
+    if (method != "GET") {
+      reply = response(405, "Method Not Allowed", "method not allowed\n",
+                       "text/plain");
+    } else if (path != "/metrics") {
+      reply = response(404, "Not Found", "try /metrics\n", "text/plain");
+    } else {
+      std::string body;
+      if (options.registry != nullptr) {
+        body = io::to_prometheus_text(options.registry->snapshot());
+      }
+      reply = response(200, "OK", body,
+                       "text/plain; version=0.0.4; charset=utf-8");
+    }
+    try {
+      sock.write_all(reply.data(), reply.size(), options.write_timeout_ms);
+      requests.fetch_add(1, std::memory_order_relaxed);
+    } catch (const NetError&) {
+      // The scraper vanished mid-response; nothing to clean up.
+    }
+  }
+
+  void serve_loop() {
+    while (!stopping.load(std::memory_order_relaxed)) {
+      std::optional<Socket> sock;
+      try {
+        sock = listener.accept(options.accept_timeout_ms);
+      } catch (const NetError&) {
+        return;  // listener closed by stop()
+      }
+      if (sock) handle(*sock);
+    }
+  }
+};
+
+HttpMetricsServer::HttpMetricsServer(HttpMetricsOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {
+  impl_->server = std::thread([im = impl_.get()] { im->serve_loop(); });
+}
+
+HttpMetricsServer::~HttpMetricsServer() { stop(); }
+
+std::uint16_t HttpMetricsServer::port() const noexcept {
+  return impl_->listener.port();
+}
+
+std::int64_t HttpMetricsServer::requests_served() const noexcept {
+  return impl_->requests.load(std::memory_order_relaxed);
+}
+
+void HttpMetricsServer::stop() {
+  if (!impl_ || impl_->stopping.exchange(true)) return;
+  impl_->listener.close();
+  if (impl_->server.joinable()) impl_->server.join();
+}
+
+}  // namespace cebis::net

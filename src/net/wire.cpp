@@ -1,0 +1,237 @@
+#include "net/wire.h"
+
+#include <array>
+#include <cstring>
+
+#include "service/codec.h"
+
+namespace cebis::net {
+
+namespace {
+
+using service::codec::Parser;
+using service::codec::put;
+using service::codec::put_f64;
+
+constexpr std::size_t kStreamHeaderSize =
+    sizeof(kNetMagic) + sizeof(std::uint32_t) + 1;
+
+}  // namespace
+
+const char* frame_type_name(std::uint8_t type) {
+  switch (static_cast<NetFrameType>(type)) {
+    case NetFrameType::kTelemetry: return "Telemetry";
+    case NetFrameType::kSealHeadroom: return "SealHeadroom";
+    case NetFrameType::kFeedEnd: return "FeedEnd";
+    case NetFrameType::kIngestStatus: return "IngestStatus";
+    default: return service::record_type_name(type);
+  }
+}
+
+// --- stream headers ---------------------------------------------------------
+
+void write_stream_header(Socket& sock, Channel channel, int timeout_ms) {
+  std::array<std::uint8_t, kStreamHeaderSize> header{};
+  std::memcpy(header.data(), kNetMagic, sizeof(kNetMagic));
+  const std::uint32_t version = kNetVersion;
+  std::memcpy(header.data() + sizeof(kNetMagic), &version, sizeof(version));
+  header[sizeof(kNetMagic) + sizeof(version)] =
+      static_cast<std::uint8_t>(channel);
+  sock.write_all(header.data(), header.size(), timeout_ms);
+}
+
+Channel read_stream_header(Socket& sock, int timeout_ms) {
+  std::array<std::uint8_t, kStreamHeaderSize> header{};
+  if (!sock.read_exact(header.data(), header.size(), timeout_ms)) {
+    throw WireError("peer closed before the stream header", 0);
+  }
+  if (std::memcmp(header.data(), kNetMagic, sizeof(kNetMagic)) != 0) {
+    throw WireError("bad magic: not a cebis net stream", 0);
+  }
+  std::uint32_t version = 0;
+  std::memcpy(&version, header.data() + sizeof(kNetMagic), sizeof(version));
+  if (version != kNetVersion) {
+    throw WireError("unsupported net stream version " + std::to_string(version),
+                    static_cast<std::int64_t>(sizeof(kNetMagic)));
+  }
+  const std::uint8_t channel = header[sizeof(kNetMagic) + sizeof(version)];
+  if (channel != static_cast<std::uint8_t>(Channel::kIngest) &&
+      channel != static_cast<std::uint8_t>(Channel::kSubscribe)) {
+    throw WireError("unknown channel " + std::to_string(channel),
+                    static_cast<std::int64_t>(sizeof(kNetMagic) +
+                                              sizeof(version)));
+  }
+  return static_cast<Channel>(channel);
+}
+
+// --- frame I/O --------------------------------------------------------------
+
+void append_frame(std::vector<std::uint8_t>& out, std::uint8_t type,
+                  const std::vector<std::uint8_t>& payload) {
+  const std::size_t start = out.size();
+  out.reserve(start + 1 + sizeof(std::uint32_t) + payload.size() +
+              sizeof(std::uint32_t));
+  put(out, type);
+  put(out, static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  const std::uint32_t crc =
+      service::crc32(out.data() + start, out.size() - start);
+  put(out, crc);
+}
+
+void write_frame(Socket& sock, std::uint8_t type,
+                 const std::vector<std::uint8_t>& payload, int timeout_ms) {
+  std::vector<std::uint8_t> buf;
+  append_frame(buf, type, payload);
+  sock.write_all(buf.data(), buf.size(), timeout_ms);
+}
+
+std::optional<Frame> FrameReader::next(int timeout_ms) {
+  const std::int64_t frame_offset = offset_;
+  std::uint8_t type = 0;
+  if (!sock_.read_exact(&type, 1, timeout_ms)) {
+    return std::nullopt;  // orderly close exactly on a frame boundary
+  }
+  std::uint32_t payload_len = 0;
+  try {
+    if (!sock_.read_exact(&payload_len, sizeof(payload_len), timeout_ms)) {
+      throw NetError("peer closed");
+    }
+  } catch (const TimeoutError&) {
+    throw;
+  } catch (const NetError&) {
+    throw WireError(
+        std::string("torn frame: stream ended inside the header of a ") +
+            frame_type_name(type) + " frame",
+        frame_offset);
+  }
+  if (payload_len > max_payload_) {
+    throw WireError("oversized frame: " + std::to_string(payload_len) +
+                        " byte payload exceeds the " +
+                        std::to_string(max_payload_) + " byte limit",
+                    frame_offset);
+  }
+  std::vector<std::uint8_t> buf(1 + sizeof(payload_len) + payload_len);
+  buf[0] = type;
+  std::memcpy(buf.data() + 1, &payload_len, sizeof(payload_len));
+  std::uint32_t stored_crc = 0;
+  try {
+    if (payload_len > 0 &&
+        !sock_.read_exact(buf.data() + 1 + sizeof(payload_len), payload_len,
+                          timeout_ms)) {
+      throw NetError("peer closed");
+    }
+    if (!sock_.read_exact(&stored_crc, sizeof(stored_crc), timeout_ms)) {
+      throw NetError("peer closed");
+    }
+  } catch (const TimeoutError&) {
+    throw;
+  } catch (const NetError&) {
+    throw WireError(
+        std::string("torn frame: stream ended inside a ") +
+            frame_type_name(type) + " frame",
+        frame_offset);
+  }
+  const std::uint32_t computed = service::crc32(buf.data(), buf.size());
+  if (computed != stored_crc) {
+    throw WireError(std::string("CRC mismatch in a ") +
+                        frame_type_name(type) + " frame",
+                    frame_offset);
+  }
+  offset_ =
+      frame_offset + static_cast<std::int64_t>(buf.size() + sizeof(stored_crc));
+  Frame frame;
+  frame.type = type;
+  frame.payload.assign(buf.begin() + 1 + sizeof(payload_len), buf.end());
+  return frame;
+}
+
+// --- net-only payload codecs ------------------------------------------------
+
+std::vector<std::uint8_t> encode_telemetry(const TelemetryFrame& t) {
+  std::vector<std::uint8_t> out;
+  put(out, t.step);
+  put_f64(out, t.cost_so_far);
+  put_f64(out, t.energy_so_far);
+  put_f64(out, t.bill_last);
+  put_f64(out, t.bill_mean);
+  put_f64(out, t.bill_ewma);
+  put(out, static_cast<std::uint8_t>(t.have_savings ? 1 : 0));
+  put_f64(out, t.savings_last);
+  put_f64(out, t.savings_mean);
+  put_f64(out, t.savings_ewma);
+  put(out, t.plan_rebuilds);
+  return out;
+}
+
+TelemetryFrame decode_telemetry(const std::vector<std::uint8_t>& payload,
+                                std::int64_t offset) {
+  Parser p(payload, offset);
+  TelemetryFrame t;
+  t.step = p.get<std::int64_t>();
+  t.cost_so_far = p.f64();
+  t.energy_so_far = p.f64();
+  t.bill_last = p.f64();
+  t.bill_mean = p.f64();
+  t.bill_ewma = p.f64();
+  t.have_savings = p.boolean();
+  t.savings_last = p.f64();
+  t.savings_mean = p.f64();
+  t.savings_ewma = p.f64();
+  t.plan_rebuilds = p.get<std::int64_t>();
+  p.done();
+  return t;
+}
+
+std::vector<std::uint8_t> encode_seal_headroom(const SealHeadroomFrame& s) {
+  std::vector<std::uint8_t> out;
+  put(out, s.sealed_end);
+  put(out, s.needed_end);
+  put(out, s.steps_done);
+  return out;
+}
+
+SealHeadroomFrame decode_seal_headroom(const std::vector<std::uint8_t>& payload,
+                                       std::int64_t offset) {
+  Parser p(payload, offset);
+  SealHeadroomFrame s;
+  s.sealed_end = p.get<std::int64_t>();
+  s.needed_end = p.get<std::int64_t>();
+  s.steps_done = p.get<std::int64_t>();
+  p.done();
+  return s;
+}
+
+std::vector<std::uint8_t> encode_ingest_status(const IngestStatusFrame& s) {
+  std::vector<std::uint8_t> out;
+  put(out, static_cast<std::uint8_t>(s.has_session ? 1 : 0));
+  put(out, static_cast<std::uint8_t>(s.complete ? 1 : 0));
+  put(out, s.steps_done);
+  put(out, s.steps_buffered);
+  put(out, static_cast<std::uint32_t>(s.cursors.size()));
+  for (const IngestStatusFrame::HubCursor& c : s.cursors) {
+    put(out, c.hub);
+    put(out, c.next_interval);
+  }
+  return out;
+}
+
+IngestStatusFrame decode_ingest_status(const std::vector<std::uint8_t>& payload,
+                                       std::int64_t offset) {
+  Parser p(payload, offset);
+  IngestStatusFrame s;
+  s.has_session = p.boolean();
+  s.complete = p.boolean();
+  s.steps_done = p.get<std::int64_t>();
+  s.steps_buffered = p.get<std::int64_t>();
+  const auto n = p.get<std::uint32_t>();
+  s.cursors.resize(n);
+  for (auto& c : s.cursors) {
+    c.hub = p.get<std::int32_t>();
+    c.next_interval = p.get<std::int64_t>();
+  }
+  p.done();
+  return s;
+}
+
+}  // namespace cebis::net

@@ -1,100 +1,21 @@
 #include "service/event_log.h"
 
 #include <array>
-#include <bit>
 #include <cstring>
 #include <utility>
 
 #include "obs/trace.h"
+#include "service/codec.h"
 
 namespace cebis::service {
 
 namespace {
 
-// Fixed-width little-endian packing. The toolchain only targets
-// little-endian hosts, so raw memcpy IS the wire format; static_assert
-// keeps a big-endian port from silently writing byte-swapped logs.
-static_assert(std::endian::native == std::endian::little,
-              "event log serialization assumes a little-endian host");
-
-template <typename T>
-void put(std::vector<std::uint8_t>& out, T value) {
-  const auto size = out.size();
-  out.resize(size + sizeof(T));
-  std::memcpy(out.data() + size, &value, sizeof(T));
-}
-
-void put_f64(std::vector<std::uint8_t>& out, double value) {
-  put(out, std::bit_cast<std::uint64_t>(value));
-}
-
-void put_str(std::vector<std::uint8_t>& out, const std::string& s) {
-  put(out, static_cast<std::uint32_t>(s.size()));
-  out.insert(out.end(), s.begin(), s.end());
-}
-
-void put_doubles(std::vector<std::uint8_t>& out,
-                 const std::vector<double>& values) {
-  put(out, static_cast<std::uint32_t>(values.size()));
-  for (const double v : values) put_f64(out, v);
-}
-
-/// Bounds-checked payload cursor; every defect names the frame offset.
-class Parser {
- public:
-  Parser(const std::vector<std::uint8_t>& buf, std::int64_t frame_offset)
-      : buf_(buf), frame_offset_(frame_offset) {}
-
-  template <typename T>
-  T get() {
-    need(sizeof(T));
-    T value;
-    std::memcpy(&value, buf_.data() + pos_, sizeof(T));
-    pos_ += sizeof(T);
-    return value;
-  }
-
-  double f64() { return std::bit_cast<double>(get<std::uint64_t>()); }
-
-  bool boolean() { return get<std::uint8_t>() != 0; }
-
-  std::string str() {
-    const auto n = get<std::uint32_t>();
-    need(n);
-    std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), n);
-    pos_ += n;
-    return s;
-  }
-
-  std::vector<double> doubles() {
-    const auto n = get<std::uint32_t>();
-    std::vector<double> values(n);
-    for (auto& v : values) v = f64();
-    return values;
-  }
-
-  /// Call after the last field: trailing garbage is a defect too.
-  void done() const {
-    if (pos_ != buf_.size()) {
-      throw EventLogError("malformed payload: " +
-                              std::to_string(buf_.size() - pos_) +
-                              " trailing bytes",
-                          frame_offset_);
-    }
-  }
-
- private:
-  void need(std::size_t n) {
-    if (buf_.size() - pos_ < n) {
-      throw EventLogError("malformed payload: field extends past frame end",
-                          frame_offset_);
-    }
-  }
-
-  const std::vector<std::uint8_t>& buf_;
-  std::int64_t frame_offset_;
-  std::size_t pos_ = 0;
-};
+using codec::Parser;
+using codec::put;
+using codec::put_doubles;
+using codec::put_f64;
+using codec::put_str;
 
 enum : std::uint8_t {
   kCfgMonostate = 0,
@@ -225,17 +146,6 @@ SessionMeta decode_meta(Parser& p) {
   return meta;
 }
 
-const char* type_name(std::uint8_t type) {
-  switch (static_cast<RecordType>(type)) {
-    case RecordType::kSessionMeta: return "SessionMeta";
-    case RecordType::kPriceTick: return "PriceTick";
-    case RecordType::kWorkloadStep: return "WorkloadStep";
-    case RecordType::kRoutingDecision: return "RoutingDecision";
-    case RecordType::kStorageAction: return "StorageAction";
-  }
-  return "unknown";
-}
-
 constexpr std::size_t kHeaderSize = sizeof(kEventLogMagic) + 2 * sizeof(std::uint32_t);
 
 }  // namespace
@@ -260,23 +170,139 @@ std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
   return crc ^ 0xFFFFFFFFu;
 }
 
+// --- record codec -----------------------------------------------------------
+
+RecordType record_type(const EventRecord& record) {
+  struct Visitor {
+    RecordType operator()(const SessionMeta&) const {
+      return RecordType::kSessionMeta;
+    }
+    RecordType operator()(const PriceTickRecord&) const {
+      return RecordType::kPriceTick;
+    }
+    RecordType operator()(const WorkloadStepRecord&) const {
+      return RecordType::kWorkloadStep;
+    }
+    RecordType operator()(const RoutingDecisionRecord&) const {
+      return RecordType::kRoutingDecision;
+    }
+    RecordType operator()(const StorageActionRecord&) const {
+      return RecordType::kStorageAction;
+    }
+  };
+  return std::visit(Visitor{}, record);
+}
+
+const char* record_type_name(std::uint8_t type) {
+  switch (static_cast<RecordType>(type)) {
+    case RecordType::kSessionMeta: return "SessionMeta";
+    case RecordType::kPriceTick: return "PriceTick";
+    case RecordType::kWorkloadStep: return "WorkloadStep";
+    case RecordType::kRoutingDecision: return "RoutingDecision";
+    case RecordType::kStorageAction: return "StorageAction";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> encode_record(const EventRecord& record) {
+  struct Visitor {
+    std::vector<std::uint8_t> operator()(const SessionMeta& meta) const {
+      return encode(meta);
+    }
+    std::vector<std::uint8_t> operator()(const PriceTickRecord& tick) const {
+      std::vector<std::uint8_t> payload;
+      put(payload, static_cast<std::int32_t>(tick.hub.value()));
+      put(payload, tick.interval);
+      put_f64(payload, tick.price);
+      return payload;
+    }
+    std::vector<std::uint8_t> operator()(const WorkloadStepRecord& step) const {
+      std::vector<std::uint8_t> payload;
+      put(payload, step.step);
+      put_doubles(payload, step.demand);
+      return payload;
+    }
+    std::vector<std::uint8_t> operator()(
+        const RoutingDecisionRecord& decision) const {
+      std::vector<std::uint8_t> payload;
+      put(payload, decision.step);
+      put_doubles(payload, decision.cluster_load);
+      return payload;
+    }
+    std::vector<std::uint8_t> operator()(const StorageActionRecord& action) const {
+      std::vector<std::uint8_t> payload;
+      put(payload, action.step);
+      put_doubles(payload, action.soc_delta_mwh);
+      return payload;
+    }
+  };
+  return std::visit(Visitor{}, record);
+}
+
+EventRecord decode_record(std::uint8_t type,
+                          const std::vector<std::uint8_t>& payload,
+                          std::int64_t offset) {
+  Parser p(payload, offset);
+  switch (static_cast<RecordType>(type)) {
+    case RecordType::kSessionMeta: {
+      SessionMeta meta;
+      try {
+        meta = decode_meta(p);
+      } catch (const std::invalid_argument& e) {
+        throw EventLogError(std::string("malformed SessionMeta: ") + e.what(),
+                            offset);
+      }
+      p.done();
+      return EventRecord{std::move(meta)};
+    }
+    case RecordType::kPriceTick: {
+      PriceTickRecord tick;
+      tick.hub = HubId{p.get<std::int32_t>()};
+      tick.interval = p.get<std::int64_t>();
+      tick.price = p.f64();
+      p.done();
+      return EventRecord{tick};
+    }
+    case RecordType::kWorkloadStep: {
+      WorkloadStepRecord step;
+      step.step = p.get<std::int64_t>();
+      step.demand = p.doubles();
+      p.done();
+      return EventRecord{std::move(step)};
+    }
+    case RecordType::kRoutingDecision: {
+      RoutingDecisionRecord decision;
+      decision.step = p.get<std::int64_t>();
+      decision.cluster_load = p.doubles();
+      p.done();
+      return EventRecord{std::move(decision)};
+    }
+    case RecordType::kStorageAction: {
+      StorageActionRecord action;
+      action.step = p.get<std::int64_t>();
+      action.soc_delta_mwh = p.doubles();
+      p.done();
+      return EventRecord{std::move(action)};
+    }
+  }
+  throw EventLogError("unknown record type " + std::to_string(type), offset);
+}
+
 // --- writer -----------------------------------------------------------------
 
-EventLogWriter::EventLogWriter(const std::string& path,
-                               obs::MetricsRegistry* metrics,
-                               obs::Tracer* tracer)
+EventLogWriter::EventLogWriter(const std::string& path, obs::Taps taps)
     : path_(path),
       out_(path, std::ios::binary | std::ios::trunc),
-      tracer_(tracer) {
+      tracer_(taps.tracer) {
   if (!out_) {
     throw std::runtime_error("EventLogWriter: cannot open " + path);
   }
-  if (metrics != nullptr) {
-    m_frames_ = metrics->counter("cebis_eventlog_frames_written_total",
-                                 "Frames appended to the binary event log");
-    m_bytes_ = metrics->counter("cebis_eventlog_bytes_written_total",
-                                "Bytes appended to the binary event log "
-                                "(frames only, header excluded)");
+  if (taps.metrics != nullptr) {
+    m_frames_ = taps.metrics->counter("cebis_eventlog_frames_written_total",
+                                      "Frames appended to the binary event log");
+    m_bytes_ = taps.metrics->counter("cebis_eventlog_bytes_written_total",
+                                     "Bytes appended to the binary event log "
+                                     "(frames only, header excluded)");
   }
   out_.write(kEventLogMagic, sizeof(kEventLogMagic));
   const std::uint32_t version = kEventLogVersion;
@@ -318,32 +344,19 @@ void EventLogWriter::write(const SessionMeta& meta) {
 }
 
 void EventLogWriter::write(const PriceTickRecord& tick) {
-  std::vector<std::uint8_t> payload;
-  put(payload, static_cast<std::int32_t>(tick.hub.value()));
-  put(payload, tick.interval);
-  put_f64(payload, tick.price);
-  frame(RecordType::kPriceTick, payload);
+  frame(RecordType::kPriceTick, encode_record(EventRecord{tick}));
 }
 
 void EventLogWriter::write(const WorkloadStepRecord& step) {
-  std::vector<std::uint8_t> payload;
-  put(payload, step.step);
-  put_doubles(payload, step.demand);
-  frame(RecordType::kWorkloadStep, payload);
+  frame(RecordType::kWorkloadStep, encode_record(EventRecord{step}));
 }
 
 void EventLogWriter::write(const RoutingDecisionRecord& decision) {
-  std::vector<std::uint8_t> payload;
-  put(payload, decision.step);
-  put_doubles(payload, decision.cluster_load);
-  frame(RecordType::kRoutingDecision, payload);
+  frame(RecordType::kRoutingDecision, encode_record(EventRecord{decision}));
 }
 
 void EventLogWriter::write(const StorageActionRecord& action) {
-  std::vector<std::uint8_t> payload;
-  put(payload, action.step);
-  put_doubles(payload, action.soc_delta_mwh);
-  frame(RecordType::kStorageAction, payload);
+  frame(RecordType::kStorageAction, encode_record(EventRecord{action}));
 }
 
 void EventLogWriter::close() {
@@ -358,22 +371,20 @@ void EventLogWriter::close() {
 
 // --- reader -----------------------------------------------------------------
 
-EventLogReader::EventLogReader(const std::string& path,
-                               obs::MetricsRegistry* metrics,
-                               obs::Tracer* tracer)
-    : in_(path, std::ios::binary), tracer_(tracer) {
+EventLogReader::EventLogReader(const std::string& path, obs::Taps taps)
+    : in_(path, std::ios::binary), tracer_(taps.tracer) {
   if (!in_) {
     throw EventLogError("cannot open event log " + path, 0);
   }
-  if (metrics != nullptr) {
-    m_frames_ = metrics->counter("cebis_eventlog_frames_read_total",
-                                 "Frames decoded from the binary event log");
-    m_bytes_ = metrics->counter("cebis_eventlog_bytes_read_total",
-                                "Bytes decoded from the binary event log "
-                                "(frames only, header excluded)");
+  if (taps.metrics != nullptr) {
+    m_frames_ = taps.metrics->counter("cebis_eventlog_frames_read_total",
+                                      "Frames decoded from the binary event log");
+    m_bytes_ = taps.metrics->counter("cebis_eventlog_bytes_read_total",
+                                     "Bytes decoded from the binary event log "
+                                     "(frames only, header excluded)");
     m_crc_failures_ =
-        metrics->counter("cebis_eventlog_crc_failures_total",
-                         "Frames rejected for a checksum mismatch");
+        taps.metrics->counter("cebis_eventlog_crc_failures_total",
+                              "Frames rejected for a checksum mismatch");
   }
   std::array<char, kHeaderSize> header{};
   in_.read(header.data(), header.size());
@@ -409,7 +420,7 @@ std::optional<EventRecord> EventLogReader::next() {
   if (in_.gcount() != static_cast<std::streamsize>(sizeof(payload_len))) {
     throw EventLogError(
         std::string("torn frame: end of file inside the header of a ") +
-            type_name(type) + " frame",
+            record_type_name(type) + " frame",
         frame_offset);
   }
   std::vector<std::uint8_t> buf(1 + sizeof(payload_len) + payload_len);
@@ -420,7 +431,7 @@ std::optional<EventRecord> EventLogReader::next() {
   if (in_.gcount() != static_cast<std::streamsize>(payload_len)) {
     throw EventLogError(
         std::string("torn frame: end of file inside the payload of a ") +
-            type_name(type) + " frame",
+            record_type_name(type) + " frame",
         frame_offset);
   }
   std::uint32_t stored_crc = 0;
@@ -428,14 +439,14 @@ std::optional<EventRecord> EventLogReader::next() {
   if (in_.gcount() != static_cast<std::streamsize>(sizeof(stored_crc))) {
     throw EventLogError(
         std::string("torn frame: end of file before the checksum of a ") +
-            type_name(type) + " frame",
+            record_type_name(type) + " frame",
         frame_offset);
   }
   const std::uint32_t computed = crc32(buf.data(), buf.size());
   if (computed != stored_crc) {
     m_crc_failures_.add();
-    throw EventLogError(std::string("CRC mismatch in a ") + type_name(type) +
-                            " frame",
+    throw EventLogError(std::string("CRC mismatch in a ") +
+                            record_type_name(type) + " frame",
                         frame_offset);
   }
   offset_ = frame_offset + static_cast<std::int64_t>(buf.size() + sizeof(stored_crc));
@@ -444,51 +455,7 @@ std::optional<EventRecord> EventLogReader::next() {
 
   const std::vector<std::uint8_t> payload(buf.begin() + 1 + sizeof(payload_len),
                                           buf.end());
-  Parser p(payload, frame_offset);
-  switch (static_cast<RecordType>(type)) {
-    case RecordType::kSessionMeta: {
-      SessionMeta meta;
-      try {
-        meta = decode_meta(p);
-      } catch (const std::invalid_argument& e) {
-        throw EventLogError(std::string("malformed SessionMeta: ") + e.what(),
-                            frame_offset);
-      }
-      p.done();
-      return EventRecord{std::move(meta)};
-    }
-    case RecordType::kPriceTick: {
-      PriceTickRecord tick;
-      tick.hub = HubId{p.get<std::int32_t>()};
-      tick.interval = p.get<std::int64_t>();
-      tick.price = p.f64();
-      p.done();
-      return EventRecord{tick};
-    }
-    case RecordType::kWorkloadStep: {
-      WorkloadStepRecord step;
-      step.step = p.get<std::int64_t>();
-      step.demand = p.doubles();
-      p.done();
-      return EventRecord{std::move(step)};
-    }
-    case RecordType::kRoutingDecision: {
-      RoutingDecisionRecord decision;
-      decision.step = p.get<std::int64_t>();
-      decision.cluster_load = p.doubles();
-      p.done();
-      return EventRecord{std::move(decision)};
-    }
-    case RecordType::kStorageAction: {
-      StorageActionRecord action;
-      action.step = p.get<std::int64_t>();
-      action.soc_delta_mwh = p.doubles();
-      p.done();
-      return EventRecord{std::move(action)};
-    }
-  }
-  throw EventLogError("unknown record type " + std::to_string(type),
-                      frame_offset);
+  return decode_record(type, payload, frame_offset);
 }
 
 RecordedSession read_session(const std::string& path) {

@@ -36,10 +36,7 @@
 #include "base/simtime.h"
 #include "core/scenario.h"
 #include "obs/metrics.h"
-
-namespace cebis::obs {
-class Tracer;
-}
+#include "obs/taps.h"
 
 namespace cebis::service {
 
@@ -130,12 +127,10 @@ class EventLogError : public std::runtime_error {
 class EventLogWriter {
  public:
   /// Opens `path` (truncating) and writes the header. Throws
-  /// std::runtime_error when the file cannot be opened. `metrics` and
-  /// `tracer` (borrowed, may be null) receive frame/byte counters and a
-  /// span per frame written; the wire format is independent of them.
-  explicit EventLogWriter(const std::string& path,
-                          obs::MetricsRegistry* metrics = nullptr,
-                          obs::Tracer* tracer = nullptr);
+  /// std::runtime_error when the file cannot be opened. `taps`
+  /// (obs::Taps, borrowed, may be null) receives frame/byte counters
+  /// and a span per frame written; the wire format is independent of it.
+  explicit EventLogWriter(const std::string& path, obs::Taps taps = {});
 
   void write(const SessionMeta& meta);
   void write(const PriceTickRecord& tick);
@@ -166,13 +161,11 @@ class EventLogWriter {
 class EventLogReader {
  public:
   /// Opens `path` and validates the header (magic + version). Throws
-  /// EventLogError on a missing/truncated/foreign header. `metrics` and
-  /// `tracer` (borrowed, may be null) receive frame/byte counters plus
-  /// a CRC-failure counter (bumped before the EventLogError is raised)
-  /// and a span per frame read; parsing is independent of them.
-  explicit EventLogReader(const std::string& path,
-                          obs::MetricsRegistry* metrics = nullptr,
-                          obs::Tracer* tracer = nullptr);
+  /// EventLogError on a missing/truncated/foreign header. `taps`
+  /// (obs::Taps, borrowed, may be null) receives frame/byte counters
+  /// plus a CRC-failure counter (bumped before the EventLogError is
+  /// raised) and a span per frame read; parsing is independent of it.
+  explicit EventLogReader(const std::string& path, obs::Taps taps = {});
 
   /// The next record, or nullopt at clean end-of-log. Throws
   /// EventLogError on a torn frame, CRC mismatch, unknown type or
@@ -206,6 +199,32 @@ struct RecordedSession {
 
 /// IEEE 802.3 CRC-32 (the log's frame checksum; exposed for tests).
 [[nodiscard]] std::uint32_t crc32(const std::uint8_t* data, std::size_t size);
+
+// --- Record codec ---------------------------------------------------------
+//
+// The (type, payload) encoding of each record, shared with the network
+// transport (src/net/): a record framed off a socket is byte-identical
+// to the one the file log appends, so a server can append ingested
+// frames verbatim and replay-equals-live holds for socket sessions.
+
+/// The wire type tag of a record.
+[[nodiscard]] RecordType record_type(const EventRecord& record);
+
+/// Human-readable name of a wire type tag ("SessionMeta", ... or
+/// "unknown") for diagnostics.
+[[nodiscard]] const char* record_type_name(std::uint8_t type);
+
+/// Encodes a record's payload (the bytes between the length prefix and
+/// the CRC). Throws std::invalid_argument for a SessionMeta the codec
+/// cannot round-trip exactly (non-registry router config, non-loggable
+/// storage spec).
+[[nodiscard]] std::vector<std::uint8_t> encode_record(const EventRecord& record);
+
+/// Decodes one payload. Throws EventLogError naming `offset` (where the
+/// frame started in its stream) on an unknown type or malformed payload.
+[[nodiscard]] EventRecord decode_record(std::uint8_t type,
+                                        const std::vector<std::uint8_t>& payload,
+                                        std::int64_t offset);
 
 }  // namespace cebis::service
 

@@ -80,6 +80,23 @@ class EventLogObserver final : public core::StepObserver {
   std::vector<double> prev_soc_;
 };
 
+/// Keeps the last step's per-cluster routed load readable between
+/// steps (LiveEngine::last_cluster_load, published per step by the
+/// network subscriber stream). Always attached; read-only on StepView,
+/// so results are unaffected.
+class DecisionCapture final : public core::StepObserver {
+ public:
+  void on_step(const core::StepView& view) override {
+    const std::span<const double> totals = view.allocation.cluster_totals();
+    last_.assign(totals.begin(), totals.end());
+  }
+
+  [[nodiscard]] std::span<const double> last() const noexcept { return last_; }
+
+ private:
+  std::vector<double> last_;
+};
+
 }  // namespace
 
 // --- PushWorkload -----------------------------------------------------------
@@ -133,8 +150,13 @@ struct LiveEngine::Impl {
   core::SimulationEngine engine;
   std::unique_ptr<core::Router> router;
 
-  // Optional observers, attachment order: recorder, storage controller,
-  // log observer (last, so it sees post-controller battery state).
+  // Always-on capture of the last routing decision (cheap copy of the
+  // per-cluster totals; see LiveEngine::last_cluster_load).
+  DecisionCapture capture;
+
+  // Optional observers, attachment order: capture, recorder, storage
+  // controller, log observer (last, so it sees post-controller battery
+  // state).
   std::unique_ptr<core::HourlyEnergyRecorder> recorder;
   std::unique_ptr<storage::StorageController> controller;
   std::unique_ptr<EventLogObserver> log_observer;
@@ -211,8 +233,7 @@ LiveEngine::LiveEngine(const core::Fixture& fixture, LiveConfig config,
   cfg.delay_hours = spec.delay_hours;
   cfg.delay_steps = spec.delay_steps;
   cfg.enforce_p95 = enforce;
-  cfg.metrics = config_.metrics;
-  cfg.tracer = config_.tracer;
+  cfg.taps = config_.taps;
 
   impl_ = std::make_unique<Impl>(
       market::TickAssembler(priced, sph,
@@ -227,9 +248,9 @@ LiveEngine::LiveEngine(const core::Fixture& fixture, LiveConfig config,
                                RollingEstimators(config_.telemetry_ewma_alpha)};
 
   im.router = entry.make(fixture, spec);
-  im.tracer = config_.tracer;
-  if (config_.metrics != nullptr) {
-    obs::MetricsRegistry& reg = *config_.metrics;
+  im.tracer = config_.taps.tracer;
+  if (config_.taps.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *config_.taps.metrics;
     im.m_ticks = reg.counter("cebis_live_price_ticks_total",
                              "Settlement ticks ingested by the live session");
     im.m_blocked = reg.counter(
@@ -250,6 +271,7 @@ LiveEngine::LiveEngine(const core::Fixture& fixture, LiveConfig config,
     }
   }
 
+  im.observers.push_back(&im.capture);
   if (config_.record_hourly_energy) {
     im.recorder =
         std::make_unique<core::HourlyEnergyRecorder>(/*native_intervals=*/true);
@@ -257,7 +279,7 @@ LiveEngine::LiveEngine(const core::Fixture& fixture, LiveConfig config,
   }
   if (config_.storage.has_value()) {
     im.controller = std::make_unique<storage::StorageController>(
-        *config_.storage, config_.metrics);
+        *config_.storage, config_.taps.metrics);
     im.observers.push_back(im.controller.get());
   }
   if (log != nullptr) {
@@ -399,6 +421,18 @@ std::int64_t LiveEngine::needed_end() const noexcept {
   const std::int64_t k =
       std::min(impl_->session->steps_done(), impl_->session->steps_total() - 1);
   return impl_->needed_end_for(k);
+}
+
+std::span<const double> LiveEngine::last_cluster_load() const noexcept {
+  return impl_->capture.last();
+}
+
+std::span<const HubId> LiveEngine::tracked_hubs() const noexcept {
+  return impl_->assembler.tracked();
+}
+
+std::span<const std::int64_t> LiveEngine::next_tick_intervals() const noexcept {
+  return impl_->assembler.next_intervals();
 }
 
 std::size_t LiveEngine::state_count() const noexcept {

@@ -102,14 +102,14 @@ struct LiveConfig {
   bool shadow_baseline = true;
   double telemetry_ewma_alpha = 0.1;
 
-  /// Observability taps (borrowed, may be null). Threaded into the
-  /// underlying engine (see EngineConfig::metrics/tracer) and extended
-  /// with live-mode series: tick counts, the tick stream's seal lag
-  /// against what the next step needs, per-hub gap stalls, and blocked
-  /// advances. Write-only - the simulation never reads them back, so a
-  /// live run stays byte-identical to its replay with or without them.
-  obs::MetricsRegistry* metrics = nullptr;
-  obs::Tracer* tracer = nullptr;
+  /// Observability taps (obs::Taps; both pointers borrowed, may be
+  /// null). Threaded into the underlying engine (see
+  /// EngineConfig::taps) and extended with live-mode series: tick
+  /// counts, the tick stream's seal lag against what the next step
+  /// needs, per-hub gap stalls, and blocked advances. Write-only - the
+  /// simulation never reads them back, so a live run stays
+  /// byte-identical to its replay with or without them.
+  obs::Taps taps;
 };
 
 /// Rolling per-step dollar telemetry (see RollingEstimators; all
@@ -163,6 +163,15 @@ class LiveEngine {
   [[nodiscard]] std::int64_t sealed_end() const noexcept;
   /// One-past-the-last absolute interval the NEXT step needs sealed.
   [[nodiscard]] std::int64_t needed_end() const noexcept;
+  /// Per-cluster routed load of the most recent advance() (empty before
+  /// the first). The network subscriber stream publishes this per step.
+  [[nodiscard]] std::span<const double> last_cluster_load() const noexcept;
+  /// The tick stream's tracked hubs and, parallel to them, the next
+  /// absolute interval each hub must settle (the resume cursor a
+  /// reconnecting feeder picks up from; see market::TickAssembler).
+  [[nodiscard]] std::span<const HubId> tracked_hubs() const noexcept;
+  [[nodiscard]] std::span<const std::int64_t> next_tick_intervals()
+      const noexcept;
   [[nodiscard]] std::size_t state_count() const noexcept;
   [[nodiscard]] std::size_t cluster_count() const noexcept;
   [[nodiscard]] const LiveTelemetry& telemetry() const noexcept;

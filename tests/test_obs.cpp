@@ -307,7 +307,7 @@ TEST(ObsEventLogTest, WriterAndReaderCountersMatchTheAccessors) {
   MetricsRegistry reg;
   std::int64_t frame_bytes = 0;
   {
-    service::EventLogWriter writer(file.path(), &reg);
+    service::EventLogWriter writer(file.path(), {.metrics = &reg});
     for (int i = 0; i < 5; ++i) {
       writer.write(service::PriceTickRecord{HubId{0}, i, 42.0});
     }
@@ -322,7 +322,7 @@ TEST(ObsEventLogTest, WriterAndReaderCountersMatchTheAccessors) {
     EXPECT_LT(snap.value_or("cebis_eventlog_bytes_written_total", -1),
               double(frame_bytes));
   }
-  service::EventLogReader reader(file.path(), &reg);
+  service::EventLogReader reader(file.path(), {.metrics = &reg});
   int read = 0;
   while (reader.next()) ++read;
   EXPECT_EQ(read, 5);
@@ -351,7 +351,7 @@ TEST(ObsEventLogTest, CrcFailureBumpsTheCounterBeforeThrowing) {
     f.write(&byte, 1);
   }
   MetricsRegistry reg;
-  service::EventLogReader reader(file.path(), &reg);
+  service::EventLogReader reader(file.path(), {.metrics = &reg});
   EXPECT_THROW((void)reader.next(), service::EventLogError);
   EXPECT_DOUBLE_EQ(
       reg.snapshot().value_or("cebis_eventlog_crc_failures_total", -1), 1.0);
@@ -484,7 +484,7 @@ TEST_F(ObsSweepTest, MetricsAndTracingNeverPerturbResults) {
   core::SweepStats stats;
   const std::vector<core::RunResult> tapped = core::run_scenarios(
       *fixture_, tapped_specs,
-      core::SweepOptions{.threads = 4, .metrics = &reg, .tracer = &tracer},
+      core::SweepOptions{.threads = 4, .taps = {&reg, &tracer}},
       &stats);
 
   ASSERT_EQ(tapped.size(), plain.size());
@@ -616,7 +616,7 @@ TEST_F(ObsLiveTest, LiveTapsCountTicksAndPublishSealHeadroom) {
   plain_config.shadow_baseline = false;
 
   service::LiveConfig tapped_config = plain_config;
-  tapped_config.metrics = &reg;
+  tapped_config.taps.metrics = &reg;
 
   service::LiveEngine plain(*fixture_, plain_config);
   const core::RunResult a = drive_live(*fixture_, plain, plain_config);
