@@ -139,6 +139,7 @@ std::vector<RunResult> run_scenarios(const Fixture& fixture,
 
   // Phase timing and spans are observation only: the clock reads never
   // feed a decision, so results are byte-identical with or without them.
+  // cebis-lint: allow(wall-clock) feeds only SweepStats wall-ms telemetry, never a result field
   using sweep_clock = std::chrono::steady_clock;
   const auto ms_since = [](sweep_clock::time_point t0) {
     return std::chrono::duration<double, std::milli>(sweep_clock::now() - t0)

@@ -59,6 +59,7 @@ struct WorkerStats {
 template <typename Fn>
 void parallel_for_index(std::int64_t n, int threads, Fn&& fn,
                         WorkerStats* stats = nullptr) {
+  // cebis-lint: allow(wall-clock) feeds only WorkerStats busy/idle telemetry, never scheduling
   using clock = std::chrono::steady_clock;
   const auto ms_since = [](clock::time_point t0) {
     return std::chrono::duration<double, std::milli>(clock::now() - t0)

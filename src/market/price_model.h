@@ -16,7 +16,7 @@
 // and 2009 downturn visible in Fig 3), plus the hydro-dominated
 // Northwest's flat curve with its April rainfall dips.
 
-#include <unordered_map>
+#include <map>
 
 #include "base/simtime.h"
 #include "market/rto.h"
@@ -86,11 +86,15 @@ struct PriceModelParams {
   double price_cap = 2000.0;
 
   /// Per-RTO spatial-kernel overrides (CAISO's two hubs are ~0.94
-  /// correlated in the paper, far above the default kernel).
-  std::unordered_map<Rto, double> lambda_km_override;
+  /// correlated in the paper, far above the default kernel). Ordered
+  /// maps: these sit in the calibrated price model, where hash-order
+  /// iteration would be a determinism hazard (cebis-lint
+  /// unordered-iteration) and the handful of RTO keys makes std::map
+  /// just as fast.
+  std::map<Rto, double> lambda_km_override;
 
   /// Per-RTO multiplier on the scarcity-event rate (ERCOT runs hot).
-  std::unordered_map<Rto, double> scarcity_rate_scale;
+  std::map<Rto, double> scarcity_rate_scale;
 
   [[nodiscard]] double lambda_for(Rto rto) const {
     const auto it = lambda_km_override.find(rto);

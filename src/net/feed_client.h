@@ -57,7 +57,7 @@ class FeedClient {
   /// order with dense step indices starting at 0 (the event-log
   /// discipline; a RecordedSession read back from a log qualifies).
   /// Throws NetError after max_attempts failed connections.
-  FeedReport run(const service::SessionMeta& meta,
+  [[nodiscard]] FeedReport run(const service::SessionMeta& meta,
                  std::span<const service::PriceTickRecord> ticks,
                  std::span<const service::WorkloadStepRecord> steps);
 

@@ -71,6 +71,7 @@ struct HttpMetricsServer::Impl {
     } else {
       std::string body;
       if (options.registry != nullptr) {
+        // cebis-lint: allow(obs-read-back) exposition endpoint: the read IS the product, nothing steers on it
         body = io::to_prometheus_text(options.registry->snapshot());
       }
       reply = response(200, "OK", body,

@@ -117,7 +117,7 @@ class Server {
   /// Serves ingest connections (one at a time - a settlement feed is a
   /// single logical stream; reconnects resume it) until the feed
   /// completes or stop() is called. Returns the session report.
-  ServerReport serve();
+  [[nodiscard]] ServerReport serve();
 
   /// Thread-safe; serve() returns within ~read_timeout_ms.
   void stop();

@@ -15,8 +15,28 @@ namespace cebis::net {
 
 namespace {
 
+// strerror_r return-type dispatch: glibc with _GNU_SOURCE (which
+// libstdc++ defines) returns char*, XSI returns int. Overloads let the
+// same call site compile against either without feature-macro guesswork.
+[[maybe_unused]] std::string strerror_result(const char* rc,
+                                             const char* /*buf*/, int err) {
+  return rc != nullptr ? std::string(rc) : "errno " + std::to_string(err);
+}
+[[maybe_unused]] std::string strerror_result(int rc, const char* buf,
+                                             int err) {
+  return rc == 0 ? std::string(buf) : "errno " + std::to_string(err);
+}
+
+/// Thread-safe strerror: the ::strerror static buffer races when two
+/// socket threads (acceptor, writers, feeder) fail at once
+/// (concurrency-mt-unsafe).
+std::string errno_string(int err) {
+  char buf[256] = {};
+  return strerror_result(::strerror_r(err, buf, sizeof(buf)), buf, err);
+}
+
 [[noreturn]] void raise_errno(const std::string& what) {
-  throw NetError(what + ": " + std::strerror(errno));
+  throw NetError(what + ": " + errno_string(errno));
 }
 
 /// Polls `fd` for `events` within `timeout_ms`; false on timeout.
@@ -214,7 +234,7 @@ Socket connect_to(const std::string& host, std::uint16_t port, int timeout_ms) {
     }
     if (err != 0) {
       throw NetError("connect " + host + ":" + std::to_string(port) + ": " +
-                     std::strerror(err));
+                     errno_string(err));
     }
   }
   if (::fcntl(fd, F_SETFL, flags) != 0) raise_errno("fcntl(F_SETFL)");

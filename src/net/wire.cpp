@@ -225,6 +225,7 @@ IngestStatusFrame decode_ingest_status(const std::vector<std::uint8_t>& payload,
   s.steps_done = p.get<std::int64_t>();
   s.steps_buffered = p.get<std::int64_t>();
   const auto n = p.get<std::uint32_t>();
+  p.check_count(n, sizeof(std::int32_t) + sizeof(std::int64_t));
   s.cursors.resize(n);
   for (auto& c : s.cursors) {
     c.hub = p.get<std::int32_t>();

@@ -78,9 +78,24 @@ class Parser {
 
   std::vector<double> doubles() {
     const auto n = get<std::uint32_t>();
+    check_count(n, sizeof(std::uint64_t));
     std::vector<double> values(n);
     for (auto& v : values) v = f64();
     return values;
+  }
+
+  /// Validates a length prefix BEFORE sizing a container from it: a
+  /// corrupt count must surface as a malformed payload naming the
+  /// frame offset, not as a multi-gigabyte allocation (the prefix is
+  /// 32 bits, so a torn frame can claim ~4e9 elements while the
+  /// payload it arrived in is bounded by the frame reader).
+  void check_count(std::size_t n, std::size_t bytes_per_element) {
+    if ((buf_.size() - pos_) / bytes_per_element < n) {
+      throw EventLogError(
+          "malformed payload: length prefix claims " + std::to_string(n) +
+              " elements, more than the frame can hold",
+          frame_offset_);
+    }
   }
 
   /// Call after the last field: trailing garbage is a defect too.

@@ -16,6 +16,7 @@
 #include <variant>
 #include <vector>
 
+#include "service/codec.h"
 #include "service/event_log.h"
 #include "test_support.h"
 
@@ -318,6 +319,39 @@ TEST(EventLog, RejectsUnknownRecordTypes) {
   } catch (const EventLogError& e) {
     EXPECT_EQ(e.byte_offset(), second_frame_at);
   }
+}
+
+TEST(EventLog, RejectsDoublesCountLargerThanTheFrame) {
+  // A WorkloadStep payload whose demand-vector length prefix claims
+  // 2^32-1 doubles with nothing behind it. Before Parser::check_count
+  // the decoder value-initialized a ~34 GB vector from those four
+  // corrupt bytes (bad_alloc or the OOM killer, depending on
+  // overcommit) before any bounds check ran; the strict-reader
+  // contract says every payload defect is an EventLogError naming the
+  // frame offset.
+  std::vector<std::uint8_t> payload;
+  codec::put(payload, std::int64_t{3});  // step
+  codec::put(payload, std::uint32_t{0xFFFFFFFFu});
+  try {
+    (void)decode_record(static_cast<std::uint8_t>(RecordType::kWorkloadStep),
+                        payload, 77);
+    FAIL() << "oversized doubles count must throw";
+  } catch (const EventLogError& e) {
+    EXPECT_EQ(e.byte_offset(), 77);
+    EXPECT_NE(std::string(e.what()).find("length prefix"), std::string::npos)
+        << e.what();
+  }
+
+  // One element more than the bytes behind the prefix is just as
+  // malformed as four billion.
+  std::vector<std::uint8_t> off_by_one;
+  codec::put(off_by_one, std::int64_t{3});
+  codec::put(off_by_one, std::uint32_t{2});
+  codec::put_f64(off_by_one, 1.5);  // only one double follows
+  EXPECT_THROW(
+      (void)decode_record(static_cast<std::uint8_t>(RecordType::kWorkloadStep),
+                          off_by_one, 0),
+      EventLogError);
 }
 
 // --- read_session ordering --------------------------------------------------

@@ -105,6 +105,33 @@ TEST(NetWireTest, StatusAndHeadroomRoundTrip) {
   EXPECT_EQ(hb.steps_done, 8);
 }
 
+TEST(NetWireTest, RejectsCursorCountLargerThanThePayload) {
+  // A truncated/garbled IngestStatus whose cursor-count prefix claims
+  // ~2^31 entries with an empty tail. Before the check_count guard,
+  // decode resized the cursor vector FIRST - a multi-gigabyte
+  // allocation driven by four corrupt bytes - and only then failed
+  // field-by-field. The strict-reader contract wants a clean
+  // malformed-payload error naming the frame offset instead.
+  IngestStatusFrame s;
+  s.has_session = true;
+  s.complete = false;
+  s.steps_done = 11;
+  s.steps_buffered = 3;
+  std::vector<std::uint8_t> payload = encode_ingest_status(s);
+  // Overwrite the trailing u32 cursor count (0) with a huge claim.
+  const std::uint32_t huge = 0x7FFFFFFFu;
+  std::memcpy(payload.data() + payload.size() - sizeof(huge), &huge,
+              sizeof(huge));
+  try {
+    (void)decode_ingest_status(payload, 1234);
+    FAIL() << "oversized cursor count must throw";
+  } catch (const service::EventLogError& e) {
+    EXPECT_EQ(e.byte_offset(), 1234);
+    EXPECT_NE(std::string(e.what()).find("length prefix"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(NetWireTest, FrameTypeNames) {
   EXPECT_STREQ(frame_type_name(
                    static_cast<std::uint8_t>(service::RecordType::kPriceTick)),

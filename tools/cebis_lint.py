@@ -1,0 +1,417 @@
+#!/usr/bin/env python3
+"""cebis-lint: the project-invariant linter for the cebis source tree.
+
+clang-tidy (driven by the checked-in .clang-tidy) covers generic C++
+defects; this linter enforces the contracts that are specific to cebis
+and invisible to a generic checker. Each rule encodes a guarantee a
+past PR established and CI pins only by sampling - the linter rejects
+the *code shapes* that would break them, so a violation fails before a
+golden anchor ever drifts:
+
+  wall-clock          Result-affecting code (everything under src/
+                      outside obs/, io/, net/) must not read wall
+                      clocks (std::chrono::{system,steady,
+                      high_resolution}_clock, ::time, gettimeofday,
+                      clock_gettime). Simulated time comes from the
+                      engine; a clock read in the hot path breaks the
+                      byte-identical replay contract (PR 7) and the
+                      parallel-sweep determinism contract (PR 6).
+  ambient-randomness  No std::random_device / std::rand / srand
+                      anywhere under src/. All randomness flows from
+                      the seeded stats::Rng so every figure row is a
+                      pure function of (seed, config) - the contract
+                      behind every golden anchor since PR 1.
+  unordered-iteration Result-affecting code must not declare
+                      std::unordered_{map,set,multimap,multiset}
+                      (hash-order iteration leaks into float
+                      accumulation order and breaks byte-identity at
+                      any thread count, PR 6), and no code under src/
+                      may iterate one (range-for / .begin()) even in
+                      the exempt dirs. Lookup-only use in obs/, io/,
+                      net/ is fine.
+  obs-read-back       obs:: taps are write-only instrumentation
+                      (PR 8): MetricsRegistry::snapshot() may be
+                      called from obs/ itself, io/ exposition, tests
+                      and benches - never from instrumented code,
+                      which must not make decisions from its own
+                      telemetry.
+  nodiscard-result    Functions declared in src/ headers that return a
+                      result/report/outcome type (RunResult,
+                      StorageOutcome, TariffBill, ...) must be
+                      [[nodiscard]]: silently dropping a simulation
+                      result is always a bug.
+  using-namespace     No `using namespace` in src/ or in any header
+                      (bench/example/test .cpp files may, they own
+                      their translation unit).
+  thread-detach       No std::thread::detach() under src/: every
+                      thread the service spawns is joined on stop()
+                      (PR 9's server/hub lifecycle); a detached thread
+                      outlives its Impl and tears at exit.
+
+Waivers: a finding on line N is suppressed by a comment on line N or
+N-1 of the form
+
+    // cebis-lint: allow(rule-id) <reason>
+
+The reason is mandatory - an unexplained waiver is itself a finding
+(`waiver-missing-reason`). Waive sparingly; each waiver documents why
+the invariant holds anyway (e.g. SweepStats wall-clock telemetry that
+never feeds a result field).
+
+Usage:
+  python3 tools/cebis_lint.py [--root REPO_ROOT] [paths ...]
+  python3 tools/cebis_lint.py --list-rules
+
+With no paths, lints src/ plus the headers under bench/, examples/ and
+tests/ (header-scoped rules only). Exit 1 on any finding. Under GitHub
+Actions (GITHUB_ACTIONS=true) findings are also emitted as ::error::
+annotations, matching bench/check_bench_results.py.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import os
+import pathlib
+import re
+import sys
+
+# Directories under src/ whose code never affects simulation results:
+# observability is write-only (PR 8), io/ is exposition/persistence
+# formatting, net/ is transport whose payloads are produced elsewhere
+# (timeouts and backoff there legitimately read real clocks).
+RESULT_NEUTRAL_DIRS = {"obs", "io", "net"}
+
+# Dirs allowed to call MetricsRegistry::snapshot(): the registry itself
+# and the exposition writers. net/http_metrics.cpp is exposition too,
+# but lives in net/ - it carries an explicit waiver instead, so the
+# exemption stays narrow.
+OBS_READ_DIRS = {"obs", "io"}
+
+# Return types that carry a computation's result: dropping one is
+# always a bug, so declarations returning them must be [[nodiscard]].
+RESULT_TYPES = {
+    "RunResult",
+    "StorageOutcome",
+    "SweepStats",
+    "SavingsReport",
+    "CarbonRunSummary",
+    "WeatherRunSummary",
+    "AggregationReport",
+    "DrSettlement",
+    "NegawattSettlement",
+    "TariffBill",
+    "MetricsSnapshot",
+    "FeedReport",
+    "ServerReport",
+    "ForecastAccuracy",
+    "HourlyEnergy",
+    "Frame",
+    "TelemetryFrame",
+    "SealHeadroomFrame",
+    "IngestStatusFrame",
+    "RecordedSession",
+    "LiveTelemetry",
+    "Quartiles",
+    "Summary",
+    "ChangeStats",
+    "PairCorrelation",
+}
+
+RULES = {
+    "wall-clock": "wall-clock read in result-affecting code",
+    "ambient-randomness": "ambient randomness source in src/",
+    "unordered-iteration": "hash-ordered container in a determinism-relevant path",
+    "obs-read-back": "obs snapshot() read from instrumented code",
+    "nodiscard-result": "result-returning API missing [[nodiscard]]",
+    "using-namespace": "`using namespace` in src/ or a header",
+    "thread-detach": "detached thread in src/",
+    "waiver-missing-reason": "cebis-lint waiver without a reason",
+}
+
+WALL_CLOCK_RE = re.compile(
+    r"\b(?:system_clock|steady_clock|high_resolution_clock"
+    r"|gettimeofday|clock_gettime|timespec_get)\b"
+    r"|(?:\bstd::|::)time\s*\(")
+RANDOMNESS_RE = re.compile(
+    r"\brandom_device\b|\bstd::rand\b|\bsrand\s*\(|(?<![\w:])rand\s*\(\)")
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:multi)?(?:map|set)\s*<")
+SNAPSHOT_CALL_RE = re.compile(r"[.>]\s*snapshot\s*\(")
+USING_NAMESPACE_RE = re.compile(r"\busing\s+namespace\b")
+DETACH_RE = re.compile(r"\.\s*detach\s*\(\s*\)")
+WAIVER_RE = re.compile(r"cebis-lint:\s*allow\(([a-z\-,\s]+)\)\s*(.*)")
+NODISCARD_DECL_RE = re.compile(
+    r"^\s*(?:(?:virtual|static|constexpr|inline|friend|explicit)\s+)*"
+    r"(?:const\s+)?((?:\w+::)*(\w+))\s*&?\s+(\w+)\s*\(")
+
+
+@dataclasses.dataclass
+class Finding:
+    path: str  # repo-relative, forward slashes
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_noncode(lines: list[str]) -> list[str]:
+    """Returns `lines` with comments and string literals blanked out.
+
+    Keeps line count and column positions roughly intact so findings
+    point at real lines. Handles // and /* */ comments and double-
+    quoted strings (good enough for this tree; raw strings spanning
+    lines would need a real lexer and the tree has none in src/).
+    """
+    out = []
+    in_block = False
+    for line in lines:
+        buf = []
+        i = 0
+        in_str = False
+        while i < len(line):
+            ch = line[i]
+            nxt = line[i + 1] if i + 1 < len(line) else ""
+            if in_block:
+                if ch == "*" and nxt == "/":
+                    in_block = False
+                    buf.append("  ")
+                    i += 2
+                    continue
+                buf.append(" ")
+                i += 1
+                continue
+            if in_str:
+                if ch == "\\":
+                    buf.append("  ")
+                    i += 2
+                    continue
+                if ch == '"':
+                    in_str = False
+                    buf.append('"')
+                    i += 1
+                    continue
+                buf.append(" ")
+                i += 1
+                continue
+            if ch == "/" and nxt == "/":
+                break  # rest of line is a comment
+            if ch == "/" and nxt == "*":
+                in_block = True
+                buf.append("  ")
+                i += 2
+                continue
+            if ch == '"':
+                in_str = True
+                buf.append('"')
+                i += 1
+                continue
+            if ch == "'" and nxt and i + 2 < len(line):
+                # Skip char literals like '"' or '\\n' wholesale.
+                j = i + 1
+                if line[j] == "\\" and j + 2 < len(line):
+                    j += 1
+                if j + 1 < len(line) and line[j + 1] == "'":
+                    buf.append(" " * (j + 2 - i))
+                    i = j + 2
+                    continue
+            buf.append(ch)
+            i += 1
+        out.append("".join(buf))
+    return out
+
+
+def collect_waivers(lines: list[str]) -> tuple[dict[int, set[str]], list[Finding]]:
+    """Maps 1-based line numbers to the rule ids waived there.
+
+    A waiver covers its own line and the next one, so it can sit on a
+    dedicated comment line above the finding.
+    """
+    waived: dict[int, set[str]] = {}
+    bad: list[tuple[int, str]] = []
+    for idx, line in enumerate(lines, start=1):
+        m = WAIVER_RE.search(line)
+        if not m:
+            continue
+        rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+        reason = m.group(2).strip()
+        if not reason:
+            bad.append((idx, ", ".join(sorted(rules))))
+            continue
+        for target in (idx, idx + 1):
+            waived.setdefault(target, set()).update(rules)
+    return waived, bad
+
+
+def unordered_variable_names(code: list[str]) -> set[str]:
+    """Names of variables/members/aliases declared with unordered types.
+
+    Heuristic (no real parser): after each unordered_*<...> with
+    balanced angle brackets on one line, take the next identifier; also
+    tracks `using Alias = std::unordered_map<...>` alias names.
+    """
+    names: set[str] = set()
+    alias_re = re.compile(r"\busing\s+(\w+)\s*=\s*(?:std::)?unordered_")
+    for line in code:
+        m = alias_re.search(line)
+        if m:
+            names.add(m.group(1))
+        for decl in UNORDERED_DECL_RE.finditer(line):
+            depth = 1
+            i = decl.end()
+            while i < len(line) and depth > 0:
+                if line[i] == "<":
+                    depth += 1
+                elif line[i] == ">":
+                    depth -= 1
+                i += 1
+            if depth != 0:
+                continue  # template args continue on the next line
+            m = re.match(r"\s*&?\s*(\w+)\s*[;,={(\[]", line[i:])
+            if m:
+                names.add(m.group(1))
+    return names
+
+
+def top_dir(rel: str) -> str:
+    """First path component under src/ ('' when not under src/)."""
+    parts = pathlib.PurePosixPath(rel).parts
+    if len(parts) >= 2 and parts[0] == "src":
+        return parts[1]
+    return ""
+
+
+def lint_file(rel: str, text: str) -> list[Finding]:
+    raw = text.splitlines()
+    code = strip_noncode(raw)
+    waived, bad_waivers = collect_waivers(raw)
+    findings = [
+        Finding(rel, line, "waiver-missing-reason",
+                f"waiver for ({rules}) carries no justification - "
+                "explain why the invariant holds anyway")
+        for line, rules in bad_waivers
+    ]
+
+    in_src = rel.startswith("src/")
+    is_header = rel.endswith(".h")
+    subsystem = top_dir(rel)
+    result_affecting = in_src and subsystem not in RESULT_NEUTRAL_DIRS
+
+    def report(line_no: int, rule: str, message: str) -> None:
+        if rule in waived.get(line_no, set()):
+            return
+        findings.append(Finding(rel, line_no, rule, message))
+
+    unordered_names = unordered_variable_names(code) if in_src else set()
+
+    for idx, line in enumerate(code, start=1):
+        if in_src and result_affecting and WALL_CLOCK_RE.search(line):
+            report(idx, "wall-clock",
+                   "wall-clock read outside obs/, io/, net/ - simulated "
+                   "time comes from the engine; real time in a result "
+                   "path breaks replay-equals-live (PR 7)")
+        if in_src and RANDOMNESS_RE.search(line):
+            report(idx, "ambient-randomness",
+                   "draw randomness from the seeded stats::Rng - results "
+                   "must be a pure function of (seed, config)")
+        if in_src and result_affecting and UNORDERED_DECL_RE.search(line):
+            report(idx, "unordered-iteration",
+                   "hash-ordered container in result-affecting code - "
+                   "iteration order leaks into accumulation order and "
+                   "breaks byte-identity (PR 6); use std::map/std::set "
+                   "or waive with a lookup-only justification")
+        if in_src and unordered_names:
+            range_for = re.search(r"\bfor\s*\(.*:\s*(\w+)\s*\)", line)
+            begin_call = re.search(r"\b(\w+)\s*\.\s*c?begin\s*\(", line)
+            for m, what in ((range_for, "range-for over"),
+                            (begin_call, ".begin() on")):
+                if m and m.group(1) in unordered_names:
+                    report(idx, "unordered-iteration",
+                           f"{what} hash-ordered container "
+                           f"'{m.group(1)}' - hash iteration order is "
+                           "not deterministic across implementations")
+        if (in_src and subsystem not in OBS_READ_DIRS
+                and SNAPSHOT_CALL_RE.search(line)):
+            report(idx, "obs-read-back",
+                   "snapshot() read outside obs/ and io/ - taps are "
+                   "write-only from instrumented code (PR 8); code must "
+                   "not steer on its own telemetry")
+        if (in_src or is_header) and USING_NAMESPACE_RE.search(line):
+            report(idx, "using-namespace",
+                   "`using namespace` leaks names into every includer "
+                   "(header) or the whole library TU (src/)")
+        if in_src and DETACH_RE.search(line):
+            report(idx, "thread-detach",
+                   "detached threads outlive their owner and tear at "
+                   "exit - join on stop() like Server/SubscriberHub")
+        if in_src and is_header:
+            m = NODISCARD_DECL_RE.match(line)
+            if m and m.group(2) in RESULT_TYPES and m.group(3) != m.group(2):
+                has_attr = "[[nodiscard]]" in raw[idx - 1] or (
+                    idx >= 2 and "[[nodiscard]]" in raw[idx - 2])
+                if not has_attr:
+                    report(idx, "nodiscard-result",
+                           f"'{m.group(3)}' returns {m.group(2)} - mark "
+                           "it [[nodiscard]]: a dropped result is "
+                           "always a bug")
+    return findings
+
+
+def default_paths(root: pathlib.Path) -> list[pathlib.Path]:
+    paths = sorted((root / "src").rglob("*.cpp")) + sorted(
+        (root / "src").rglob("*.h"))
+    for extra in ("bench", "examples", "tests"):
+        d = root / extra
+        if d.is_dir():
+            paths.extend(sorted(d.rglob("*.h")))
+    return paths
+
+
+def lint_paths(root: pathlib.Path,
+               paths: list[pathlib.Path]) -> list[Finding]:
+    findings: list[Finding] = []
+    for path in paths:
+        rel = path.resolve().relative_to(root.resolve()).as_posix()
+        findings.extend(lint_file(rel, path.read_text(encoding="utf-8")))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="cebis project-invariant linter")
+    parser.add_argument("--root", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parent.parent,
+                        help="repository root (default: this script's repo)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule ids and exit")
+    parser.add_argument("paths", nargs="*", type=pathlib.Path,
+                        help="files to lint (default: src/ + repo headers)")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, summary in RULES.items():
+            print(f"{rule}: {summary}")
+        return 0
+
+    paths = args.paths or default_paths(args.root)
+    findings = lint_paths(args.root, paths)
+    annotate = os.environ.get("GITHUB_ACTIONS") == "true"
+    for f in findings:
+        print(f)
+        if annotate:
+            print(f"::error file={f.path},line={f.line}::[{f.rule}] "
+                  f"{f.message}")
+    n_files = len(paths)
+    if findings:
+        print(f"cebis-lint: {len(findings)} finding(s) in {n_files} files")
+        return 1
+    print(f"cebis-lint: clean ({n_files} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
